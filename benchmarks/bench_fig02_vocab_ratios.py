@@ -1,0 +1,22 @@
+"""Figure 2 — vocabulary-layer cost relative to transformer layers.
+
+Gemma2-9B's output layer grows to ≈5 transformer layers of compute and
+≈6–7 layers of parameter memory at a 256k vocabulary — the motivating
+observation of the paper.
+"""
+
+from repro.harness.runner import run_figure2
+
+
+def test_fig02_gemma2_ratios(benchmark, record):
+    result = benchmark(run_figure2)
+    record("fig02_vocab_ratios", result.render())
+    # Paper: output layer ≈ 5× compute, ≈ 7× memory at 256k.
+    assert 4.0 < result.compute_output[-1] < 6.5
+    assert 5.0 < result.memory_output[-1] < 8.0
+    # Input layer: heavy on memory, negligible on compute.
+    assert result.compute_input[-1] < 0.05
+    assert result.memory_input[-1] == result.memory_output[-1]
+    # Ratios grow monotonically with vocabulary size.
+    assert result.compute_output == sorted(result.compute_output)
+    assert result.memory_output == sorted(result.memory_output)

@@ -1,0 +1,25 @@
+"""Figure 3 — why layer redistribution does not fix the imbalance.
+
+The paper's 7B example (16 devices, 128k vocabulary): redistribution
+evens out *compute* but cannot touch the *parameter memory* imbalance,
+and granularity limits how even compute can get.
+"""
+
+from repro.harness.runner import run_figure3
+
+
+def test_fig03_redistribution(benchmark, record):
+    result = benchmark(run_figure3)
+    record("fig03_redistribution", result.render())
+    uniform_compute_spread = max(result.uniform_compute) - min(result.uniform_compute)
+    redis_compute_spread = max(result.redis_compute) - min(result.redis_compute)
+    # Compute rebalancing works...
+    assert redis_compute_spread < 0.5 * uniform_compute_spread
+    # ...but residual compute imbalance remains (coarse granularity).
+    mean_compute = sum(result.redis_compute) / len(result.redis_compute)
+    assert max(result.redis_compute) > 1.05 * mean_compute
+    # ...and parameter memory stays as imbalanced as before.
+    redis_mem_spread = max(result.redis_memory_gb) - min(result.redis_memory_gb)
+    assert redis_mem_spread > 3.0
+    # The output stage sheds transformer layers (output ≈ 2.4 layers).
+    assert result.redis_layers[-1] < result.uniform_layers[-1]

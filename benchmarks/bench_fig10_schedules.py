@@ -1,0 +1,87 @@
+"""Figures 9/10/16 — vocabulary-parallel building blocks and schedules.
+
+Validates the activation-memory annotations of Figure 10 on executed
+schedules (p+2 microbatches for Algorithm 1, p+1 for Algorithm 2, p for
+plain 1F1B), records ASCII renderings of the schedules, and includes
+the V-Half block (Figure 16 / Appendix D).
+"""
+
+from repro.config import ModelConfig, ParallelConfig
+from repro.harness.experiments import build_schedule
+from repro.sim import (
+    RuntimeModel,
+    SimulationSetup,
+    execute_schedule,
+    live_microbatch_peaks,
+    render_timeline,
+)
+
+from conftest import bench_microbatches
+
+
+def _setup(p=4):
+    model = ModelConfig(
+        num_layers=4 * p,
+        hidden_size=2048,
+        num_attention_heads=16,
+        seq_length=2048,
+        vocab_size=128 * 1024,
+    )
+    return SimulationSetup(
+        model, ParallelConfig(pipeline_size=p, num_microbatches=bench_microbatches(32))
+    )
+
+
+def test_fig10_1f1b_vocab_schedules(benchmark, record):
+    setup = _setup()
+    p = setup.parallel.pipeline_size
+
+    def run_all():
+        out = {}
+        for method in ("baseline", "vocab-1", "vocab-2"):
+            schedule = build_schedule(method, setup)
+            out[method] = execute_schedule(schedule, RuntimeModel(setup, schedule))
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    live = {m: live_microbatch_peaks(r)[0] for m, r in results.items()}
+    assert live["baseline"] == p
+    assert live["vocab-1"] == p + 2
+    assert live["vocab-2"] == p + 1
+    lines = [
+        "Figure 10 — 1F1B with Vocabulary Parallelism "
+        f"(p={p}; device-0 live microbatches: {live})",
+    ]
+    for method, result in results.items():
+        window = (result.iteration_time * 0.35, result.iteration_time * 0.65)
+        lines.append(f"\n[{method}] steady state:")
+        lines.append(render_timeline(result, width=110, mode="type", time_range=window))
+    record("fig10_schedules", "\n".join(lines))
+
+
+def test_fig16_vhalf_block(benchmark, record):
+    setup = _setup()
+
+    def run_both():
+        out = {}
+        for method in ("vhalf-baseline", "vhalf-vocab-1"):
+            schedule = build_schedule(method, setup)
+            out[method] = execute_schedule(schedule, RuntimeModel(setup, schedule))
+        return out
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    base_live = live_microbatch_peaks(results["vhalf-baseline"])
+    vocab_live = live_microbatch_peaks(results["vhalf-vocab-1"])
+    # V-Half balances memory; vocabulary passes add a small constant.
+    assert max(base_live) - min(base_live) <= 1.0
+    assert max(vocab_live) <= max(base_live) + 2.5
+    lines = [
+        "Figure 16 / Appendix D — V-Half with vocabulary passes "
+        f"(live microbatches per device: base={[round(x,2) for x in base_live]}, "
+        f"vocab={[round(x,2) for x in vocab_live]})",
+    ]
+    for method, result in results.items():
+        window = (result.iteration_time * 0.4, result.iteration_time * 0.6)
+        lines.append(f"\n[{method}] steady state:")
+        lines.append(render_timeline(result, width=110, mode="type", time_range=window))
+    record("fig16_vhalf_schedules", "\n".join(lines))

@@ -1,0 +1,68 @@
+"""§7 future work — fused streaming cross-entropy (FlashAttention-style).
+
+The paper's conclusion points at fusing Algorithm 2's forward/backward
+to avoid materializing the softmax ("which can be huge in long-context
+large-vocabulary settings").  This bench runs our NumPy implementation
+of that kernel at several block sizes: identical results, transient
+memory bounded by the block, throughput within a small factor of the
+unfused Algorithm 2 (the matmuls dominate; blocking costs only the
+recompute of logits in the ∇W pass).
+"""
+
+import numpy as np
+import pytest
+
+from repro.vocab import FusedOutputLayer, OutputLayerAlg2, VocabPartition
+
+N, H, V, P = 256, 128, 16384, 4
+
+
+@pytest.fixture(scope="module")
+def case():
+    rng = np.random.default_rng(3)
+    part = VocabPartition(V, P)
+    return (
+        part,
+        rng.normal(size=(N, H)),
+        rng.normal(size=(V, H)),
+        rng.integers(0, V, size=N),
+    )
+
+
+@pytest.mark.parametrize("block", [256, 1024, 4096], ids=lambda b: f"block{b}")
+def test_fused_streaming_microbatch(benchmark, case, block):
+    part, x, w, labels = case
+    layer = FusedOutputLayer.from_full_weight(part, w, block_size=block)
+    result = benchmark(lambda: layer.run(x, labels))
+    assert result.num_barriers == 1
+    assert layer.max_block_columns <= block
+
+
+def test_fused_unfused_agreement(benchmark, case, record):
+    part, x, w, labels = case
+    fused = FusedOutputLayer.from_full_weight(part, w, block_size=512)
+    unfused = OutputLayerAlg2.from_full_weight(part, w)
+
+    def both():
+        return fused.run(x, labels), unfused.run(x, labels)
+
+    fused_result, unfused_result = benchmark.pedantic(both, rounds=1, iterations=1)
+    dloss = float(np.max(np.abs(fused_result.losses - unfused_result.losses)))
+    dgx = float(
+        np.max(np.abs(fused_result.grad_input - unfused_result.grad_input))
+    )
+    shard_elems = N * part.shard_size
+    block_elems = N * 512
+    record(
+        "fused_streaming",
+        "\n".join(
+            [
+                "Fused streaming CE (paper §7 future work) vs Algorithm 2",
+                f"  n={N} h={H} V={V} p={P}, block=512",
+                f"  max|Δloss|={dloss:.2e}  max|Δ∇X|={dgx:.2e}",
+                f"  transient softmax footprint: {block_elems} elements/rank "
+                f"vs {shard_elems} unfused ({shard_elems / block_elems:.0f}× smaller)",
+            ]
+        ),
+    )
+    assert dloss < 1e-10 and dgx < 1e-10

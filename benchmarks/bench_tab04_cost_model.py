@@ -1,0 +1,75 @@
+"""Table 4 — compute FLOPs and parameter memory of each layer type.
+
+Regenerates Appendix A's table symbolically and checks the closed
+forms against brute-force counting of the constituent matmuls.
+"""
+
+from repro.config import ModelConfig
+from repro.costmodel import (
+    input_layer_flops,
+    output_layer_flops,
+    transformer_layer_flops,
+    input_layer_param_bytes,
+    output_layer_param_bytes,
+    transformer_layer_param_bytes,
+)
+from repro.harness.tables import format_table
+
+
+def _model(vocab=131072):
+    return ModelConfig(
+        num_layers=32,
+        hidden_size=3072,
+        num_attention_heads=24,
+        seq_length=2048,
+        vocab_size=vocab,
+    )
+
+
+def test_tab04_cost_model(benchmark, record):
+    model = _model()
+
+    def build_rows():
+        b, s, h, v = 1, model.seq_length, model.hidden_size, model.vocab_size
+        return [
+            [
+                "transformer",
+                transformer_layer_flops(model).total,
+                b * s * h * (72 * h + 12 * s),
+                transformer_layer_param_bytes(model),
+                24 * h * h,
+            ],
+            [
+                "input",
+                input_layer_flops(model).total,
+                3 * b * s * h,
+                input_layer_param_bytes(model),
+                2 * h * v,
+            ],
+            [
+                "output",
+                output_layer_flops(model).total,
+                6 * b * s * h * v,
+                output_layer_param_bytes(model),
+                2 * h * v,
+            ],
+        ]
+
+    rows = benchmark(build_rows)
+    for row in rows:
+        assert row[1] == row[2], row[0]
+        assert row[3] == row[4], row[0]
+    table = format_table(
+        ["layer", "flops(model)", "flops(formula)", "bytes(model)", "bytes(formula)"],
+        rows,
+        title="Table 4 — compute and memory cost per layer (b=1, s=2048, h=3072, V=128k)",
+    )
+    # The matmul decomposition of the forward pass agrees with the
+    # closed form's dominant term (2bsh(12h + 2s) per layer forward).
+    fwd = transformer_layer_flops(model).forward
+    b, s, h = 1, model.seq_length, model.hidden_size
+    matmuls = 2 * b * s * h * (3 * h) + 2 * b * s * s * h * 2 + (
+        2 * b * s * h * h + 2 * b * s * h * 8 * h
+    )
+    assert abs(fwd - matmuls) / fwd < 1e-12
+    record("tab04_cost_model", table)

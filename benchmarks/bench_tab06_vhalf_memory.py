@@ -1,0 +1,51 @@
+"""Table 6 / Figure 14 — memory balance on the V-Half schedule.
+
+The paper's headline memory result: the V-Half baseline spreads tens of
+GB between device 0 (both vocabulary layers) and the rest — OOMing at
+32 GPUs / 256k — while Vocab-1 balances every device to within the
+positional-embedding constant (< 2.5 GB).
+"""
+
+import pytest
+
+from repro.harness.runner import run_table6_cell
+
+from conftest import bench_microbatches
+
+PANELS = [(16, 2048), (32, 4096)]
+
+
+@pytest.mark.parametrize("gpus,seq", PANELS, ids=[f"{g}gpu-{s}" for g, s in PANELS])
+def test_tab06_memory_panel(benchmark, record, gpus, seq):
+    sweep = benchmark.pedantic(
+        lambda: run_table6_cell(gpus, seq, num_microbatches=bench_microbatches()),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [sweep.render(), "", "per-device peak spread (max - min, GB):"]
+    for vocab_size in sweep.vocab_sizes:
+        base = sweep.metrics[("vhalf-baseline", vocab_size)]
+        voc = sweep.metrics[("vhalf-vocab-1", vocab_size)]
+        lines.append(
+            f"  {vocab_size // 1024:>4}k  baseline={base.memory_spread_gb:6.2f}  "
+            f"vocab-1={voc.memory_spread_gb:5.2f}"
+        )
+    record(f"tab06_fig14_memory_{gpus}gpu_{seq}", "\n".join(lines))
+
+    largest = sweep.vocab_sizes[-1]
+    base = sweep.metrics[("vhalf-baseline", largest)]
+    voc = sweep.metrics[("vhalf-vocab-1", largest)]
+    # Baseline: tens of GB of spread at 256k (paper: up to 45 GB).
+    assert base.memory_spread_gb > 10.0
+    # Vocab-1: balanced within the small positional constant (< 2.5 GB).
+    assert voc.memory_spread_gb < 2.5
+    # Vocab-1's peak far below the baseline's at 256k.
+    assert voc.peak_memory_gb < 0.75 * base.peak_memory_gb
+    if (gpus, seq) == (32, 4096):
+        # Paper: baseline OOMs at 256k on 32 GPUs.  Our calibration
+        # puts it right at the 80 GB edge (±3 GB); either way the
+        # qualitative story holds: baseline at capacity, Vocab-1 with
+        # tens of GB of headroom.
+        assert base.peak_memory_gb > 75.0
+        assert not voc.oom
+        assert voc.peak_memory_gb < 60.0

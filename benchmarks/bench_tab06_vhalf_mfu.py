@@ -1,0 +1,40 @@
+"""Table 6 / Figure 13 — throughput on the V-Half schedule.
+
+V-Half baseline vs Vocab-1 across the paper's three GPU counts: the
+baseline (input layer on stage 0 and output layer on stage 2p-1 — both
+device 0) collapses as the vocabulary grows while Vocab-1 stays flat,
+by 7 % to 143+ % in the paper.
+"""
+
+import pytest
+
+from repro.harness.runner import run_table6_cell
+
+from conftest import bench_microbatches
+
+PANELS = [(16, 2048), (16, 4096), (24, 2048), (24, 4096), (32, 2048), (32, 4096)]
+
+
+@pytest.mark.parametrize("gpus,seq", PANELS, ids=[f"{g}gpu-{s}" for g, s in PANELS])
+def test_tab06_mfu_panel(benchmark, record, gpus, seq):
+    sweep = benchmark.pedantic(
+        lambda: run_table6_cell(gpus, seq, num_microbatches=bench_microbatches()),
+        rounds=1,
+        iterations=1,
+    )
+    record(f"tab06_fig13_mfu_{gpus}gpu_{seq}", sweep.render())
+
+    baseline = sweep.mfu_row("vhalf-baseline")
+    vocab = sweep.mfu_row("vhalf-vocab-1")
+    valid_base = [v for v in baseline if v is not None]
+    # Baseline collapses with vocabulary (paper: 46 → 20 at 16 GPUs).
+    assert valid_base[-1] < 0.7 * valid_base[0]
+    # Vocab-1 flat and above baseline everywhere.
+    valid_vocab = [v for v in vocab if v is not None]
+    assert min(valid_vocab) > 0.9 * max(valid_vocab)
+    for b, v in zip(baseline, vocab):
+        if b is not None and v is not None:
+            assert v > b
+    # The gap widens dramatically at 256k (paper: up to 143 %).
+    if baseline[-1] is not None:
+        assert vocab[-1] > 1.5 * baseline[-1]

@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures and
+records the rendered comparison (simulated vs paper) under
+``benchmarks/results/<name>.txt`` — pytest captures stdout, so the
+files are the artifact; they are also printed for ``-s`` runs.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Callable writing a named experiment artifact to disk (and stdout)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}")
+
+    return _record
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(2025)
+
+
+def bench_microbatches(default: int = 128) -> int:
+    """Microbatch count for schedule benches (REPRO_BENCH_MICROBATCHES)."""
+    return int(os.environ.get("REPRO_BENCH_MICROBATCHES", default))

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Scenario: how far can you push the vocabulary of a Gemma2-9B-style
+model under pipeline parallelism before the baseline breaks?
+
+The paper's motivation (Figure 2) made concrete: sweep the vocabulary
+from 32k to 512k on an 8-device pipeline and watch what happens to the
+baseline (output layer on the last stage) versus Vocabulary
+Parallelism — throughput, peak memory, and where the baseline OOMs on
+80 GB devices while Vocab-2 keeps cruising.
+
+Run:  python examples/gemma_vocab_pressure.py
+"""
+
+from repro.config import ModelConfig, ParallelConfig
+from repro.costmodel.flops import vocab_to_transformer_compute_ratio
+from repro.costmodel.memory import vocab_to_transformer_memory_ratio
+from repro.harness.experiments import run_method
+from repro.harness.tables import format_table
+
+# Gemma2-9B-ish shape, padded to divide the 8-device pipeline evenly
+# (42 layers -> 40; the two layers do not change the story).
+BASE = ModelConfig(
+    num_layers=40,
+    hidden_size=3584,
+    num_attention_heads=16,
+    seq_length=4096,
+    vocab_size=256 * 1024,
+)
+DEVICES = 8
+VOCABS = [32 * 1024, 64 * 1024, 128 * 1024, 256 * 1024, 512 * 1024]
+
+
+def main() -> None:
+    print("Vocabulary pressure on a Gemma2-9B-style model, "
+          f"{DEVICES}-device pipeline, sequence length {BASE.seq_length}\n")
+
+    ratio_rows = []
+    for vocab in VOCABS:
+        model = BASE.replace(vocab_size=vocab)
+        _, compute = vocab_to_transformer_compute_ratio(model)
+        _, memory = vocab_to_transformer_memory_ratio(model)
+        ratio_rows.append([f"{vocab // 1024}k", compute, memory])
+    print(format_table(
+        ["vocab", "output compute (layers)", "output memory (layers)"],
+        ratio_rows,
+        title="Output layer cost in transformer-layer units (Figure 2 style)",
+    ))
+    print()
+
+    rows = []
+    parallel = ParallelConfig(pipeline_size=DEVICES, num_microbatches=64)
+    for vocab in VOCABS:
+        model = BASE.replace(vocab_size=vocab)
+        for method in ("baseline", "vocab-2"):
+            m = run_method(method, model, parallel)
+            rows.append([
+                f"{vocab // 1024}k",
+                method,
+                None if m.oom else round(m.mfu_percent, 2),
+                round(m.peak_memory_gb, 2),
+                round(m.memory_spread_gb, 2),
+                "OOM!" if m.oom else "",
+            ])
+    print(format_table(
+        ["vocab", "method", "MFU %", "peak GB", "spread GB", ""],
+        rows,
+        title="Simulated training iteration (A100-80G pipeline)",
+    ))
+
+    print("\nReading: the baseline's last pipeline stage pays the whole "
+          "output layer —\nits MFU decays like 1/(1 + V·k) while Vocab-2 "
+          "stays flat and keeps memory balanced.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Scenario: visual tour of the pipeline schedules as ASCII timelines.
+
+Renders the executed steady state of every schedule the paper
+discusses — baseline 1F1B (with its vocabulary bubbles), Redis, both
+Vocabulary Parallelism algorithms, the interlaced pipeline, and V-Half
+with and without vocabulary passes — the text equivalent of Figures 1,
+10, 15 and 16.
+
+Run:  python examples/schedule_gallery.py [--devices 4] [--vocab-k 256]
+"""
+
+import argparse
+
+from repro.config import ModelConfig, ParallelConfig
+from repro.harness.experiments import build_schedule
+from repro.sim import (
+    RuntimeModel,
+    SimulationSetup,
+    execute_schedule,
+    live_microbatch_peaks,
+    render_timeline,
+)
+
+METHODS = (
+    "baseline",
+    "redis",
+    "vocab-1",
+    "vocab-2",
+    "interlaced",
+    "vhalf-baseline",
+    "vhalf-vocab-1",
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--devices", type=int, default=4)
+    parser.add_argument("--vocab-k", type=int, default=256)
+    parser.add_argument("--microbatches", type=int, default=24)
+    parser.add_argument("--width", type=int, default=110)
+    args = parser.parse_args()
+
+    p = args.devices
+    model = ModelConfig(
+        num_layers=4 * p,
+        hidden_size=2048,
+        num_attention_heads=16,
+        seq_length=2048,
+        vocab_size=args.vocab_k * 1024,
+    )
+    parallel = ParallelConfig(pipeline_size=p, num_microbatches=args.microbatches)
+    setup = SimulationSetup(model, parallel)
+
+    legend = "legend: F/B/W transformer fwd/bwd/weight-grad, S/T output-layer, "
+    legend += "i/b input-layer, V/v interlaced vocab segments, . idle"
+    print(legend)
+    for method in METHODS:
+        schedule = build_schedule(method, setup)
+        result = execute_schedule(schedule, RuntimeModel(setup, schedule))
+        live = [round(x, 1) for x in live_microbatch_peaks(result)]
+        window = (result.iteration_time * 0.38, result.iteration_time * 0.62)
+        print("\n" + "=" * len(legend))
+        print(f"{method}: mean bubble "
+              f"{100 * result.mean_bubble_fraction():.1f}%, "
+              f"live microbatches per device {live}")
+        print(render_timeline(result, width=args.width, mode="type",
+                              time_range=window))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-use-pep517`` uses the legacy ``setup.py
+develop`` path, which works offline with the stock setuptools.  All
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

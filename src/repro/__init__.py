@@ -1,0 +1,45 @@
+"""repro — reproduction of "Balancing Pipeline Parallelism with Vocabulary
+Parallelism" (Yeung, Qi, Lin, Wan — MLSys 2025, arXiv:2411.05288).
+
+The package provides:
+
+* exact NumPy implementations of the paper's partitioned vocabulary
+  layers (naïve / Algorithm 1 / Algorithm 2, plus the input layer of
+  Appendix C) over simulated ranks — :mod:`repro.vocab`;
+* the building-block pipeline-scheduling framework and generators for
+  1F1B, V-Half and the interlaced pipeline, with and without vocabulary
+  passes — :mod:`repro.scheduling`;
+* an analytic A100 cost model (Table 4 FLOPs/memory, kernel efficiency,
+  α–β communication) — :mod:`repro.costmodel`, :mod:`repro.collectives`;
+* a discrete-event simulator executing schedules with per-device
+  compute/communication streams, producing iteration time (→ MFU) and
+  peak-memory timelines — :mod:`repro.sim`;
+* a tiny NumPy language model with hand-written backward used to
+  replicate the paper's convergence check (Figure 17) —
+  :mod:`repro.models`;
+* the experiment harness regenerating every table and figure —
+  :mod:`repro.harness`.
+"""
+
+from repro.config import ModelConfig, ParallelConfig, layers_per_stage
+from repro.vocab import (
+    NaiveOutputLayer,
+    OutputLayerAlg1,
+    OutputLayerAlg2,
+    VocabParallelEmbedding,
+    VocabPartition,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ModelConfig",
+    "ParallelConfig",
+    "layers_per_stage",
+    "VocabPartition",
+    "NaiveOutputLayer",
+    "OutputLayerAlg1",
+    "OutputLayerAlg2",
+    "VocabParallelEmbedding",
+    "__version__",
+]

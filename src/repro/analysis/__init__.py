@@ -1,0 +1,25 @@
+"""Post-hoc analysis of executed schedules.
+
+Complements :mod:`repro.sim` with the quantities the paper reasons
+about when *explaining* results: where bubbles come from (warmup /
+cooldown / steady-state stalls), what the critical path looks like,
+how balanced the devices are, and the textual rendering of building
+blocks themselves (the paper's Figures 9, 15, 16).
+"""
+
+from repro.analysis.bubbles import BubbleBreakdown, bubble_breakdown
+from repro.analysis.balance import (
+    compute_balance,
+    memory_balance,
+    BalanceReport,
+)
+from repro.analysis.blocks import render_building_block
+
+__all__ = [
+    "BubbleBreakdown",
+    "bubble_breakdown",
+    "BalanceReport",
+    "compute_balance",
+    "memory_balance",
+    "render_building_block",
+]

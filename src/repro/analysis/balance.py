@@ -1,0 +1,50 @@
+"""Compute- and memory-balance metrics across pipeline devices.
+
+The paper's claims are balance claims: Vocabulary Parallelism equalizes
+per-device *work* (so the pipeline's interval is the mean, not the max)
+and per-device *state* (so no device OOMs before the rest).  These
+helpers turn an execution/memory report into the scalar imbalance
+numbers quoted in §6.3/§6.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.executor import ExecutionResult
+from repro.sim.memory import MemoryReport
+
+
+@dataclass
+class BalanceReport:
+    """Max/mean ratios over devices for one quantity.
+
+    ``imbalance`` is ``max / mean`` (1.0 = perfectly balanced); the
+    pipeline's steady-state slowdown versus a balanced assignment is
+    exactly this factor when the quantity is per-microbatch work.
+    """
+
+    values: list[float]
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values)
+
+    @property
+    def imbalance(self) -> float:
+        mean = self.mean
+        return max(self.values) / mean if mean > 0 else 1.0
+
+    @property
+    def spread(self) -> float:
+        return max(self.values) - min(self.values)
+
+
+def compute_balance(result: ExecutionResult) -> BalanceReport:
+    """Per-device busy time balance of one executed iteration."""
+    return BalanceReport(values=list(result.device_busy))
+
+
+def memory_balance(report: MemoryReport) -> BalanceReport:
+    """Per-device peak-memory balance."""
+    return BalanceReport(values=list(report.per_device_peak))

@@ -1,0 +1,57 @@
+"""Textual rendering of building blocks (the paper's Figures 9/15/16)."""
+
+from __future__ import annotations
+
+from repro.scheduling.building_block import BuildingBlock
+
+_CHARS = {
+    "F": "F",
+    "B": "B",
+    "W": "W",
+    "S": "S",
+    "T": "T",
+    "IF": "i",
+    "IB": "b",
+    "VF": "V",
+    "VB": "v",
+}
+
+
+def render_building_block(
+    block: BuildingBlock, width_per_interval: int = 12, intervals: int | None = None
+) -> str:
+    """Paint a building block's slots on a per-device character grid.
+
+    The window spans from the earliest slot to the latest slot end;
+    vertical interval boundaries are marked so lifespan/interval can be
+    read off the picture, like the paper's Figure 9.
+    """
+    if width_per_interval <= 0:
+        raise ValueError(f"width_per_interval must be positive, got {width_per_interval}")
+    start = min(slot.offset for slots in block.slots for slot in slots)
+    end = max(slot.offset + slot.duration for slots in block.slots for slot in slots)
+    if intervals is None:
+        intervals = int((end - start) / block.interval) + 1
+    width = width_per_interval * intervals
+    scale = width_per_interval / block.interval
+    lines = [
+        f"building block: interval={block.interval:.4g}, "
+        f"device-0 lifespan={block.lifespan(0):.4g} "
+        f"(≈{block.lifespan(0) / block.interval:.2f} intervals)"
+    ]
+    for device, slots in enumerate(block.slots):
+        row = ["."] * width
+        for slot in slots:
+            lo = int((slot.offset - start) * scale)
+            hi = int((slot.offset + slot.duration - start) * scale)
+            hi = max(hi, lo + 1)
+            char = _CHARS[slot.type.value]
+            for col in range(max(lo, 0), min(hi, width)):
+                row[col] = char
+        # Interval boundary markers.
+        for k in range(1, intervals):
+            col = int((k * block.interval - (start % block.interval)) * scale)
+            if 0 <= col < width and row[col] == ".":
+                row[col] = "|"
+        lines.append(f"device {device:>2} |{''.join(row)}|")
+    return "\n".join(lines)

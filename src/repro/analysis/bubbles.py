@@ -1,0 +1,72 @@
+"""Bubble decomposition: warmup, cooldown and steady-state stalls.
+
+The paper attributes its speedups to removing *steady-state* bubbles
+(the per-microbatch idle slots caused by the overloaded output stage,
+Figure 1) — warmup/cooldown bubbles are a property of pipeline depth
+and microbatch count, shared by all methods.  This module splits a
+device's idle time accordingly, so experiments can report exactly the
+component Vocabulary Parallelism eliminates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.executor import ExecutionResult
+
+
+@dataclass
+class BubbleBreakdown:
+    """Idle-time decomposition for one device.
+
+    ``warmup`` is the idle time before the device's first pass,
+    ``cooldown`` the idle time after its last pass, and ``stall`` the
+    idle time between passes — the steady-state bubbles the paper's
+    methods fight over.
+    """
+
+    device: int
+    warmup: float
+    stall: float
+    cooldown: float
+    busy: float
+    span: float
+
+    @property
+    def total_idle(self) -> float:
+        return self.warmup + self.stall + self.cooldown
+
+    @property
+    def stall_fraction(self) -> float:
+        """Steady-state bubble share of the whole iteration."""
+        return self.stall / self.span if self.span > 0 else 0.0
+
+
+def bubble_breakdown(result: ExecutionResult, device: int) -> BubbleBreakdown:
+    """Split ``device``'s idle time into warmup / stall / cooldown."""
+    rows = result.passes_on(device)
+    if not rows:
+        raise ValueError(f"device {device} executed no passes")
+    iteration_start = min(s for _, (s, _) in result.pass_times.items())
+    iteration_end = max(e for _, (_, e) in result.pass_times.items())
+    span = iteration_end - iteration_start
+
+    first_start = rows[0][1]
+    warmup = first_start - iteration_start
+    busy = 0.0
+    stall = 0.0
+    cursor = first_start
+    for _, start, end in rows:
+        if start > cursor:
+            stall += start - cursor
+        busy += end - start
+        cursor = max(cursor, end)
+    cooldown = iteration_end - cursor
+    return BubbleBreakdown(
+        device=device,
+        warmup=warmup,
+        stall=stall,
+        cooldown=cooldown,
+        busy=busy,
+        span=span,
+    )

@@ -1,0 +1,33 @@
+"""Simulated collective communication.
+
+Two halves, deliberately separate:
+
+* :mod:`repro.collectives.ops` — *numerics*: collectives over lists of
+  NumPy arrays, one entry per simulated rank.  The partitioned
+  vocabulary layers and the vocabulary-parallel NumPy LM use these to
+  reproduce exactly what NCCL would compute.
+* :mod:`repro.collectives.timing` — *cost*: an α–β (latency–bandwidth)
+  model of ring collectives and point-to-point transfers, used by the
+  discrete-event simulator to assign durations to the C0/C1/C2 barriers
+  and pipeline sends.
+"""
+
+from repro.collectives.ops import (
+    all_gather,
+    all_reduce_max,
+    all_reduce_sum,
+    broadcast,
+    reduce_scatter_sum,
+    reduce_sum,
+)
+from repro.collectives.timing import CommunicationModel
+
+__all__ = [
+    "all_reduce_sum",
+    "all_reduce_max",
+    "reduce_sum",
+    "broadcast",
+    "all_gather",
+    "reduce_scatter_sum",
+    "CommunicationModel",
+]

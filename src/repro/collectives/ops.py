@@ -1,0 +1,91 @@
+"""Numerical collectives over simulated ranks.
+
+A "distributed tensor" is represented as a list of NumPy arrays, one
+per rank.  Collectives consume and produce such lists, mirroring NCCL
+semantics:
+
+* ``all_reduce_*`` — every rank ends with the elementwise reduction.
+* ``reduce_sum`` — only ``root`` receives the reduction (the paper
+  implements Reduce as an NCCL AllReduce to balance communication
+  volume; numerically they agree on the root, so we model the Reduce
+  semantics here and leave the volume question to the timing model).
+* ``broadcast`` — every rank receives a copy of ``root``'s array.
+* ``all_gather`` / ``reduce_scatter_sum`` — shard-wise counterparts
+  used by the input layer and by tests.
+
+All functions validate shard shape agreement, never mutate their
+inputs, and return fresh arrays — matching the out-of-place NCCL usage
+in the paper's Megatron implementation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def _check_shards(shards: Sequence[np.ndarray], *, same_shape: bool = True) -> None:
+    if len(shards) == 0:
+        raise ValueError("collective requires at least one rank")
+    if same_shape:
+        first = shards[0].shape
+        for rank, shard in enumerate(shards):
+            if shard.shape != first:
+                raise ValueError(
+                    f"rank {rank} shard shape {shard.shape} != rank 0 shape {first}"
+                )
+
+
+def all_reduce_sum(shards: Sequence[np.ndarray]) -> list[np.ndarray]:
+    """Elementwise sum across ranks; every rank receives the result."""
+    _check_shards(shards)
+    total = np.sum(np.stack(shards, axis=0), axis=0)
+    return [total.copy() for _ in shards]
+
+
+def all_reduce_max(shards: Sequence[np.ndarray]) -> list[np.ndarray]:
+    """Elementwise max across ranks; every rank receives the result."""
+    _check_shards(shards)
+    peak = np.max(np.stack(shards, axis=0), axis=0)
+    return [peak.copy() for _ in shards]
+
+
+def reduce_sum(shards: Sequence[np.ndarray], root: int = 0) -> np.ndarray:
+    """Elementwise sum across ranks, delivered to ``root`` only."""
+    _check_shards(shards)
+    if not 0 <= root < len(shards):
+        raise ValueError(f"root {root} out of range for {len(shards)} ranks")
+    return np.sum(np.stack(shards, axis=0), axis=0)
+
+
+def broadcast(array: np.ndarray, world_size: int) -> list[np.ndarray]:
+    """Copy ``array`` to every one of ``world_size`` ranks."""
+    if world_size <= 0:
+        raise ValueError(f"world_size must be positive, got {world_size}")
+    return [array.copy() for _ in range(world_size)]
+
+
+def all_gather(shards: Sequence[np.ndarray], axis: int = -1) -> list[np.ndarray]:
+    """Concatenate rank shards along ``axis``; every rank gets the full tensor."""
+    _check_shards(shards, same_shape=False)
+    full = np.concatenate(list(shards), axis=axis)
+    return [full.copy() for _ in shards]
+
+
+def reduce_scatter_sum(shards: Sequence[np.ndarray], axis: int = -1) -> list[np.ndarray]:
+    """Sum across ranks, then scatter equal chunks of the result.
+
+    Rank ``r`` receives the ``r``-th chunk along ``axis``.  The reduced
+    axis length must divide evenly by the number of ranks.
+    """
+    _check_shards(shards)
+    world = len(shards)
+    total = np.sum(np.stack(shards, axis=0), axis=0)
+    length = total.shape[axis]
+    if length % world != 0:
+        raise ValueError(
+            f"axis {axis} length {length} not divisible by world size {world}"
+        )
+    chunks = np.split(total, world, axis=axis)
+    return [chunk.copy() for chunk in chunks]

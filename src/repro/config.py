@@ -1,0 +1,159 @@
+"""Experiment configuration objects shared across the library.
+
+The paper evaluates GPT-like models whose shape is fully described by a
+handful of integers (Tables 1 and 2 of the paper).  All cost-model,
+scheduling and simulation code consumes these frozen dataclasses rather
+than loose keyword arguments so that a configuration can be hashed,
+compared and printed consistently.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Shape of a GPT-like transformer language model.
+
+    Parameters mirror the notation of the paper's Appendix A: microbatch
+    size ``b``, sequence length ``s``, hidden dimension ``h`` and
+    vocabulary size ``V``.
+
+    Attributes
+    ----------
+    num_layers:
+        Number of transformer layers ``L`` (input/output vocabulary
+        layers are counted separately).
+    hidden_size:
+        Model width ``h``.
+    num_attention_heads:
+        Attention head count ``a`` (enters the activation-memory
+        formula).
+    seq_length:
+        Tokens per sequence ``s``.
+    vocab_size:
+        Unpadded vocabulary size ``V``.
+    ffn_hidden_size:
+        MLP inner width; defaults to ``4 h`` as in GPT.
+    tie_embeddings:
+        Whether input and output embeddings share one weight tensor.
+        The paper's experiments untie them (harder setting, Llama-3
+        style), which is also our default.
+    """
+
+    num_layers: int
+    hidden_size: int
+    num_attention_heads: int
+    seq_length: int
+    vocab_size: int
+    ffn_hidden_size: int | None = None
+    tie_embeddings: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_layers <= 0:
+            raise ValueError(f"num_layers must be positive, got {self.num_layers}")
+        if self.hidden_size <= 0:
+            raise ValueError(f"hidden_size must be positive, got {self.hidden_size}")
+        if self.num_attention_heads <= 0:
+            raise ValueError(
+                f"num_attention_heads must be positive, got {self.num_attention_heads}"
+            )
+        if self.hidden_size % self.num_attention_heads != 0:
+            raise ValueError(
+                "hidden_size must be divisible by num_attention_heads "
+                f"({self.hidden_size} % {self.num_attention_heads} != 0)"
+            )
+        if self.seq_length <= 0:
+            raise ValueError(f"seq_length must be positive, got {self.seq_length}")
+        if self.vocab_size <= 1:
+            raise ValueError(f"vocab_size must be > 1, got {self.vocab_size}")
+        if self.ffn_hidden_size is None:
+            object.__setattr__(self, "ffn_hidden_size", 4 * self.hidden_size)
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head width ``h / a``."""
+        return self.hidden_size // self.num_attention_heads
+
+    def num_parameters(self) -> int:
+        """Total parameter count (transformer + embeddings).
+
+        Uses the standard GPT accounting: each transformer layer has
+        ``12 h^2`` weights (4h^2 attention + 8h^2 MLP) plus biases and
+        layer norms which we fold into the dominant term, and each
+        untied vocabulary layer has ``V h`` weights.
+        """
+        transformer = self.num_layers * 12 * self.hidden_size * self.hidden_size
+        embeddings = (1 if self.tie_embeddings else 2) * self.vocab_size * self.hidden_size
+        return transformer + embeddings
+
+    def replace(self, **changes: object) -> "ModelConfig":
+        """Return a copy with ``changes`` applied (dataclasses.replace)."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Pipeline-parallel run configuration.
+
+    Attributes
+    ----------
+    pipeline_size:
+        Number of pipeline devices ``p``.
+    num_microbatches:
+        Microbatches per iteration ``m`` (paper uses 128).
+    microbatch_size:
+        Sequences per microbatch ``b`` (paper uses 1).
+    devices_per_node:
+        GPUs per server; collectives crossing node boundaries use the
+        slower interconnect.
+    """
+
+    pipeline_size: int
+    num_microbatches: int = 128
+    microbatch_size: int = 1
+    devices_per_node: int = 8
+
+    def __post_init__(self) -> None:
+        if self.pipeline_size <= 0:
+            raise ValueError(f"pipeline_size must be positive, got {self.pipeline_size}")
+        if self.num_microbatches <= 0:
+            raise ValueError(
+                f"num_microbatches must be positive, got {self.num_microbatches}"
+            )
+        if self.microbatch_size <= 0:
+            raise ValueError(
+                f"microbatch_size must be positive, got {self.microbatch_size}"
+            )
+        if self.devices_per_node <= 0:
+            raise ValueError(
+                f"devices_per_node must be positive, got {self.devices_per_node}"
+            )
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of servers occupied (ceiling division)."""
+        return -(-self.pipeline_size // self.devices_per_node)
+
+    @property
+    def is_multi_node(self) -> bool:
+        return self.pipeline_size > self.devices_per_node
+
+    def replace(self, **changes: object) -> "ParallelConfig":
+        return dataclasses.replace(self, **changes)
+
+
+def layers_per_stage(model: ModelConfig, parallel: ParallelConfig) -> int:
+    """Transformer layers per pipeline stage for the uniform baseline.
+
+    Raises if the model does not divide evenly — the paper's settings
+    always do (e.g. 32 layers over 8 devices).
+    """
+    if model.num_layers % parallel.pipeline_size != 0:
+        raise ValueError(
+            f"num_layers={model.num_layers} not divisible by "
+            f"pipeline_size={parallel.pipeline_size}"
+        )
+    return model.num_layers // parallel.pipeline_size

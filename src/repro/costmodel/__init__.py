@@ -1,0 +1,49 @@
+"""Analytic cost models for pipeline-parallel transformer training.
+
+This package implements the quantitative analysis of the paper's
+Appendix A (Table 4): compute FLOPs and parameter memory of transformer
+and vocabulary layers, the activation-memory model of Korthikanti et
+al., a hardware description of the paper's A100 testbed, a kernel
+efficiency curve that converts FLOPs into seconds, and the MFU metric
+used throughout the evaluation.
+"""
+
+from repro.costmodel.flops import (
+    LayerFlops,
+    input_layer_flops,
+    model_flops_per_iteration,
+    output_layer_flops,
+    transformer_layer_flops,
+    vocab_to_transformer_compute_ratio,
+)
+from repro.costmodel.memory import (
+    MemoryModel,
+    activation_bytes_per_microbatch,
+    input_layer_param_bytes,
+    output_layer_param_bytes,
+    transformer_layer_param_bytes,
+    vocab_to_transformer_memory_ratio,
+)
+from repro.costmodel.hardware import HardwareModel, A100_SXM_80G
+from repro.costmodel.efficiency import KernelEfficiencyModel
+from repro.costmodel.mfu import mfu, iteration_flops
+
+__all__ = [
+    "LayerFlops",
+    "transformer_layer_flops",
+    "input_layer_flops",
+    "output_layer_flops",
+    "model_flops_per_iteration",
+    "vocab_to_transformer_compute_ratio",
+    "MemoryModel",
+    "activation_bytes_per_microbatch",
+    "transformer_layer_param_bytes",
+    "input_layer_param_bytes",
+    "output_layer_param_bytes",
+    "vocab_to_transformer_memory_ratio",
+    "HardwareModel",
+    "A100_SXM_80G",
+    "KernelEfficiencyModel",
+    "mfu",
+    "iteration_flops",
+]

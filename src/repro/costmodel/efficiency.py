@@ -1,0 +1,89 @@
+"""Kernel efficiency model: converting FLOPs into seconds.
+
+GPU kernels do not run at peak FLOP/s.  Large, square-ish matmuls on an
+A100 reach 55–65 % of peak in mixed precision under a training workload
+(the paper's best MFU is ~51 %, and its Table 3 shows partitioned
+vocabulary matmuls losing another 10–25 % because the per-device
+operands shrink).  We model achieved efficiency of a ``[m,k]·[k,n]``
+matmul as a separable saturation curve::
+
+    eff(m, k, n) = e_max · s(m) · s(k) · s(n),   s(d) = d / (d + d_half)
+
+which captures the two effects the paper names in §6.5: smaller
+operands are "less parallelized" (tile quantization / wave quantization
+→ saturation in every dimension) and below a critical size the kernel
+becomes bandwidth-bound (the steep part of the curve).
+
+Elementwise / memory-bound work is charged at a fraction of HBM
+bandwidth, and every kernel launch pays a fixed overhead.  These two
+terms — not the matmul curve — dominate the sub-linear scaling of the
+*input* vocabulary layer (Table 3's bottom rows), whose output tensor
+is ``[b·s, h]`` regardless of how finely the vocabulary is partitioned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.costmodel.hardware import HardwareModel
+
+
+@dataclass(frozen=True)
+class KernelEfficiencyModel:
+    """Achieved-throughput model for GPU kernels.
+
+    Attributes
+    ----------
+    max_matmul_efficiency:
+        Ceiling fraction of peak FLOP/s for an infinitely large matmul.
+    dim_half_size:
+        The matmul dimension at which the saturation curve reaches half
+        of its asymptote contribution (per dimension).
+    hbm_efficiency:
+        Fraction of peak HBM bandwidth achieved by elementwise kernels.
+    hbm_bandwidth:
+        Peak HBM bandwidth in bytes/s (A100 SXM: ~2.0e12).
+    """
+
+    max_matmul_efficiency: float = 0.66
+    dim_half_size: float = 96.0
+    hbm_efficiency: float = 0.75
+    hbm_bandwidth: float = 2.0e12
+
+    def _saturation(self, dim: float) -> float:
+        if dim <= 0:
+            raise ValueError(f"matmul dimension must be positive, got {dim}")
+        return dim / (dim + self.dim_half_size)
+
+    def matmul_efficiency(self, m: float, k: float, n: float) -> float:
+        """Fraction of peak FLOP/s achieved by an ``[m,k]·[k,n]`` matmul."""
+        return (
+            self.max_matmul_efficiency
+            * self._saturation(m)
+            * self._saturation(k)
+            * self._saturation(n)
+        )
+
+    def matmul_time(self, m: float, k: float, n: float, hardware: HardwareModel) -> float:
+        """Seconds for one ``[m,k]·[k,n]`` matmul (2·m·k·n FLOPs)."""
+        flops = 2.0 * m * k * n
+        eff = self.matmul_efficiency(m, k, n)
+        return flops / (hardware.peak_flops * eff) + hardware.kernel_launch_overhead
+
+    def elementwise_time(self, num_bytes: float, hardware: HardwareModel) -> float:
+        """Seconds for a memory-bound kernel touching ``num_bytes``."""
+        if num_bytes < 0:
+            raise ValueError(f"num_bytes must be non-negative, got {num_bytes}")
+        return num_bytes / (self.hbm_bandwidth * self.hbm_efficiency) + (
+            hardware.kernel_launch_overhead
+        )
+
+    def flops_time(
+        self, flops: float, hardware: HardwareModel, efficiency: float
+    ) -> float:
+        """Seconds for ``flops`` at a fixed ``efficiency`` fraction of peak."""
+        if flops < 0:
+            raise ValueError(f"flops must be non-negative, got {flops}")
+        if not 0 < efficiency <= 1:
+            raise ValueError(f"efficiency must be in (0, 1], got {efficiency}")
+        return flops / (hardware.peak_flops * efficiency)

@@ -1,0 +1,113 @@
+"""FLOP counts for transformer and vocabulary layers.
+
+Implements Table 4 of the paper (Appendix A), which follows the
+derivation of Narayanan et al. (2021) and neglects insignificant terms:
+
+=============  ======================  ==================
+layer type     compute FLOPs            param memory
+=============  ======================  ==================
+transformer    ``b·s·h·(72h + 12s)``   ``24 h^2``
+input          ``3·b·s·h``             ``2 h V``
+output         ``6·b·s·h·V``           ``2 h V``
+=============  ======================  ==================
+
+The compute column is the *total* over forward + backward for one
+microbatch.  Forward is one third of it for matmul-dominated layers
+(backward does two matmuls per forward matmul).  The paper's MFU metric
+divides these model FLOPs by elapsed time and hardware peak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import ModelConfig
+
+
+@dataclass(frozen=True)
+class LayerFlops:
+    """Forward/backward FLOP split for one layer and one microbatch.
+
+    ``backward`` covers both the activation-gradient and the
+    weight-gradient computation.  ``total`` is their sum and matches the
+    Table 4 entries.
+    """
+
+    forward: float
+    backward: float
+
+    @property
+    def total(self) -> float:
+        return self.forward + self.backward
+
+
+def transformer_layer_flops(model: ModelConfig, microbatch_size: int = 1) -> LayerFlops:
+    """FLOPs of a single transformer layer for one microbatch.
+
+    Total is ``b·s·h·(72h + 12s)``: the factor 72h comes from the six
+    ``h×h``-scale matmuls (QKV, attention output, two MLP matmuls at 4h
+    width) counted as 2 FLOPs/MAC and tripled for fwd+bwd; the ``12s``
+    term is the attention score/context matmuls.
+    """
+    b = microbatch_size
+    s = model.seq_length
+    h = model.hidden_size
+    total = b * s * h * (72 * h + 12 * s)
+    # Matmul-dominated: backward = 2x forward (grad wrt input + weights).
+    return LayerFlops(forward=total / 3.0, backward=total * 2.0 / 3.0)
+
+
+def input_layer_flops(model: ModelConfig, microbatch_size: int = 1) -> LayerFlops:
+    """FLOPs of the input embedding layer for one microbatch.
+
+    The lookup itself is memory-bound; Table 4 charges ``3·b·s·h``
+    for the elementwise scale/add work in forward and the scatter-add in
+    backward.
+    """
+    total = 3.0 * microbatch_size * model.seq_length * model.hidden_size
+    return LayerFlops(forward=total / 3.0, backward=total * 2.0 / 3.0)
+
+
+def output_layer_flops(
+    model: ModelConfig, microbatch_size: int = 1, vocab_size: int | None = None
+) -> LayerFlops:
+    """FLOPs of the output projection + softmax + cross-entropy.
+
+    Total ``6·b·s·h·V``: one ``[bs,h]×[h,V]`` matmul forward (2bshV) and
+    two backward (∇X and ∇W, 4bshV).  ``vocab_size`` overrides the model
+    vocabulary (used for per-shard costs after partitioning).
+    """
+    v = model.vocab_size if vocab_size is None else vocab_size
+    b = microbatch_size
+    fwd = 2.0 * b * model.seq_length * model.hidden_size * v
+    bwd = 4.0 * b * model.seq_length * model.hidden_size * v
+    return LayerFlops(forward=fwd, backward=bwd)
+
+
+def model_flops_per_iteration(
+    model: ModelConfig, microbatch_size: int, num_microbatches: int
+) -> float:
+    """Model FLOPs of one training iteration (all layers, all microbatches).
+
+    This is the numerator of the paper's MFU metric (Narayanan et al.
+    accounting: only "useful" model FLOPs count, recomputation does not).
+    """
+    per_microbatch = (
+        model.num_layers * transformer_layer_flops(model, microbatch_size).total
+        + input_layer_flops(model, microbatch_size).total
+        + output_layer_flops(model, microbatch_size).total
+    )
+    return per_microbatch * num_microbatches
+
+
+def vocab_to_transformer_compute_ratio(model: ModelConfig) -> tuple[float, float]:
+    """Compute of (input, output) layer in units of one transformer layer.
+
+    Reproduces the left panel of Figure 2: for Gemma2-9B at V=256k the
+    output layer costs roughly 5 transformer layers.
+    """
+    t = transformer_layer_flops(model).total
+    return (
+        input_layer_flops(model).total / t,
+        output_layer_flops(model).total / t,
+    )

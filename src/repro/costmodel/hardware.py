@@ -1,0 +1,51 @@
+"""Hardware description of the paper's testbed.
+
+The experiments ran on NVIDIA A100 SXM 80G GPUs, 8 per node, with nodes
+connected by a RoCE RDMA network.  The simulator needs peak arithmetic
+throughput (to convert FLOPs into seconds through the efficiency
+model), memory capacity (to flag OOM configurations, e.g. Interlaced at
+32 GPUs / 4096 or V-Half Baseline at 256k vocabulary), and link
+bandwidths for the communication timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HardwareModel:
+    """A homogeneous GPU cluster abstraction.
+
+    Attributes
+    ----------
+    peak_flops:
+        Dense BF16 peak per device, FLOP/s.
+    memory_bytes:
+        HBM capacity per device.
+    intra_node_bandwidth:
+        Per-device NVLink bandwidth, bytes/s.
+    inter_node_bandwidth:
+        Per-device RDMA bandwidth, bytes/s.
+    link_latency:
+        Fixed per-message latency (the α of the α–β model), seconds.
+    kernel_launch_overhead:
+        Fixed cost added to every pass (kernel launches, Python-side
+        scheduling); seconds.
+    """
+
+    name: str = "A100-SXM-80G"
+    peak_flops: float = 312e12
+    memory_bytes: float = 80.0 * 1024**3
+    intra_node_bandwidth: float = 250e9
+    inter_node_bandwidth: float = 22e9
+    link_latency: float = 10e-6
+    kernel_launch_overhead: float = 10e-6
+
+    def fits(self, required_bytes: float) -> bool:
+        """Whether ``required_bytes`` fits in one device's HBM."""
+        return required_bytes <= self.memory_bytes
+
+
+#: The exact device used in the paper's evaluation.
+A100_SXM_80G = HardwareModel()

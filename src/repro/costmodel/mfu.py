@@ -1,0 +1,33 @@
+"""Model FLOPs Utilization (MFU), the paper's throughput metric.
+
+Following Narayanan et al. (2021), MFU divides the *model* FLOPs of an
+iteration (Table 4 accounting — activation recomputation or other
+redundant work does not count) by the elapsed wall time multiplied by
+the aggregate peak throughput of all devices.
+"""
+
+from __future__ import annotations
+
+from repro.config import ModelConfig, ParallelConfig
+from repro.costmodel.flops import model_flops_per_iteration
+from repro.costmodel.hardware import HardwareModel
+
+
+def iteration_flops(model: ModelConfig, parallel: ParallelConfig) -> float:
+    """Model FLOPs of one iteration under ``parallel``'s microbatching."""
+    return model_flops_per_iteration(
+        model, parallel.microbatch_size, parallel.num_microbatches
+    )
+
+
+def mfu(
+    model: ModelConfig,
+    parallel: ParallelConfig,
+    hardware: HardwareModel,
+    iteration_time: float,
+) -> float:
+    """MFU in [0, 1] for an iteration that took ``iteration_time`` seconds."""
+    if iteration_time <= 0:
+        raise ValueError(f"iteration_time must be positive, got {iteration_time}")
+    total_peak = hardware.peak_flops * parallel.pipeline_size
+    return iteration_flops(model, parallel) / (iteration_time * total_peak)

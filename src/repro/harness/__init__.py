@@ -1,0 +1,40 @@
+"""Experiment harness: the paper's evaluation settings, method runners,
+paper-reported numbers, and table rendering.
+
+Entry points:
+
+* :mod:`repro.harness.settings` — Tables 1/2 model configurations;
+* :mod:`repro.harness.experiments` — run one method on one setting
+  (schedule generation with profiled durations → refinement → DES →
+  MFU / peak memory);
+* :mod:`repro.harness.runner` — full sweeps regenerating each table and
+  figure, with side-by-side paper numbers;
+* :mod:`repro.harness.paper_data` — the numbers printed in the paper's
+  Tables 3, 5 and 6 (for comparison columns, never used by the
+  simulation itself);
+* :mod:`repro.harness.cli` — ``repro-experiments`` command.
+"""
+
+from repro.harness.settings import (
+    GEMMA2_9B,
+    ONE_F_ONE_B_METHODS,
+    VHALF_METHODS,
+    VOCAB_SIZES,
+    model_for_1f1b,
+    model_for_vhalf,
+)
+from repro.harness.experiments import MethodMetrics, run_method, vocab_scaling_factor
+from repro.harness.tables import format_table
+
+__all__ = [
+    "GEMMA2_9B",
+    "VOCAB_SIZES",
+    "ONE_F_ONE_B_METHODS",
+    "VHALF_METHODS",
+    "model_for_1f1b",
+    "model_for_vhalf",
+    "MethodMetrics",
+    "run_method",
+    "vocab_scaling_factor",
+    "format_table",
+]

@@ -1,0 +1,176 @@
+"""``repro-experiments`` — regenerate the paper's tables and figures.
+
+Examples::
+
+    repro-experiments fig2
+    repro-experiments fig3
+    repro-experiments table3
+    repro-experiments table5 --gpus 8 --seq 2048
+    repro-experiments table6 --gpus 16 --seq 4096 --microbatches 64
+    repro-experiments appendix-b
+    repro-experiments schedules --devices 4
+    repro-experiments all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--microbatches",
+        type=int,
+        default=128,
+        help="microbatches per iteration (paper: 128)",
+    )
+
+
+def _cmd_fig2(_args: argparse.Namespace) -> None:
+    from repro.harness.runner import run_figure2
+
+    print(run_figure2().render())
+
+
+def _cmd_fig3(_args: argparse.Namespace) -> None:
+    from repro.harness.runner import run_figure3
+
+    print(run_figure3().render())
+
+
+def _cmd_table3(_args: argparse.Namespace) -> None:
+    from repro.harness.runner import run_table3
+
+    print(run_table3().render())
+
+
+def _cmd_table5(args: argparse.Namespace) -> None:
+    from repro.harness.runner import run_table5_cell
+
+    for gpus in args.gpus:
+        for seq in args.seq:
+            print(
+                run_table5_cell(
+                    gpus, seq, num_microbatches=args.microbatches
+                ).render()
+            )
+            print()
+
+
+def _cmd_table6(args: argparse.Namespace) -> None:
+    from repro.harness.runner import run_table6_cell
+
+    for gpus in args.gpus:
+        for seq in args.seq:
+            print(
+                run_table6_cell(
+                    gpus, seq, num_microbatches=args.microbatches
+                ).render()
+            )
+            print()
+
+
+def _cmd_appendix_b(args: argparse.Namespace) -> None:
+    from repro.harness.runner import run_interlaced_ablation
+
+    print(run_interlaced_ablation(num_microbatches=args.microbatches).render())
+
+
+def _cmd_schedules(args: argparse.Namespace) -> None:
+    from repro.config import ModelConfig, ParallelConfig
+    from repro.harness.experiments import build_schedule
+    from repro.sim import RuntimeModel, SimulationSetup, execute_schedule, render_timeline
+
+    p = args.devices
+    model = ModelConfig(
+        num_layers=4 * p,
+        hidden_size=2048,
+        num_attention_heads=16,
+        seq_length=2048,
+        vocab_size=128 * 1024,
+    )
+    parallel = ParallelConfig(pipeline_size=p, num_microbatches=args.microbatches)
+    setup = SimulationSetup(model, parallel)
+    for method in ("baseline", "vocab-1", "vocab-2"):
+        schedule = build_schedule(method, setup)
+        result = execute_schedule(schedule, RuntimeModel(setup, schedule))
+        print(render_timeline(result, width=args.width, mode=args.mode))
+        print()
+
+
+def _cmd_all(args: argparse.Namespace) -> None:
+    from repro.harness.runner import (
+        run_figure2,
+        run_figure3,
+        run_interlaced_ablation,
+        run_table3,
+        run_table5_cell,
+        run_table6_cell,
+    )
+
+    print(run_figure2().render(), "\n")
+    print(run_figure3().render(), "\n")
+    print(run_table3().render(), "\n")
+    for gpus in (8, 16, 32):
+        for seq in (2048, 4096):
+            print(run_table5_cell(gpus, seq, num_microbatches=args.microbatches).render())
+            print()
+    for gpus in (16, 24, 32):
+        for seq in (2048, 4096):
+            print(run_table6_cell(gpus, seq, num_microbatches=args.microbatches).render())
+            print()
+    print(run_interlaced_ablation(num_microbatches=args.microbatches).render())
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables/figures of 'Balancing Pipeline "
+        "Parallelism with Vocabulary Parallelism' (MLSys 2025).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("fig2", help="Figure 2: vocabulary/transformer cost ratios")
+    sub.add_parser("fig3", help="Figure 3: layer redistribution per-device view")
+    sub.add_parser("table3", help="Table 3: partitioned vocabulary scaling factors")
+
+    t5 = sub.add_parser("table5", help="Table 5 / Figures 11-12: methods on 1F1B")
+    t5.add_argument("--gpus", type=int, nargs="+", default=[8], choices=[8, 16, 32])
+    t5.add_argument("--seq", type=int, nargs="+", default=[2048], choices=[2048, 4096])
+    _add_common(t5)
+
+    t6 = sub.add_parser("table6", help="Table 6 / Figures 13-14: V-Half")
+    t6.add_argument("--gpus", type=int, nargs="+", default=[16], choices=[16, 24, 32])
+    t6.add_argument("--seq", type=int, nargs="+", default=[2048], choices=[2048, 4096])
+    _add_common(t6)
+
+    ab = sub.add_parser("appendix-b", help="Appendix B: interlaced ablation")
+    _add_common(ab)
+
+    sc = sub.add_parser("schedules", help="ASCII schedule timelines (Figures 1/10)")
+    sc.add_argument("--devices", type=int, default=4)
+    sc.add_argument("--width", type=int, default=120)
+    sc.add_argument("--mode", choices=["type", "microbatch"], default="type")
+    _add_common(sc)
+
+    al = sub.add_parser("all", help="everything (several minutes)")
+    _add_common(al)
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "fig2": _cmd_fig2,
+        "fig3": _cmd_fig3,
+        "table3": _cmd_table3,
+        "table5": _cmd_table5,
+        "table6": _cmd_table6,
+        "appendix-b": _cmd_appendix_b,
+        "schedules": _cmd_schedules,
+        "all": _cmd_all,
+    }
+    handlers[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,219 @@
+"""Run one method on one setting: the paper's §6 measurement pipeline.
+
+For each method the runner (1) profiles pass durations from the cost
+model (the paper's §6.1 profiling step), (2) generates the schedule
+from its building block, (3) refines the order through a
+work-conserving simulation pass, (4) executes in-order, and (5) reports
+MFU, peak memory, balance and bubble metrics.  OOM configurations are
+reported with ``oom=True`` rather than being dropped, so sweeps can
+mark them the way the paper's figures do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import ModelConfig, ParallelConfig, layers_per_stage
+from repro.costmodel.memory import GiB, MemoryModel
+from repro.costmodel.mfu import mfu
+from repro.scheduling import (
+    Schedule,
+    generate_1f1b,
+    generate_1f1b_vocab,
+    generate_interlaced,
+    generate_vhalf,
+    generate_vhalf_vocab,
+    redistribute_layers,
+)
+from repro.sim import (
+    PassTimings,
+    RuntimeModel,
+    SimulationSetup,
+    execute_schedule,
+    memory_report,
+    refine_schedule_order,
+)
+
+#: All method names understood by :func:`run_method`.
+KNOWN_METHODS = (
+    "baseline",
+    "redis",
+    "vocab-1",
+    "vocab-2",
+    "interlaced",
+    "vhalf-baseline",
+    "vhalf-vocab-1",
+    "vhalf-vocab-2",
+)
+
+
+@dataclass
+class MethodMetrics:
+    """Everything Tables 5/6 and Figures 11–14 report for one run."""
+
+    method: str
+    mfu: float
+    iteration_time: float
+    peak_memory_gb: float
+    per_device_peak_gb: list[float]
+    memory_spread_gb: float
+    mean_bubble: float
+    oom: bool
+
+    @property
+    def mfu_percent(self) -> float:
+        return 100.0 * self.mfu
+
+
+def build_schedule(
+    method: str, setup: SimulationSetup, refine: bool = True
+) -> Schedule:
+    """Generate (and optionally order-refine) the schedule for a method."""
+    model = setup.model
+    parallel = setup.parallel
+    p = parallel.pipeline_size
+    m = parallel.num_microbatches
+    timings = PassTimings(setup)
+    if method in ("baseline", "redis", "vocab-1", "vocab-2", "interlaced"):
+        per_stage = layers_per_stage(model, parallel)
+        t_f = timings.transformer_forward_time(per_stage)
+        t_b = timings.transformer_backward_time(per_stage, split_weight=False)
+        if method == "baseline":
+            schedule = generate_1f1b(
+                p, m, num_layers=model.num_layers, t_forward=t_f, t_backward=t_b
+            )
+        elif method == "redis":
+            plan = redistribute_layers(model, p, parallel.microbatch_size)
+            schedule = generate_1f1b(
+                p,
+                m,
+                layout=plan.layout(),
+                t_forward=t_f,
+                t_backward=t_b,
+                name="1f1b-redis",
+            )
+            schedule.metadata["redistribution"] = plan
+        elif method in ("vocab-1", "vocab-2"):
+            algorithm = 1 if method == "vocab-1" else 2
+            schedule = generate_1f1b_vocab(
+                p,
+                m,
+                model.num_layers,
+                algorithm,
+                t_forward=t_f,
+                t_backward=t_b,
+                t_s=timings.s_pass_time(algorithm),
+                t_t=timings.t_pass_time(algorithm),
+            )
+        else:
+            schedule = generate_interlaced(
+                p,
+                m,
+                model.num_layers,
+                t_forward=t_f,
+                t_backward=t_b,
+                t_vf=timings.interlaced_vf_time(),
+                t_vb=timings.interlaced_vb_time(),
+            )
+    elif method in ("vhalf-baseline", "vhalf-vocab-1", "vhalf-vocab-2"):
+        if model.num_layers % (2 * p) != 0:
+            raise ValueError(
+                f"V-Half needs layers divisible by 2p; got {model.num_layers}, p={p}"
+            )
+        per_chunk = model.num_layers // (2 * p)
+        f_c = timings.transformer_forward_time(per_chunk)
+        b_c = timings.transformer_backward_time(per_chunk, split_weight=True)
+        w_c = timings.transformer_weight_time(per_chunk)
+        if method == "vhalf-baseline":
+            schedule = generate_vhalf(
+                p,
+                m,
+                model.num_layers,
+                t_forward_chunk=f_c,
+                t_backward_chunk=b_c,
+                t_weight_chunk=w_c,
+            )
+        else:
+            algorithm = 1 if method == "vhalf-vocab-1" else 2
+            schedule = generate_vhalf_vocab(
+                p,
+                m,
+                model.num_layers,
+                algorithm=algorithm,
+                t_forward_chunk=f_c,
+                t_backward_chunk=b_c,
+                t_weight_chunk=w_c,
+                t_s=timings.s_pass_time(algorithm),
+                t_t=timings.t_pass_time(algorithm),
+            )
+    else:
+        raise ValueError(f"unknown method {method!r}; expected one of {KNOWN_METHODS}")
+    # Baseline/Redis orders are the canonical 1F1B already; the
+    # interlaced schedule is a rigid synchronous design (Figure 15b)
+    # with nothing flexible to reorder.  The Vocabulary Parallelism
+    # schedules profit from the profiling-style refinement; the V-Half
+    # family additionally allows F/B reordering (zero-bubble design).
+    if refine and (schedule.vocab_algorithm is not None or schedule.has_weight_passes):
+        runtime = RuntimeModel(setup, schedule)
+        mode = "zero-bubble" if schedule.has_weight_passes else "strict"
+        schedule = refine_schedule_order(schedule, runtime, mode=mode)
+    return schedule
+
+
+def run_method(
+    method: str,
+    model: ModelConfig,
+    parallel: ParallelConfig,
+    setup: SimulationSetup | None = None,
+    memory_model: MemoryModel | None = None,
+    refine: bool = True,
+) -> MethodMetrics:
+    """Simulate one method end-to-end and collect its metrics."""
+    setup = setup or SimulationSetup(model, parallel)
+    schedule = build_schedule(method, setup, refine=refine)
+    runtime = RuntimeModel(setup, schedule)
+    result = execute_schedule(schedule, runtime)
+    report = memory_report(result, setup, memory_model)
+    return MethodMetrics(
+        method=method,
+        mfu=mfu(model, parallel, setup.hardware, result.iteration_time),
+        iteration_time=result.iteration_time,
+        peak_memory_gb=report.peak / GiB,
+        per_device_peak_gb=[b / GiB for b in report.per_device_peak],
+        memory_spread_gb=report.spread / GiB,
+        mean_bubble=result.mean_bubble_fraction(),
+        oom=not report.fits(setup.hardware.memory_bytes),
+    )
+
+
+def vocab_scaling_factor(
+    model: ModelConfig,
+    pipeline_size: int,
+    layer: str,
+    algorithm: int | None = None,
+) -> float:
+    """Table 3's scaling factor relative to linear scaling, in [0, ~1].
+
+    ``layer`` is ``"output"`` (requires ``algorithm``) or ``"input"``.
+    The reference is the *unpartitioned* layer's time (the "original
+    throughput"); ideal linear scaling would make the per-device
+    partitioned time exactly ``1/p`` of it.
+    """
+    sharded = PassTimings(
+        SimulationSetup(model, ParallelConfig(pipeline_size=pipeline_size))
+    )
+    full = PassTimings(SimulationSetup(model, ParallelConfig(pipeline_size=1)))
+    if layer == "output":
+        if algorithm not in (1, 2):
+            raise ValueError("output scaling requires algorithm 1 or 2")
+        per_device = sharded.s_pass_time(algorithm) + sharded.t_pass_time(algorithm)
+        reference = full.full_output_forward_time() + full.full_output_backward_time()
+    elif layer == "input":
+        per_device = (
+            sharded.partitioned_input_forward_time()
+            + sharded.partitioned_input_backward_time()
+        )
+        reference = full.full_input_forward_time() + full.full_input_backward_time()
+    else:
+        raise ValueError(f"layer must be 'output' or 'input', got {layer!r}")
+    return reference / (pipeline_size * per_device)

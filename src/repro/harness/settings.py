@@ -1,0 +1,105 @@
+"""The paper's experiment settings (Tables 1 and 2) and related models.
+
+Table 1 (1F1B experiments)::
+
+    GPUs   8      16     32
+    size   ≈4B    ≈10B   ≈21B
+    layers 32     48     64
+    heads  24     32     40
+    hidden 3072   4096   5120
+
+Table 2 (V-Half experiments)::
+
+    GPUs   16     24     32
+    size   ≈7B    ≈16B   ≈30B
+    layers 32     48     64
+    heads  32     40     48
+    hidden 4096   5120   6144
+
+Both sweeps use sequence length 2048/4096, microbatch size 1, 128
+microbatches, vocabulary 32k–256k.
+"""
+
+from __future__ import annotations
+
+from repro.config import ModelConfig, ParallelConfig
+
+#: Vocabulary sweep of the evaluation (§6.2).
+VOCAB_SIZES: tuple[int, ...] = (32 * 1024, 64 * 1024, 128 * 1024, 256 * 1024)
+
+#: Sequence lengths of the evaluation.
+SEQ_LENGTHS: tuple[int, ...] = (2048, 4096)
+
+#: (layers, heads, hidden) per GPU count for the 1F1B sweep (Table 1).
+TABLE1_SHAPES: dict[int, tuple[int, int, int]] = {
+    8: (32, 24, 3072),
+    16: (48, 32, 4096),
+    32: (64, 40, 5120),
+}
+
+#: (layers, heads, hidden) per GPU count for the V-Half sweep (Table 2).
+TABLE2_SHAPES: dict[int, tuple[int, int, int]] = {
+    16: (32, 32, 4096),
+    24: (48, 40, 5120),
+    32: (64, 48, 6144),
+}
+
+#: Methods compared on the 1F1B schedule (§6.2).
+ONE_F_ONE_B_METHODS: tuple[str, ...] = (
+    "baseline",
+    "redis",
+    "vocab-1",
+    "vocab-2",
+    "interlaced",
+)
+
+#: Methods compared on the V-Half schedule (§6.4).
+VHALF_METHODS: tuple[str, ...] = ("vhalf-baseline", "vhalf-vocab-1")
+
+#: Gemma2-9B shape for Figure 2's ratio analysis (Team et al. 2024).
+GEMMA2_9B = ModelConfig(
+    num_layers=42,
+    hidden_size=3584,
+    num_attention_heads=16,
+    seq_length=4096,
+    vocab_size=256 * 1024,
+)
+
+
+def model_for_1f1b(gpus: int, seq_length: int, vocab_size: int) -> ModelConfig:
+    """Table 1 model for a GPU count / sequence length / vocabulary."""
+    if gpus not in TABLE1_SHAPES:
+        raise ValueError(f"1F1B experiments use {sorted(TABLE1_SHAPES)} GPUs, got {gpus}")
+    layers, heads, hidden = TABLE1_SHAPES[gpus]
+    return ModelConfig(
+        num_layers=layers,
+        hidden_size=hidden,
+        num_attention_heads=heads,
+        seq_length=seq_length,
+        vocab_size=vocab_size,
+    )
+
+
+def model_for_vhalf(gpus: int, seq_length: int, vocab_size: int) -> ModelConfig:
+    """Table 2 model for a GPU count / sequence length / vocabulary."""
+    if gpus not in TABLE2_SHAPES:
+        raise ValueError(
+            f"V-Half experiments use {sorted(TABLE2_SHAPES)} GPUs, got {gpus}"
+        )
+    layers, heads, hidden = TABLE2_SHAPES[gpus]
+    return ModelConfig(
+        num_layers=layers,
+        hidden_size=hidden,
+        num_attention_heads=heads,
+        seq_length=seq_length,
+        vocab_size=vocab_size,
+    )
+
+
+def parallel_for(gpus: int, num_microbatches: int = 128) -> ParallelConfig:
+    """The evaluation's ParallelConfig (microbatch size 1, m=128)."""
+    return ParallelConfig(
+        pipeline_size=gpus,
+        num_microbatches=num_microbatches,
+        microbatch_size=1,
+    )

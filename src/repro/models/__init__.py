@@ -1,0 +1,27 @@
+"""Tiny NumPy language models for the convergence check (Figure 17).
+
+The paper validates correctness by comparing loss curves of its
+vocabulary-parallel Megatron implementation against the original
+codebase (Appendix E).  The equivalent here:
+:class:`~repro.models.tiny_lm.TinyLM` is a small language model with a
+hand-written backward pass, and
+:class:`~repro.models.vocab_parallel_lm.VocabParallelLM` is the same
+model with its input and output embeddings partitioned across simulated
+pipeline ranks via :mod:`repro.vocab`.  Training both from identical
+initialization on the same synthetic corpus must (and does) produce
+matching loss curves to float tolerance.
+"""
+
+from repro.models.tiny_lm import TinyLM, TinyLMConfig
+from repro.models.vocab_parallel_lm import VocabParallelLM
+from repro.models.trainer import Adam, TrainResult, make_corpus, train
+
+__all__ = [
+    "TinyLM",
+    "TinyLMConfig",
+    "VocabParallelLM",
+    "Adam",
+    "TrainResult",
+    "train",
+    "make_corpus",
+]

@@ -1,0 +1,137 @@
+"""A tiny language model with a hand-written backward pass.
+
+Architecture: token embedding + learned positional embedding, a stack
+of residual tanh-MLP blocks (stand-ins for transformer layers — the
+vocabulary-parallel machinery under test never touches their innards),
+and an untied output projection with softmax cross-entropy.  Everything
+is float64 NumPy so the vocabulary-parallel variant can be compared to
+machine precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.vocab.reference import log_softmax, softmax
+
+
+@dataclass(frozen=True)
+class TinyLMConfig:
+    """Shape of the toy model.
+
+    ``padded_vocab_size`` lets callers construct the reference model on
+    the same padded vocabulary the partitioned variant uses, so the two
+    see identical softmax denominators.
+    """
+
+    vocab_size: int
+    hidden_size: int
+    num_blocks: int
+    seq_length: int
+    padded_vocab_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if min(self.vocab_size, self.hidden_size, self.num_blocks, self.seq_length) <= 0:
+            raise ValueError("all TinyLMConfig dimensions must be positive")
+        if self.padded_vocab_size is None:
+            object.__setattr__(self, "padded_vocab_size", self.vocab_size)
+        elif self.padded_vocab_size < self.vocab_size:
+            raise ValueError("padded_vocab_size must be >= vocab_size")
+
+
+def init_parameters(config: TinyLMConfig, seed: int = 0) -> dict[str, np.ndarray]:
+    """Gaussian init scaled 1/sqrt(h); shared by both model variants."""
+    rng = np.random.default_rng(seed)
+    h = config.hidden_size
+    v = config.padded_vocab_size
+    scale = 1.0 / np.sqrt(h)
+    params: dict[str, np.ndarray] = {
+        "embedding": rng.normal(0.0, scale, size=(v, h)),
+        "positional": rng.normal(0.0, scale, size=(config.seq_length, h)),
+        "output": rng.normal(0.0, scale, size=(v, h)),
+    }
+    for i in range(config.num_blocks):
+        params[f"block{i}.w1"] = rng.normal(0.0, scale, size=(h, 4 * h))
+        params[f"block{i}.b1"] = np.zeros(4 * h)
+        params[f"block{i}.w2"] = rng.normal(0.0, 0.5 * scale, size=(4 * h, h))
+        params[f"block{i}.b2"] = np.zeros(h)
+    return params
+
+
+class TinyLM:
+    """Reference (single-device) model: forward, loss and full backward."""
+
+    def __init__(self, config: TinyLMConfig, params: dict[str, np.ndarray] | None = None,
+                 seed: int = 0):
+        self.config = config
+        self.params = params if params is not None else init_parameters(config, seed)
+
+    # -- shared trunk -------------------------------------------------
+    def blocks_forward(
+        self, x: np.ndarray
+    ) -> tuple[np.ndarray, list[tuple[np.ndarray, np.ndarray]]]:
+        """Residual MLP stack; returns output and per-block caches."""
+        caches = []
+        for i in range(self.config.num_blocks):
+            w1, b1 = self.params[f"block{i}.w1"], self.params[f"block{i}.b1"]
+            w2, b2 = self.params[f"block{i}.w2"], self.params[f"block{i}.b2"]
+            z = np.tanh(x @ w1 + b1)
+            caches.append((x, z))
+            x = x + z @ w2 + b2
+        return x, caches
+
+    def blocks_backward(
+        self,
+        grad_out: np.ndarray,
+        caches: list[tuple[np.ndarray, np.ndarray]],
+        grads: dict[str, np.ndarray],
+    ) -> np.ndarray:
+        """Backward through the stack, filling ``grads``; returns dx."""
+        dy = grad_out
+        for i in reversed(range(self.config.num_blocks)):
+            x, z = caches[i]
+            w1 = self.params[f"block{i}.w1"]
+            w2 = self.params[f"block{i}.w2"]
+            dz = dy @ w2.T
+            da = dz * (1.0 - z * z)
+            grads[f"block{i}.w2"] = z.T @ dy
+            grads[f"block{i}.b2"] = dy.sum(axis=0)
+            grads[f"block{i}.w1"] = x.T @ da
+            grads[f"block{i}.b1"] = da.sum(axis=0)
+            dy = dy + da @ w1.T
+        return dy
+
+    def embed(self, tokens: np.ndarray) -> np.ndarray:
+        """Token + positional embedding for one ``[s]`` sequence batch."""
+        if tokens.shape[0] != self.config.seq_length:
+            raise ValueError(
+                f"expected {self.config.seq_length} tokens, got {tokens.shape[0]}"
+            )
+        return self.params["embedding"][tokens] + self.params["positional"]
+
+    # -- full step ----------------------------------------------------
+    def loss_and_grads(
+        self, tokens: np.ndarray, labels: np.ndarray
+    ) -> tuple[float, dict[str, np.ndarray]]:
+        """Mean cross-entropy and gradients for every parameter."""
+        n = tokens.shape[0]
+        x = self.embed(tokens)
+        x, caches = self.blocks_forward(x)
+        logits = x @ self.params["output"].T
+        logp = log_softmax(logits)
+        loss = float(-logp[np.arange(n), labels].mean())
+
+        grads: dict[str, np.ndarray] = {}
+        d_logits = softmax(logits)
+        d_logits[np.arange(n), labels] -= 1.0
+        d_logits /= n
+        grads["output"] = d_logits.T @ x
+        dx = d_logits @ self.params["output"]
+        dx = self.blocks_backward(dx, caches, grads)
+        grads["positional"] = dx.copy()
+        grad_embedding = np.zeros_like(self.params["embedding"])
+        np.add.at(grad_embedding, tokens, dx)
+        grads["embedding"] = grad_embedding
+        return loss, grads

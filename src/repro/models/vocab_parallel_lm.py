@@ -1,0 +1,136 @@
+"""TinyLM with vocabulary-parallel embeddings over simulated ranks.
+
+Exactly the model of :mod:`repro.models.tiny_lm`, but the input
+embedding goes through :class:`repro.vocab.VocabParallelEmbedding`
+(shard gather + all-reduce) and the output layer through one of the
+partitioned implementations (naïve / Algorithm 1 / Algorithm 2).  The
+transformer-stand-in blocks are untouched — as in the paper, where
+vocabulary parallelism changes nothing about the transformer layers.
+
+Because the simulated collectives compute exact sums, training this
+model and the reference from the same initialization yields loss curves
+equal to float tolerance — the reproduction of Figure 17 / Appendix E.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.tiny_lm import TinyLM, TinyLMConfig, init_parameters
+from repro.vocab import (
+    NaiveOutputLayer,
+    OutputLayerAlg1,
+    OutputLayerAlg2,
+    VocabParallelEmbedding,
+    VocabPartition,
+)
+
+_OUTPUT_IMPLEMENTATIONS = {
+    "naive": NaiveOutputLayer,
+    "alg1": OutputLayerAlg1,
+    "alg2": OutputLayerAlg2,
+}
+
+
+class VocabParallelLM:
+    """Vocabulary-parallel TinyLM over ``num_ranks`` simulated devices."""
+
+    def __init__(
+        self,
+        config: TinyLMConfig,
+        num_ranks: int,
+        algorithm: str = "alg2",
+        params: dict[str, np.ndarray] | None = None,
+        seed: int = 0,
+    ):
+        if algorithm not in _OUTPUT_IMPLEMENTATIONS:
+            raise ValueError(
+                f"algorithm must be one of {sorted(_OUTPUT_IMPLEMENTATIONS)}, "
+                f"got {algorithm!r}"
+            )
+        self.partition = VocabPartition(config.vocab_size, num_ranks)
+        padded = self.partition.padded_size
+        # The reference model must pad identically for exact agreement.
+        self.config = TinyLMConfig(
+            vocab_size=config.vocab_size,
+            hidden_size=config.hidden_size,
+            num_blocks=config.num_blocks,
+            seq_length=config.seq_length,
+            padded_vocab_size=padded,
+        )
+        base = params if params is not None else init_parameters(self.config, seed)
+        if base["embedding"].shape[0] != padded:
+            raise ValueError(
+                f"parameters built for vocab {base['embedding'].shape[0]}, "
+                f"expected padded size {padded}"
+            )
+        self.algorithm = algorithm
+        # Blocks + positional stay dense; embeddings live as shards.
+        self.trunk = TinyLM(self.config, params=base)
+        self.embedding_shards = [
+            shard.copy() for shard in np.split(base["embedding"], num_ranks, axis=0)
+        ]
+        self.output_shards = [
+            shard.copy() for shard in np.split(base["output"], num_ranks, axis=0)
+        ]
+
+    @property
+    def num_ranks(self) -> int:
+        return self.partition.num_shards
+
+    def _input_layer(self) -> VocabParallelEmbedding:
+        return VocabParallelEmbedding(self.partition, self.embedding_shards)
+
+    def _output_layer(self):
+        cls = _OUTPUT_IMPLEMENTATIONS[self.algorithm]
+        return cls(self.partition, self.output_shards)
+
+    def loss_and_grads(
+        self, tokens: np.ndarray, labels: np.ndarray
+    ) -> tuple[float, dict[str, np.ndarray]]:
+        """Mean cross-entropy and gradients, embeddings as full tensors.
+
+        Gradient keys match :meth:`TinyLM.loss_and_grads`, with the
+        embedding gradients assembled from the rank shards (the trainer
+        splits them back when updating; keeping the dict interface
+        identical lets one optimizer implementation serve both models).
+        """
+        n = tokens.shape[0]
+        input_layer = self._input_layer()
+        x_embed, _ = input_layer.forward(tokens)
+        x = x_embed + self.trunk.params["positional"]
+        x, caches = self.trunk.blocks_forward(x)
+
+        output_layer = self._output_layer()
+        result = output_layer.run(x, labels, grad_scale=1.0 / n)
+        loss = float(result.losses.mean())
+
+        grads: dict[str, np.ndarray] = {}
+        grads["output"] = np.concatenate(result.grad_weight_shards, axis=0)
+        dx = self.trunk.blocks_backward(result.grad_input, caches, grads)
+        grads["positional"] = dx.copy()
+        shard_grads, _ = input_layer.backward(tokens, dx)
+        grads["embedding"] = np.concatenate(shard_grads, axis=0)
+        return loss, grads
+
+    # -- parameter plumbing for the trainer ----------------------------
+    @property
+    def params(self) -> dict[str, np.ndarray]:
+        """Dense view of all parameters (embeddings re-assembled)."""
+        dense = dict(self.trunk.params)
+        dense["embedding"] = np.concatenate(self.embedding_shards, axis=0)
+        dense["output"] = np.concatenate(self.output_shards, axis=0)
+        return dense
+
+    def apply_update(self, name: str, new_value: np.ndarray) -> None:
+        """Write back an updated parameter, re-sharding embeddings."""
+        if name == "embedding":
+            self.embedding_shards = [
+                s.copy() for s in np.split(new_value, self.num_ranks, axis=0)
+            ]
+        elif name == "output":
+            self.output_shards = [
+                s.copy() for s in np.split(new_value, self.num_ranks, axis=0)
+            ]
+        else:
+            self.trunk.params[name] = new_value

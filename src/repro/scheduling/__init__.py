@@ -1,0 +1,57 @@
+"""Pipeline schedules and the building-block construction framework.
+
+A :class:`~repro.scheduling.schedule.Schedule` is a per-device ordered
+list of :class:`~repro.scheduling.passes.Pass` objects plus a
+:class:`~repro.scheduling.schedule.StageLayout` describing which model
+stage each (device, chunk) hosts and where the vocabulary layers live.
+
+Schedules are *constructed* the way the paper does (§5.2): a
+:class:`~repro.scheduling.building_block.BuildingBlock` assigns each
+pass stream a time offset inside a repeating interval; uniformly
+repeating the block for every microbatch and sorting per device yields
+the execution order, warmup and cooldown included.  The discrete-event
+executor (:mod:`repro.sim`) then computes realistic timings from pass
+durations and dependencies.
+
+Generators:
+
+* :func:`~repro.scheduling.onefoneb.generate_1f1b` — classic 1F1B
+  (baseline and, with a redistributed layout, "Redis");
+* :func:`~repro.scheduling.onefoneb.generate_1f1b_vocab` — 1F1B with
+  Vocabulary Parallelism (Algorithm 1 or 2, Figure 10);
+* :func:`~repro.scheduling.interlaced.generate_interlaced` — the
+  synchronous interlaced pipeline of nnScaler (Figure 15b);
+* :func:`~repro.scheduling.vhalf.generate_vhalf` /
+  :func:`~repro.scheduling.vhalf.generate_vhalf_vocab` — the V-Half
+  memory-balanced schedule and its Vocab-1 integration (Appendix D).
+"""
+
+from repro.scheduling.passes import CollectiveKind, Pass, PassType
+from repro.scheduling.schedule import Schedule, StageLayout
+from repro.scheduling.building_block import BuildingBlock, PassSlot
+from repro.scheduling.onefoneb import generate_1f1b, generate_1f1b_vocab
+from repro.scheduling.interlaced import generate_interlaced
+from repro.scheduling.vhalf import generate_vhalf, generate_vhalf_vocab
+from repro.scheduling.redistribution import (
+    RedistributionPlan,
+    redistribute_layers,
+    uniform_layout,
+)
+
+__all__ = [
+    "PassType",
+    "Pass",
+    "CollectiveKind",
+    "Schedule",
+    "StageLayout",
+    "BuildingBlock",
+    "PassSlot",
+    "generate_1f1b",
+    "generate_1f1b_vocab",
+    "generate_interlaced",
+    "generate_vhalf",
+    "generate_vhalf_vocab",
+    "RedistributionPlan",
+    "redistribute_layers",
+    "uniform_layout",
+]

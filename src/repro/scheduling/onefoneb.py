@@ -1,0 +1,174 @@
+"""1F1B schedules: baseline, Redis layout, and Vocabulary Parallelism.
+
+The baseline block is the classic one-forward-one-backward steady
+state: device ``d`` runs ``F_j`` at ``d·tF`` and ``B_j`` at
+``(d+1)·tF + (p-1-d)·I`` with ``I = tF + tB`` — both dependency-tight
+(each equality is exactly the P2P dependency) and conflict-free modulo
+the interval, so device 0's peak activation count is exactly ``p``
+microbatches (lifespan ``p·I``).
+
+The Vocabulary Parallelism variants follow the paper's §5.2 recipe
+literally: push every B stream ``k`` intervals later, where ``k`` is
+the algorithm's number of communication barriers (2 for Algorithm 1, 1
+for Algorithm 2), and place the freed room's S and T slots right after
+the last stage's forward.  The interval grows to
+``tF + tB + tS + tT`` (the balanced per-device workload) and device
+0's activation count becomes exactly ``p + k`` — Figure 10's claim.
+
+Input-layer passes (Appendix C) ride along: IF one interval ahead of
+stage 0's F (leaving room for the assembling all-reduce), IB one
+interval behind stage 0's B (room for the gradient broadcast).
+"""
+
+from __future__ import annotations
+
+from repro.scheduling.building_block import BuildingBlock, PassSlot
+from repro.scheduling.passes import PassType
+from repro.scheduling.schedule import Schedule, StageLayout
+from repro.scheduling.redistribution import uniform_layout
+
+
+def build_1f1b_block(
+    num_devices: int, t_forward: float = 1.0, t_backward: float = 2.0
+) -> BuildingBlock:
+    """The classic 1F1B building block (Figure 15a)."""
+    if num_devices <= 0:
+        raise ValueError(f"num_devices must be positive, got {num_devices}")
+    interval = t_forward + t_backward
+    slots = []
+    for d in range(num_devices):
+        f_offset = d * t_forward
+        b_offset = (d + 1) * t_forward + (num_devices - 1 - d) * interval
+        slots.append(
+            (
+                PassSlot(PassType.F, 0, f_offset, t_forward),
+                PassSlot(PassType.B, 0, b_offset, t_backward),
+            )
+        )
+    return BuildingBlock(num_devices, interval, tuple(slots))
+
+
+def build_1f1b_vocab_block(
+    num_devices: int,
+    algorithm: int,
+    t_forward: float = 1.0,
+    t_backward: float = 2.0,
+    t_s: float = 0.5,
+    t_t: float = 0.5,
+    include_input: bool = True,
+    t_input: float = 0.05,
+) -> BuildingBlock:
+    """1F1B block with S/T (and IF/IB) vocabulary passes inserted (Fig. 9).
+
+    ``algorithm`` selects the barrier count ``k`` (1 → k=2, 2 → k=1);
+    every B stream shifts ``k`` intervals later, raising device 0's
+    peak activation from ``p`` to ``p + k`` microbatches.
+    """
+    if algorithm not in (1, 2):
+        raise ValueError(f"algorithm must be 1 or 2, got {algorithm}")
+    if num_devices <= 0:
+        raise ValueError(f"num_devices must be positive, got {num_devices}")
+    barriers = 2 if algorithm == 1 else 1
+    interval = t_forward + t_backward + t_s + t_t
+    slack = 0.05 * interval
+    p = num_devices
+    last_f_end = p * t_forward
+    s_offset = last_f_end + slack                   # after last-stage F + C0 room
+    # T one full interval later: C1 waits for the *slowest* device's S,
+    # and device phases are staggered by the F wave — a same-interval T
+    # would stall every interval.  One interval of slack absorbs the
+    # spread for free (T still fits the repeating pattern).
+    t_offset = s_offset + t_s + slack + interval
+    slots = []
+    for d in range(p):
+        f_offset = d * t_forward
+        b_offset = (d + 1) * t_forward + (p - 1 - d + barriers) * interval
+        device_slots = [
+            PassSlot(PassType.F, 0, f_offset, t_forward),
+            PassSlot(PassType.S, 0, s_offset, t_s),
+            PassSlot(PassType.T, 0, t_offset, t_t),
+            PassSlot(PassType.B, 0, b_offset, t_backward),
+        ]
+        if include_input:
+            # IF one interval before stage 0's F_j (j·I): room for the
+            # input all-reduce; IB one interval after stage 0's B.
+            stage0_b_end = t_forward + (p - 1 + barriers) * interval + t_backward
+            device_slots.append(
+                PassSlot(PassType.IF, 0, -0.3 * interval - t_input, t_input)
+            )
+            device_slots.append(
+                PassSlot(PassType.IB, 0, stage0_b_end + 0.3 * interval, t_input)
+            )
+        slots.append(tuple(device_slots))
+    return BuildingBlock(p, interval, tuple(slots))
+
+
+def generate_1f1b(
+    num_devices: int,
+    num_microbatches: int,
+    num_layers: int | None = None,
+    layout: StageLayout | None = None,
+    t_forward: float = 1.0,
+    t_backward: float = 2.0,
+    name: str = "1f1b",
+) -> Schedule:
+    """Classic 1F1B schedule over a baseline or redistributed layout.
+
+    Pass either ``num_layers`` (uniform layout, vocab layers on the end
+    stages — the paper's Baseline) or an explicit ``layout`` (e.g. from
+    :func:`~repro.scheduling.redistribution.redistribute_layers` for
+    Redis).
+    """
+    if layout is None:
+        if num_layers is None:
+            raise ValueError("provide num_layers or layout")
+        layout = uniform_layout(num_devices, num_layers, num_chunks=1)
+    if layout.num_devices != num_devices or layout.num_chunks != 1:
+        raise ValueError("layout must be single-chunk over num_devices")
+    block = build_1f1b_block(num_devices, t_forward, t_backward)
+    schedule = Schedule(
+        name=name,
+        num_microbatches=num_microbatches,
+        layout=layout,
+        device_orders=block.unroll(num_microbatches),
+        metadata={"building_block": block},
+    )
+    schedule.validate()
+    return schedule
+
+
+def generate_1f1b_vocab(
+    num_devices: int,
+    num_microbatches: int,
+    num_layers: int,
+    algorithm: int,
+    include_input: bool = True,
+    t_forward: float = 1.0,
+    t_backward: float = 2.0,
+    t_s: float = 0.5,
+    t_t: float = 0.5,
+) -> Schedule:
+    """1F1B with Vocabulary Parallelism (the paper's Vocab-1 / Vocab-2)."""
+    layout = uniform_layout(
+        num_devices, num_layers, num_chunks=1, vocab_parallel=True
+    )
+    block = build_1f1b_vocab_block(
+        num_devices,
+        algorithm,
+        t_forward=t_forward,
+        t_backward=t_backward,
+        t_s=t_s,
+        t_t=t_t,
+        include_input=include_input,
+    )
+    schedule = Schedule(
+        name=f"1f1b-vocab-{algorithm}",
+        num_microbatches=num_microbatches,
+        layout=layout,
+        device_orders=block.unroll(num_microbatches),
+        vocab_algorithm=algorithm,
+        has_input_passes=include_input,
+        metadata={"building_block": block},
+    )
+    schedule.validate()
+    return schedule

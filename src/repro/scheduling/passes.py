@@ -1,0 +1,91 @@
+"""Pass and collective vocabulary for pipeline schedules.
+
+A *pass* is the unit the paper schedules: a contiguous block of
+computation for one microbatch on one device.  Transformer stages
+contribute F (forward), B (backward) and optionally W (weight-gradient,
+when the schedule splits backward zero-bubble style, as V-Half does).
+Vocabulary Parallelism adds S and T (output layer, §4), IF and IB
+(input layer, Appendix C).  The interlaced baseline adds VF and VB —
+tensor-parallel vocabulary segments executed synchronously on *all*
+devices.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class PassType(enum.Enum):
+    """Kinds of compute passes a device's stream can execute."""
+
+    F = "F"    #: transformer-stage forward
+    B = "B"    #: transformer-stage backward (activation + weight grads unless W is split out)
+    W = "W"    #: weight-gradient half of backward (zero-bubble split)
+    S = "S"    #: output-layer forward-side pass (partitioned vocabulary)
+    T = "T"    #: output-layer weight-gradient pass (partitioned vocabulary)
+    IF = "IF"  #: input-layer forward (partitioned vocabulary)
+    IB = "IB"  #: input-layer backward (partitioned vocabulary)
+    VF = "VF"  #: interlaced synchronous vocabulary forward segment
+    VB = "VB"  #: interlaced synchronous vocabulary backward segment
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Pass types that run on every device for the same microbatch (the
+#: partitioned vocabulary work), as opposed to stage-local F/B/W.
+REPLICATED_TYPES = frozenset(
+    {PassType.S, PassType.T, PassType.IF, PassType.IB, PassType.VF, PassType.VB}
+)
+
+#: Pass types executed as a single synchronized segment across devices.
+SYNCHRONOUS_TYPES = frozenset({PassType.VF, PassType.VB})
+
+
+@dataclass(frozen=True, order=True)
+class Pass:
+    """One schedulable unit: ``type`` for ``microbatch`` on ``device``.
+
+    ``chunk`` selects the virtual-pipeline chunk for F/B/W (V-Half has
+    two chunks per device; 1F1B has one).  Replicated vocabulary passes
+    always use chunk 0.
+    """
+
+    type: PassType
+    microbatch: int
+    device: int
+    chunk: int = 0
+
+    def __post_init__(self) -> None:
+        if self.microbatch < 0:
+            raise ValueError(f"microbatch must be non-negative, got {self.microbatch}")
+        if self.device < 0:
+            raise ValueError(f"device must be non-negative, got {self.device}")
+        if self.chunk < 0:
+            raise ValueError(f"chunk must be non-negative, got {self.chunk}")
+        if self.chunk != 0 and self.type in REPLICATED_TYPES:
+            raise ValueError(f"{self.type} passes must use chunk 0, got {self.chunk}")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        chunk = f".{self.chunk}" if self.chunk else ""
+        return f"{self.type.value}{chunk}[{self.microbatch}]@{self.device}"
+
+
+class CollectiveKind(enum.Enum):
+    """Cross-device communication operations the executor materializes.
+
+    Each kind gets its own logical communicator (separate CUDA stream /
+    NCCL communicator in the paper's implementation), so operations of
+    different kinds never head-of-line block each other; within a kind,
+    microbatch order is preserved on every rank, as NCCL requires.
+    """
+
+    C0_BROADCAST = "C0"       #: broadcast X from the last stage (output layer input)
+    C1_STATS = "C1"           #: softmax-statistics all-reduce(s) (+ ∇X reduce in Alg2)
+    C2_GRAD_REDUCE = "C2"     #: ∇X reduce (naïve / Algorithm 1 only)
+    INPUT_ALLREDUCE = "IAR"   #: assemble the input-layer output on stage 0
+    INPUT_BROADCAST = "IBC"   #: broadcast the input-layer output gradient
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

@@ -1,0 +1,190 @@
+"""Transformer-layer redistribution — the paper's "Redis" baseline (§2, §6.2).
+
+DeepSpeed-style rebalancing assigns *contiguous* groups of transformer
+layers to pipeline stages so that the longest stage (by estimated
+FLOPs, following Narayanan et al.'s derivation) is as short as
+possible, given that stage 0 additionally computes the input layer and
+stage ``p-1`` the output layer.  We solve this exactly with a binary
+search over the bottleneck cost and a greedy feasibility check —
+optimal for the contiguous-partition bottleneck objective.
+
+The paper's Figure 3 and §6.3 document why this loses to Vocabulary
+Parallelism: layer granularity is coarse (at 128k+ vocabularies the
+output layer alone outweighs a whole uniform stage), and rebalancing by
+compute leaves parameter memory imbalanced (the input layer costs
+almost no FLOPs but ``2hV`` bytes).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.config import ModelConfig
+from repro.costmodel.flops import (
+    input_layer_flops,
+    output_layer_flops,
+    transformer_layer_flops,
+)
+from repro.scheduling.schedule import StageLayout
+
+
+def uniform_layout(
+    num_devices: int,
+    num_layers: int,
+    num_chunks: int = 1,
+    vocab_parallel: bool = False,
+) -> StageLayout:
+    """Evenly distribute transformer layers; vocab layers at the ends.
+
+    With one chunk, stage 0 holds the input layer and stage ``p-1`` the
+    output layer (unless ``vocab_parallel``).  With two chunks (V-Half)
+    the output layer lands on stage ``2p-1`` — device 0's second chunk,
+    which is what makes the V-Half baseline's device 0 so overloaded in
+    Table 6.
+    """
+    num_stages = num_devices * num_chunks
+    if num_layers % num_stages != 0:
+        raise ValueError(
+            f"num_layers={num_layers} not divisible by {num_stages} stages"
+        )
+    per_stage = num_layers // num_stages
+    layers = tuple(
+        tuple(per_stage for _ in range(num_chunks)) for _ in range(num_devices)
+    )
+    if vocab_parallel:
+        return StageLayout(num_devices, layers, vocab_parallel=True)
+    # holder_of_stage reports (device, chunk) for the first/last stages.
+    probe = StageLayout(
+        num_devices, layers, vocab_parallel=False,
+        input_holder=(0, 0), output_holder=(0, 0),
+    )
+    return StageLayout(
+        num_devices,
+        layers,
+        vocab_parallel=False,
+        input_holder=probe.holder_of_stage(0),
+        output_holder=probe.holder_of_stage(num_stages - 1),
+    )
+
+
+@dataclass(frozen=True)
+class RedistributionPlan:
+    """Outcome of layer rebalancing.
+
+    Attributes
+    ----------
+    layers_per_stage:
+        Transformer layers assigned to each of the ``p`` stages.
+    stage_costs:
+        Estimated FLOPs of each stage including its vocabulary layer.
+    bottleneck:
+        ``max(stage_costs)`` — the pipeline's per-microbatch critical
+        stage time up to a constant.
+    """
+
+    layers_per_stage: tuple[int, ...]
+    stage_costs: tuple[float, ...]
+
+    @property
+    def bottleneck(self) -> float:
+        return max(self.stage_costs)
+
+    def layout(self) -> StageLayout:
+        """Single-chunk StageLayout with vocab layers on the end stages."""
+        p = len(self.layers_per_stage)
+        layers = tuple((count,) for count in self.layers_per_stage)
+        return StageLayout(
+            p,
+            layers,
+            vocab_parallel=False,
+            input_holder=(0, 0),
+            output_holder=(p - 1, 0),
+        )
+
+
+def redistribute_layers(
+    model: ModelConfig,
+    num_devices: int,
+    microbatch_size: int = 1,
+) -> RedistributionPlan:
+    """Optimal contiguous layer split minimizing the longest stage.
+
+    Costs follow the Table 4 FLOPs estimates (forward + backward).  The
+    split is feasibility-checked greedily for each candidate bottleneck
+    from the sorted set of achievable stage costs; with ≤ 64 layers and
+    ≤ 32 stages exhaustive binary search is instant.
+    """
+    if num_devices <= 0:
+        raise ValueError(f"num_devices must be positive, got {num_devices}")
+    t_layer = transformer_layer_flops(model, microbatch_size).total
+    t_input = input_layer_flops(model, microbatch_size).total
+    t_output = output_layer_flops(model, microbatch_size).total
+
+    def stage_cost(stage: int, layers: int) -> float:
+        cost = layers * t_layer
+        if stage == 0:
+            cost += t_input
+        if stage == num_devices - 1:
+            cost += t_output
+        return cost
+
+    def feasible(limit: float) -> tuple[int, ...] | None:
+        """Layer assignment with every stage cost ≤ ``limit``, or None.
+
+        All transformer layers cost the same, so feasibility is just
+        ``sum(per-stage capacity) ≥ L``; the concrete assignment then
+        water-fills, repeatedly giving a layer to the currently
+        cheapest stage with spare capacity (stages may end up with zero
+        layers — at 256k vocabularies the output stage is already the
+        bottleneck empty, exactly the failure mode Figure 3 shows).
+        """
+        eps = 1e-9 * max(limit, 1.0)
+        caps = []
+        for stage in range(num_devices):
+            extra = stage_cost(stage, 0)
+            if extra > limit + eps:
+                return None
+            caps.append(int((limit + eps - extra) // t_layer))
+        if sum(caps) < model.num_layers:
+            return None
+        counts = [0] * num_devices
+        # Tie-break toward *later* stages: they hold fewer in-flight
+        # microbatches under 1F1B, so parking the extra layers there
+        # keeps the peak-memory device unchanged (the paper's measured
+        # Redis peak memory equals the baseline's).
+        heap = [
+            (stage_cost(s, 0), num_devices - s, s)
+            for s in range(num_devices)
+            if caps[s] > 0
+        ]
+        heapq.heapify(heap)
+        for _ in range(model.num_layers):
+            cost, order, s = heapq.heappop(heap)
+            counts[s] += 1
+            if counts[s] < caps[s]:
+                heapq.heappush(heap, (cost + t_layer, order, s))
+        return tuple(counts)
+
+    # Candidate bottlenecks: every (stage, layer-count) cost.
+    candidates = sorted(
+        {
+            stage_cost(stage, layers)
+            for stage in range(num_devices)
+            for layers in range(1, model.num_layers + 1)
+        }
+    )
+    lo, hi = 0, len(candidates) - 1
+    best: tuple[int, ...] | None = None
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        counts = feasible(candidates[mid])
+        if counts is not None:
+            best = counts
+            hi = mid - 1
+        else:
+            lo = mid + 1
+    if best is None:
+        raise RuntimeError("no feasible redistribution found")
+    costs = tuple(stage_cost(s, c) for s, c in enumerate(best))
+    return RedistributionPlan(layers_per_stage=best, stage_costs=costs)

@@ -1,0 +1,247 @@
+"""Schedule and stage-layout containers.
+
+A :class:`StageLayout` describes the *spatial* decomposition: which
+pipeline stage each (device, chunk) pair hosts, how many transformer
+layers each stage holds, and where the vocabulary layers live (on a
+single stage for the baseline/Redis schedules, or partitioned across
+all devices for Vocabulary Parallelism and the interlaced pipeline).
+
+A :class:`Schedule` adds the *temporal* side: per-device ordered pass
+lists.  ``validate()`` performs the structural checks that do not need
+timing — exact pass multiset, per-stream monotone microbatch order, and
+basic dependency sanity; the discrete-event executor catches anything
+order-related (a schedule whose order is infeasible deadlocks there).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.scheduling.passes import (
+    Pass,
+    PassType,
+    REPLICATED_TYPES,
+)
+
+
+@dataclass(frozen=True)
+class StageLayout:
+    """Spatial layout of model stages onto devices and chunks.
+
+    Attributes
+    ----------
+    num_devices:
+        Pipeline devices ``p``.
+    transformer_layers:
+        ``transformer_layers[device][chunk]`` = number of transformer
+        layers in that chunk's stage.
+    vocab_parallel:
+        True when the vocabulary layers are partitioned across all
+        devices (Vocabulary Parallelism and interlaced); False when the
+        input/output layers sit on single stages (baseline / Redis).
+    input_holder / output_holder:
+        ``(device, chunk)`` hosting the full input/output layer when
+        ``vocab_parallel`` is False; ignored otherwise.
+    """
+
+    num_devices: int
+    transformer_layers: tuple[tuple[int, ...], ...]
+    vocab_parallel: bool
+    input_holder: tuple[int, int] | None = None
+    output_holder: tuple[int, int] | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_devices <= 0:
+            raise ValueError(f"num_devices must be positive, got {self.num_devices}")
+        if len(self.transformer_layers) != self.num_devices:
+            raise ValueError(
+                f"transformer_layers has {len(self.transformer_layers)} devices, "
+                f"expected {self.num_devices}"
+            )
+        chunks = len(self.transformer_layers[0])
+        for device, per_chunk in enumerate(self.transformer_layers):
+            if len(per_chunk) != chunks:
+                raise ValueError(
+                    f"device {device} has {len(per_chunk)} chunks, expected {chunks}"
+                )
+            for chunk, count in enumerate(per_chunk):
+                if count < 0:
+                    raise ValueError(
+                        f"negative layer count at device {device} chunk {chunk}"
+                    )
+        if not self.vocab_parallel:
+            if self.input_holder is None or self.output_holder is None:
+                raise ValueError(
+                    "non-vocab-parallel layouts must name input_holder and output_holder"
+                )
+            for name, holder in (("input", self.input_holder), ("output", self.output_holder)):
+                device, chunk = holder
+                if not (0 <= device < self.num_devices and 0 <= chunk < chunks):
+                    raise ValueError(f"{name}_holder {holder} out of range")
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self.transformer_layers[0])
+
+    @property
+    def num_stages(self) -> int:
+        return self.num_devices * self.num_chunks
+
+    @property
+    def total_layers(self) -> int:
+        return sum(sum(per_chunk) for per_chunk in self.transformer_layers)
+
+    def stage_of(self, device: int, chunk: int) -> int:
+        """Pipeline stage index of (device, chunk), V-shape for 2 chunks.
+
+        Chunk 0 maps to stage ``device``; chunk 1 maps to stage
+        ``2p - 1 - device`` (the V-shape placement of Qi et al.).
+        """
+        self._check(device, chunk)
+        if chunk % 2 == 0:
+            return chunk * self.num_devices + device
+        return (chunk + 1) * self.num_devices - 1 - device
+
+    def holder_of_stage(self, stage: int) -> tuple[int, int]:
+        """Inverse of :meth:`stage_of`: (device, chunk) hosting ``stage``."""
+        if not 0 <= stage < self.num_stages:
+            raise ValueError(f"stage {stage} out of range [0, {self.num_stages})")
+        chunk = stage // self.num_devices
+        offset = stage % self.num_devices
+        if chunk % 2 == 0:
+            return offset, chunk
+        return self.num_devices - 1 - offset, chunk
+
+    def layers_of_stage(self, stage: int) -> int:
+        device, chunk = self.holder_of_stage(stage)
+        return self.transformer_layers[device][chunk]
+
+    def hosts_input(self, device: int, chunk: int) -> bool:
+        """Whether this (device, chunk) holds the full input layer."""
+        return not self.vocab_parallel and self.input_holder == (device, chunk)
+
+    def hosts_output(self, device: int, chunk: int) -> bool:
+        """Whether this (device, chunk) holds the full output layer."""
+        return not self.vocab_parallel and self.output_holder == (device, chunk)
+
+    def _check(self, device: int, chunk: int) -> None:
+        if not 0 <= device < self.num_devices:
+            raise ValueError(f"device {device} out of range [0, {self.num_devices})")
+        if not 0 <= chunk < self.num_chunks:
+            raise ValueError(f"chunk {chunk} out of range [0, {self.num_chunks})")
+
+
+@dataclass
+class Schedule:
+    """A complete pipeline schedule: layout plus per-device pass orders.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (used in traces and reports).
+    num_microbatches:
+        Microbatches per iteration ``m``.
+    layout:
+        The spatial stage layout.
+    device_orders:
+        ``device_orders[d]`` is the execution order of device ``d``'s
+        compute stream.
+    vocab_algorithm:
+        ``None`` (no partitioned output passes), ``1`` or ``2`` —
+        controls which barriers the executor materializes and whether
+        the last stage's B depends on C1 (Alg2) or C2 (Alg1).
+    has_weight_passes:
+        True when B is split into B + W (V-Half).
+    has_input_passes:
+        True when IF/IB input-layer passes are scheduled.
+    interlaced:
+        True for the synchronous interlaced pipeline.
+    """
+
+    name: str
+    num_microbatches: int
+    layout: StageLayout
+    device_orders: list[list[Pass]]
+    vocab_algorithm: int | None = None
+    has_weight_passes: bool = False
+    has_input_passes: bool = False
+    interlaced: bool = False
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def num_devices(self) -> int:
+        return self.layout.num_devices
+
+    def passes_of(self, device: int, type_: PassType) -> list[Pass]:
+        """All passes of one type on one device, in execution order."""
+        return [p for p in self.device_orders[device] if p.type is type_]
+
+    def last_stage_holder(self) -> tuple[int, int]:
+        """(device, chunk) of the final transformer stage."""
+        return self.layout.holder_of_stage(self.layout.num_stages - 1)
+
+    def first_stage_holder(self) -> tuple[int, int]:
+        """(device, chunk) of the first transformer stage."""
+        return self.layout.holder_of_stage(0)
+
+    def validate(self) -> None:
+        """Structural validation; raises ``ValueError`` on any violation."""
+        if self.vocab_algorithm not in (None, 1, 2):
+            raise ValueError(f"vocab_algorithm must be None, 1 or 2: {self.vocab_algorithm}")
+        if len(self.device_orders) != self.num_devices:
+            raise ValueError(
+                f"{len(self.device_orders)} device orders for {self.num_devices} devices"
+            )
+        m = self.num_microbatches
+        expected_types: dict[PassType, bool] = {
+            PassType.F: True,
+            PassType.B: True,
+            PassType.W: self.has_weight_passes,
+            PassType.S: self.vocab_algorithm is not None,
+            PassType.T: self.vocab_algorithm is not None,
+            PassType.IF: self.has_input_passes,
+            PassType.IB: self.has_input_passes,
+            PassType.VF: self.interlaced,
+            PassType.VB: self.interlaced,
+        }
+        for device, order in enumerate(self.device_orders):
+            seen: set[Pass] = set()
+            for p in order:
+                if p.device != device:
+                    raise ValueError(f"pass {p} listed on device {device}")
+                if p in seen:
+                    raise ValueError(f"duplicate pass {p} on device {device}")
+                seen.add(p)
+                if not 0 <= p.microbatch < m:
+                    raise ValueError(f"pass {p} microbatch out of range [0, {m})")
+                if p.chunk >= self.layout.num_chunks and p.type not in REPLICATED_TYPES:
+                    raise ValueError(f"pass {p} chunk out of range")
+            # Every stream present exactly once per microbatch.
+            for type_, present in expected_types.items():
+                chunks = (
+                    range(self.layout.num_chunks)
+                    if type_ in (PassType.F, PassType.B, PassType.W)
+                    else [0]
+                )
+                for chunk in chunks:
+                    count = sum(
+                        1 for p in order if p.type is type_ and p.chunk == chunk
+                    )
+                    expected = m if present else 0
+                    if count != expected:
+                        raise ValueError(
+                            f"device {device}: {count} {type_}.{chunk} passes, "
+                            f"expected {expected}"
+                        )
+            # Microbatch order within each (type, chunk) stream is monotone.
+            for type_ in PassType:
+                for chunk in range(self.layout.num_chunks):
+                    stream = [
+                        p.microbatch
+                        for p in order
+                        if p.type is type_ and p.chunk == chunk
+                    ]
+                    if stream != sorted(stream):
+                        raise ValueError(
+                            f"device {device}: {type_}.{chunk} stream out of order"
+                        )

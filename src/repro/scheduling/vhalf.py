@@ -1,0 +1,207 @@
+"""V-Half schedules (Qi et al. 2024) and their Vocabulary Parallelism
+integration (paper §5.2, §6.4, Appendix D).
+
+V-Half places two *chunks* per device in a V shape — device ``d`` hosts
+stage ``d`` and stage ``2p-1-d`` — and splits backward into B
+(activation gradients) and W (weight gradients, zero-bubble style).
+The V placement makes every device's combined F→release lifespan equal,
+so activation memory is *uniform* across devices and roughly half of
+1F1B's device-0 peak: this is the "memory-balanced schedule" the paper
+pairs with Vocabulary Parallelism to reach full balance.
+
+Building block offsets: the forward wave visits the 2p stages at ``s·f``
+each; the backward wave returns at ``2p·f + (2p-1-s)·b``; W passes are
+packed greedily into the free room of the repeating interval (with the
+default equal durations, the interval tiles exactly).  The baseline's
+vocabulary layers sit on stage 0 (input) and stage ``2p-1`` (output) —
+*both on device 0*, which is why the V-Half baseline in Table 6 runs
+out of memory at large vocabularies while every other device idles.
+
+The Vocab-1 variant shifts both backward waves ``k`` intervals later
+(k = barrier count) and inserts S/T after the last stage's forward,
+exactly as for 1F1B; Figure 16 is this block drawn for k=2.
+"""
+
+from __future__ import annotations
+
+from repro.scheduling.building_block import BuildingBlock, PassSlot
+from repro.scheduling.passes import PassType
+from repro.scheduling.schedule import Schedule
+from repro.scheduling.redistribution import uniform_layout
+
+
+def _pack_w_offsets(
+    occupied: list[tuple[float, float]],
+    earliest: float,
+    duration: float,
+    interval: float,
+) -> float:
+    """Earliest offset ≥ ``earliest`` whose slot avoids ``occupied`` mod I.
+
+    ``occupied`` holds (offset, duration) pairs of already-placed slots.
+    Falls back to ``earliest`` itself when no clean gap fits — the
+    executor then simply serializes, costing nominal tightness but not
+    correctness.
+    """
+    taken = sorted(
+        ((start % interval), dur) for start, dur in occupied if dur > 0
+    )
+    # Build free gaps of the mod-interval circle.
+    gaps: list[tuple[float, float]] = []
+    cursor = 0.0
+    for start, dur in taken:
+        if start > cursor + 1e-12:
+            gaps.append((cursor, start))
+        cursor = max(cursor, start + dur)
+    if cursor < interval - 1e-12:
+        gaps.append((cursor, interval))
+    # Wrap-around gap merging (last gap touching interval end + first at 0).
+    best: float | None = None
+    for gap_start, gap_end in gaps:
+        if gap_end - gap_start + 1e-12 < duration:
+            continue
+        latest_start = gap_end - duration
+        # Smallest t ≥ earliest with (t mod interval) in [gap_start, latest_start].
+        base_mod = earliest % interval
+        if base_mod <= latest_start + 1e-12:
+            delta = max(gap_start - base_mod, 0.0)
+        else:
+            delta = interval - base_mod + gap_start
+        candidate = earliest + delta
+        if best is None or candidate < best:
+            best = candidate
+    return best if best is not None else earliest
+
+
+def build_vhalf_block(
+    num_devices: int,
+    t_forward_chunk: float = 0.5,
+    t_backward_chunk: float = 0.5,
+    t_weight_chunk: float = 0.5,
+    vocab_barriers: int = 0,
+    t_s: float = 0.0,
+    t_t: float = 0.0,
+    include_input: bool = False,
+    t_input: float = 0.05,
+) -> BuildingBlock:
+    """V-Half building block, optionally with vocabulary passes.
+
+    ``vocab_barriers`` = 0 reproduces the plain V-Half block; k ≥ 1
+    shifts the backward waves ``k`` intervals later and adds S/T slots
+    of the given durations (Appendix D, Figure 16).
+    """
+    if num_devices <= 0:
+        raise ValueError(f"num_devices must be positive, got {num_devices}")
+    if vocab_barriers < 0:
+        raise ValueError(f"vocab_barriers must be ≥ 0, got {vocab_barriers}")
+    p = num_devices
+    f, b, w = t_forward_chunk, t_backward_chunk, t_weight_chunk
+    interval = 2 * (f + b + w) + t_s + t_t
+    k = vocab_barriers
+    slack = 0.05 * interval
+    last_f_end = 2 * p * f
+    s_offset = last_f_end + slack
+    # One interval of slack between S and T so the C1 barrier (which
+    # waits for the slowest device's S) never stalls the steady state.
+    t_offset = s_offset + t_s + slack + interval
+    slots = []
+    for d in range(p):
+        fa = d * f
+        fb = (2 * p - 1 - d) * f
+        bb = 2 * p * f + d * b + k * interval
+        ba = 2 * p * f + (2 * p - 1 - d) * b + k * interval
+        device_slots = [
+            PassSlot(PassType.F, 0, fa, f),
+            PassSlot(PassType.F, 1, fb, f),
+            PassSlot(PassType.B, 1, bb, b),
+            PassSlot(PassType.B, 0, ba, b),
+        ]
+        occupied = [(fa, f), (fb, f), (bb, b), (ba, b)]
+        if k > 0:
+            device_slots.append(PassSlot(PassType.S, 0, s_offset, t_s))
+            device_slots.append(PassSlot(PassType.T, 0, t_offset, t_t))
+            occupied += [(s_offset, t_s), (t_offset, t_t)]
+        wb = _pack_w_offsets(occupied, bb + b, w, interval)
+        occupied.append((wb, w))
+        wa = _pack_w_offsets(occupied, ba + b, w, interval)
+        occupied.append((wa, w))
+        device_slots.append(PassSlot(PassType.W, 1, wb, w))
+        device_slots.append(PassSlot(PassType.W, 0, wa, w))
+        if include_input:
+            stage0_b_end = ba + b if d == 0 else 2 * p * f + (2 * p - 1) * b + k * interval + b
+            device_slots.append(
+                PassSlot(PassType.IF, 0, -0.3 * interval - t_input, t_input)
+            )
+            device_slots.append(
+                PassSlot(PassType.IB, 0, stage0_b_end + 0.3 * interval, t_input)
+            )
+        slots.append(tuple(device_slots))
+    return BuildingBlock(p, interval, tuple(slots))
+
+
+def generate_vhalf(
+    num_devices: int,
+    num_microbatches: int,
+    num_layers: int,
+    t_forward_chunk: float = 0.5,
+    t_backward_chunk: float = 0.5,
+    t_weight_chunk: float = 0.5,
+) -> Schedule:
+    """Plain V-Half schedule (the paper's Table 6 baseline)."""
+    layout = uniform_layout(num_devices, num_layers, num_chunks=2)
+    block = build_vhalf_block(
+        num_devices, t_forward_chunk, t_backward_chunk, t_weight_chunk
+    )
+    schedule = Schedule(
+        name="vhalf",
+        num_microbatches=num_microbatches,
+        layout=layout,
+        device_orders=block.unroll(num_microbatches),
+        has_weight_passes=True,
+        metadata={"building_block": block},
+    )
+    schedule.validate()
+    return schedule
+
+
+def generate_vhalf_vocab(
+    num_devices: int,
+    num_microbatches: int,
+    num_layers: int,
+    algorithm: int = 1,
+    include_input: bool = True,
+    t_forward_chunk: float = 0.5,
+    t_backward_chunk: float = 0.5,
+    t_weight_chunk: float = 0.5,
+    t_s: float = 0.5,
+    t_t: float = 0.5,
+) -> Schedule:
+    """V-Half with Vocabulary Parallelism (the paper's Table 6 Vocab-1)."""
+    if algorithm not in (1, 2):
+        raise ValueError(f"algorithm must be 1 or 2, got {algorithm}")
+    barriers = 2 if algorithm == 1 else 1
+    layout = uniform_layout(
+        num_devices, num_layers, num_chunks=2, vocab_parallel=True
+    )
+    block = build_vhalf_block(
+        num_devices,
+        t_forward_chunk,
+        t_backward_chunk,
+        t_weight_chunk,
+        vocab_barriers=barriers,
+        t_s=t_s,
+        t_t=t_t,
+        include_input=include_input,
+    )
+    schedule = Schedule(
+        name=f"vhalf-vocab-{algorithm}",
+        num_microbatches=num_microbatches,
+        layout=layout,
+        device_orders=block.unroll(num_microbatches),
+        vocab_algorithm=algorithm,
+        has_weight_passes=True,
+        has_input_passes=include_input,
+        metadata={"building_block": block},
+    )
+    schedule.validate()
+    return schedule

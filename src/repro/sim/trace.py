@@ -1,0 +1,82 @@
+"""ASCII rendering of executed schedules (the paper's timeline figures).
+
+``render_timeline`` paints each device's compute stream onto a fixed-
+width character grid, one row per device: idle columns are ``.``, busy
+columns show either the pass-type letter or the microbatch number
+modulo 10 — the latter reproduces the look of the paper's Figures 1
+and 10.
+"""
+
+from __future__ import annotations
+
+from repro.scheduling.passes import PassType
+from repro.scheduling.schedule import Schedule
+from repro.sim.executor import ExecutionResult
+
+_TYPE_CHARS = {
+    PassType.F: "F",
+    PassType.B: "B",
+    PassType.W: "W",
+    PassType.S: "S",
+    PassType.T: "T",
+    PassType.IF: "i",
+    PassType.IB: "b",
+    PassType.VF: "V",
+    PassType.VB: "v",
+}
+
+
+def render_timeline(
+    result: ExecutionResult,
+    width: int = 120,
+    mode: str = "type",
+    time_range: tuple[float, float] | None = None,
+) -> str:
+    """Paint the executed schedule as one text row per device.
+
+    ``mode`` is ``"type"`` (letters per pass kind) or ``"microbatch"``
+    (digits, microbatch % 10, paper-figure style).  ``time_range``
+    restricts the window, e.g. to show the steady state.
+    """
+    if mode not in ("type", "microbatch"):
+        raise ValueError(f"mode must be 'type' or 'microbatch', got {mode}")
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    if time_range is None:
+        t0 = min(start for start, _ in result.pass_times.values())
+        t1 = max(end for _, end in result.pass_times.values())
+    else:
+        t0, t1 = time_range
+    if t1 <= t0:
+        raise ValueError(f"empty time range ({t0}, {t1})")
+    scale = width / (t1 - t0)
+    num_devices = result.schedule.num_devices
+    rows = [["."] * width for _ in range(num_devices)]
+    for p, (start, end) in sorted(
+        result.pass_times.items(), key=lambda item: item[1]
+    ):
+        lo = max(0, int((start - t0) * scale))
+        hi = min(width, max(lo + 1, int((end - t0) * scale)))
+        if lo >= width or hi <= 0:
+            continue
+        char = (
+            _TYPE_CHARS[p.type]
+            if mode == "type"
+            else str(p.microbatch % 10)
+        )
+        for col in range(lo, hi):
+            rows[p.device][col] = char
+    lines = [
+        f"device {d:>2} |{''.join(row)}|" for d, row in enumerate(rows)
+    ]
+    header = f"time [{t0:.4g}, {t1:.4g}]s  ({result.schedule.name})"
+    return "\n".join([header] + lines)
+
+
+def render_order(schedule: Schedule, max_microbatch: int = 4) -> str:
+    """Compact per-device pass order for the first microbatches."""
+    lines = []
+    for device, order in enumerate(schedule.device_orders):
+        shown = [str(p) for p in order if p.microbatch < max_microbatch]
+        lines.append(f"device {device:>2}: " + " ".join(shown))
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Partitioned vocabulary layers (the paper's §4 and Appendix C).
+
+The output layer (projection + softmax + cross-entropy) is partitioned
+across the vocabulary dimension onto ``p`` simulated ranks.  Three
+implementations mirror the paper:
+
+* :class:`~repro.vocab.output_naive.NaiveOutputLayer` — 3 communication
+  barriers (all-reduce max, all-reduce sum, reduce ∇X); Figure 4/6.
+* :class:`~repro.vocab.output_alg1.OutputLayerAlg1` — Algorithm 1,
+  2 barriers via the online-softmax rescaling trick (Eq. 5).
+* :class:`~repro.vocab.output_alg2.OutputLayerAlg2` — Algorithm 2,
+  1 barrier by pre-computing the ∇X matmuls (Eq. 6) and folding every
+  reduction into C1; the weight-gradient pass T can be delayed
+  arbitrarily (zero-bubble style).
+
+All three are numerically exact reimplementations of the same math —
+:func:`repro.vocab.reference.reference_output_layer` — which the test
+suite verifies, reproducing the claim behind Figure 17.
+
+The input embedding layer (Appendix C) is in
+:class:`~repro.vocab.input_layer.VocabParallelEmbedding`.
+"""
+
+from repro.vocab.partition import VocabPartition
+from repro.vocab.reference import (
+    log_softmax,
+    reference_embedding,
+    reference_output_layer,
+    softmax,
+)
+from repro.vocab.output_base import OutputLayerResult
+from repro.vocab.output_naive import NaiveOutputLayer
+from repro.vocab.output_alg1 import OutputLayerAlg1
+from repro.vocab.output_alg2 import OutputLayerAlg2
+from repro.vocab.output_fused import FusedOutputLayer
+from repro.vocab.input_layer import VocabParallelEmbedding
+
+__all__ = [
+    "VocabPartition",
+    "softmax",
+    "log_softmax",
+    "reference_output_layer",
+    "reference_embedding",
+    "OutputLayerResult",
+    "NaiveOutputLayer",
+    "OutputLayerAlg1",
+    "OutputLayerAlg2",
+    "FusedOutputLayer",
+    "VocabParallelEmbedding",
+]

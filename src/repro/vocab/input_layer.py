@@ -1,0 +1,95 @@
+"""Vocabulary-parallel input embedding layer (paper Appendix C).
+
+Each rank holds a ``[V_pad/p, h]`` shard of the token embedding.  The
+forward pass is embarrassingly parallel: a rank gathers rows for the
+tokens it owns (zeros elsewhere) and a single all-reduce assembles the
+full ``[n, h]`` output on the first pipeline stage — this is the only
+forward communication, and it overlaps with transformer compute.  The
+backward pass broadcasts the output gradient and each rank scatter-adds
+the rows it owns into its ``∇E`` shard, with no further communication.
+
+The paper notes (§6.5) that partitioning the input layer scales poorly
+— every rank constructs a full ``[n, h]`` output regardless of its
+shard size — but the input layer is so cheap (``3bsh`` FLOPs) that this
+does not matter; what matters is moving its ``2hV`` bytes of parameters
+off the first stage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.collectives.ops import all_reduce_sum, broadcast
+from repro.vocab.partition import VocabPartition
+
+
+class VocabParallelEmbedding:
+    """Input embedding partitioned over the vocabulary dimension."""
+
+    def __init__(self, partition: VocabPartition, weight_shards: list[np.ndarray]):
+        if len(weight_shards) != partition.num_shards:
+            raise ValueError(
+                f"expected {partition.num_shards} shards, got {len(weight_shards)}"
+            )
+        hidden = weight_shards[0].shape[1]
+        for rank, shard in enumerate(weight_shards):
+            if shard.shape != (partition.shard_size, hidden):
+                raise ValueError(
+                    f"rank {rank} shard shape {shard.shape} != "
+                    f"({partition.shard_size}, {hidden})"
+                )
+        self.partition = partition
+        self.weight_shards = [shard.copy() for shard in weight_shards]
+        self.hidden_size = hidden
+
+    @classmethod
+    def from_full_weight(
+        cls, partition: VocabPartition, weight: np.ndarray
+    ) -> "VocabParallelEmbedding":
+        """Build from an unsharded ``[V, h]`` embedding (pads + splits)."""
+        return cls(partition, partition.split_weight(weight))
+
+    def forward_local(self, tokens: np.ndarray, rank: int) -> np.ndarray:
+        """Rank-local partial output: owned rows gathered, others zero."""
+        if tokens.min(initial=0) < 0 or tokens.max(initial=0) >= self.partition.vocab_size:
+            raise ValueError("tokens out of (unpadded) vocabulary range")
+        mask = self.partition.local_label_mask(tokens, rank)
+        local = self.partition.local_labels(tokens, rank)
+        gathered = self.weight_shards[rank][local]
+        return np.where(mask[:, None], gathered, 0.0)
+
+    def forward(self, tokens: np.ndarray) -> tuple[np.ndarray, list[str]]:
+        """Full forward over all ranks; returns output and comm log."""
+        partials = [
+            self.forward_local(tokens, rank)
+            for rank in range(self.partition.num_shards)
+        ]
+        output = all_reduce_sum(partials)[0]
+        return output, ["all_reduce_sum"]
+
+    def backward_local(
+        self, tokens: np.ndarray, grad_output: np.ndarray, rank: int
+    ) -> np.ndarray:
+        """Rank-local ``∇E`` shard via scatter-add of owned token rows."""
+        if grad_output.shape != (tokens.shape[0], self.hidden_size):
+            raise ValueError(
+                f"grad_output shape {grad_output.shape} != "
+                f"({tokens.shape[0]}, {self.hidden_size})"
+            )
+        mask = self.partition.local_label_mask(tokens, rank)
+        local = self.partition.local_labels(tokens, rank)
+        grad_shard = np.zeros_like(self.weight_shards[rank])
+        rows = np.nonzero(mask)[0]
+        np.add.at(grad_shard, local[rows], grad_output[rows])
+        return grad_shard
+
+    def backward(
+        self, tokens: np.ndarray, grad_output: np.ndarray
+    ) -> tuple[list[np.ndarray], list[str]]:
+        """Full backward: broadcast of ``∇output`` then local scatter-adds."""
+        copies = broadcast(grad_output, self.partition.num_shards)
+        grads = [
+            self.backward_local(tokens, copies[rank], rank)
+            for rank in range(self.partition.num_shards)
+        ]
+        return grads, ["broadcast"]

@@ -1,0 +1,113 @@
+"""Algorithm 1: output layer with two communication barriers.
+
+The paper's forward-phase optimization (§4.3, inspired by online
+softmax): each rank computes a *local* softmax with its own max and
+sum, then a single barrier ``C1`` reduces both statistics — the max
+first, then the locally-rescaled sum — as back-to-back all-reduces of
+tiny ``[n]`` tensors (the paper groups them into one barrier because
+nothing computes between them).  The true softmax is recovered via
+Eq. (5)::
+
+    softmax(Y) = softmax'(Y) · (sum'_scaled / sum)
+
+where ``sum'_scaled = sum' · exp(m' - m)``.  The ``T`` pass then forms
+``∇X_r`` and ``∇W_r``, and a final barrier ``C2`` reduces ``∇X``.
+
+Scheduling constraint (§5.1): the backward pass of the last transformer
+layer needs ``∇X`` and therefore must wait for *all* T passes — unlike
+Algorithm 2 where T can be delayed arbitrarily.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.collectives.ops import all_reduce_max, all_reduce_sum, reduce_sum
+from repro.vocab.output_base import (
+    MicrobatchState,
+    OutputLayerResult,
+    PartitionedOutputLayerBase,
+)
+
+
+class OutputLayerAlg1(PartitionedOutputLayerBase):
+    """Two-barrier partitioned output layer (paper Algorithm 1)."""
+
+    num_barriers = 2
+
+    def pass_S(self, state: MicrobatchState, rank: int) -> None:
+        """Local logits, local max/sum, and the *local* softmax."""
+        state.mark_rank_done("S", rank)
+        logits = self._local_logits(state, rank)
+        local_max = np.max(logits, axis=1)
+        exp = np.exp(logits - local_max[:, None])
+        local_sum = np.sum(exp, axis=1)
+        state.alloc("local_softmax")[rank] = exp / local_sum[:, None]
+        state.alloc("local_max")[rank] = local_max
+        state.alloc("local_sum")[rank] = local_sum
+        state.alloc("label_logit")[rank] = self._local_label_logit(state, rank, logits)
+
+    def barrier_C1(self, state: MicrobatchState) -> None:
+        """Reduce the softmax statistics (max, then rescaled sum).
+
+        Only ``[n]``-sized tensors move — the paper stresses that the
+        elementwise work inside C1 is negligible and overlaps with
+        transformer compute when placed on a separate stream.
+        """
+        state.require_all_ranks("S")
+        global_max = all_reduce_max(state.per_rank["local_max"])[0]
+        scaled_sums = [
+            state.per_rank["local_sum"][rank]
+            * np.exp(state.per_rank["local_max"][rank] - global_max)
+            for rank in range(state.num_ranks)
+        ]
+        state.per_rank["scaled_sum"] = scaled_sums
+        state.shared["max"] = global_max
+        state.shared["sum"] = all_reduce_sum(scaled_sums)[0]
+        state.shared["label_logit"] = all_reduce_sum(state.per_rank["label_logit"])[0]
+        state.comm_log.append("C1:all_reduce_max+sum")
+        state.mark_barrier_done("C1")
+
+    def pass_T(self, state: MicrobatchState, rank: int) -> None:
+        """Correct the local softmax (Eq. 5) and compute both gradients."""
+        state.require_barrier("C1")
+        state.mark_rank_done("T", rank)
+        correction = (
+            state.per_rank["scaled_sum"][rank] / state.shared["sum"]
+        )[:, None]
+        probs = state.per_rank["local_softmax"][rank] * correction
+        d_logits = (probs - self.partition.one_hot_shard(state.labels, rank)) * (
+            state.grad_scale
+        )
+        state.alloc("grad_x_partial")[rank] = d_logits @ self.weight_shards[rank]
+        state.alloc("grad_w")[rank] = d_logits.T @ state.x
+
+    def barrier_C2(self, state: MicrobatchState) -> None:
+        """Reduce ``∇X`` to the last pipeline stage."""
+        state.require_all_ranks("T")
+        state.shared["grad_x"] = reduce_sum(state.per_rank["grad_x_partial"])
+        state.comm_log.append("C2:reduce_grad_x")
+        state.mark_barrier_done("C2")
+
+    def finish(self, state: MicrobatchState) -> OutputLayerResult:
+        state.require_barrier("C2")
+        return OutputLayerResult(
+            losses=self._losses(state),
+            grad_input=state.shared["grad_x"],
+            grad_weight_shards=state.per_rank["grad_w"],
+            comm_log=tuple(state.comm_log),
+            num_barriers=self.num_barriers,
+        )
+
+    def run(
+        self, x: np.ndarray, labels: np.ndarray, grad_scale: float = 1.0
+    ) -> OutputLayerResult:
+        state = self.begin(x, labels, grad_scale)
+        ranks = range(self.partition.num_shards)
+        for rank in ranks:
+            self.pass_S(state, rank)
+        self.barrier_C1(state)
+        for rank in ranks:
+            self.pass_T(state, rank)
+        self.barrier_C2(state)
+        return self.finish(state)

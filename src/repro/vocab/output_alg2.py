@@ -1,0 +1,121 @@
+"""Algorithm 2: output layer with a single communication barrier.
+
+The paper's backward-phase optimization (§4.4): the input gradient can
+be rewritten (Eq. 6) as::
+
+    ∇X = Σ_r [ (sum'_scaled_r / sum) ⊙ (softmax'_r(Y) W_r) ] - Σ_r G_r W_r
+
+so each rank pre-computes ``A_r = softmax'_r(Y) W_r`` and
+``B_r = G_r W_r`` *before* any communication.  The single barrier C1
+then performs all four reductions back-to-back: max, rescaled sum, the
+fused label logit, and ``Reduce(∇X)`` where ``∇X``'s per-rank
+contribution is just the cheap elementwise combination
+``scale ⊙ A_r - B_r``.
+
+The weight-gradient pass ``T`` recomputes the corrected softmax and
+forms ``∇W_r``; nothing downstream depends on it, so the schedule can
+delay it arbitrarily (the zero-bubble idea) — this is what drops the
+activation-memory overhead from p+2 to p+1 microbatches in Figure 10.
+
+Cost note (§6.5 / Table 3): compared with Algorithm 1 this does one
+extra ``[n, V/p]·[V/p, h]`` matmul per microbatch (``A_r`` in S, while
+T still multiplies ``(softmax - G)ᵀ X``), which is why Vocab-2's
+scaling factor trails Vocab-1's by ~5 points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.collectives.ops import all_reduce_max, all_reduce_sum, reduce_sum
+from repro.vocab.output_base import (
+    MicrobatchState,
+    OutputLayerResult,
+    PartitionedOutputLayerBase,
+)
+
+
+class OutputLayerAlg2(PartitionedOutputLayerBase):
+    """One-barrier partitioned output layer (paper Algorithm 2)."""
+
+    num_barriers = 1
+
+    def pass_S(self, state: MicrobatchState, rank: int) -> None:
+        """Local softmax plus the pre-computed ∇X matmuls ``A_r``, ``B_r``."""
+        state.mark_rank_done("S", rank)
+        logits = self._local_logits(state, rank)
+        local_max = np.max(logits, axis=1)
+        exp = np.exp(logits - local_max[:, None])
+        local_sum = np.sum(exp, axis=1)
+        local_softmax = exp / local_sum[:, None]
+        state.alloc("local_softmax")[rank] = local_softmax
+        state.alloc("local_max")[rank] = local_max
+        state.alloc("local_sum")[rank] = local_sum
+        state.alloc("label_logit")[rank] = self._local_label_logit(state, rank, logits)
+        # A_r = softmax'(Y) W_r : the heavy matmul, done before any barrier.
+        state.alloc("A")[rank] = local_softmax @ self.weight_shards[rank]
+        # B_r = G_r W_r : one-hot gather of weight rows for on-rank labels.
+        mask = self.partition.local_label_mask(state.labels, rank)
+        local = self.partition.local_labels(state.labels, rank)
+        state.alloc("B")[rank] = np.where(
+            mask[:, None], self.weight_shards[rank][local], 0.0
+        )
+
+    def barrier_C1(self, state: MicrobatchState) -> None:
+        """The single barrier: stats reductions plus ``Reduce(∇X)``."""
+        state.require_all_ranks("S")
+        global_max = all_reduce_max(state.per_rank["local_max"])[0]
+        scaled_sums = [
+            state.per_rank["local_sum"][rank]
+            * np.exp(state.per_rank["local_max"][rank] - global_max)
+            for rank in range(state.num_ranks)
+        ]
+        state.per_rank["scaled_sum"] = scaled_sums
+        state.shared["max"] = global_max
+        total = all_reduce_sum(scaled_sums)[0]
+        state.shared["sum"] = total
+        state.shared["label_logit"] = all_reduce_sum(state.per_rank["label_logit"])[0]
+        # ∇X contribution per rank is elementwise on [n, h] — lightweight.
+        partials = [
+            state.per_rank["A"][rank] * (scaled_sums[rank] / total)[:, None]
+            - state.per_rank["B"][rank]
+            for rank in range(state.num_ranks)
+        ]
+        state.shared["grad_x"] = reduce_sum(partials) * state.grad_scale
+        state.comm_log.append("C1:all_reduce_max+sum+reduce_grad_x")
+        state.mark_barrier_done("C1")
+
+    def pass_T(self, state: MicrobatchState, rank: int) -> None:
+        """Deferred weight gradient: corrected softmax then ``∇W_r``."""
+        state.require_barrier("C1")
+        state.mark_rank_done("T", rank)
+        correction = (
+            state.per_rank["scaled_sum"][rank] / state.shared["sum"]
+        )[:, None]
+        probs = state.per_rank["local_softmax"][rank] * correction
+        d_logits = (probs - self.partition.one_hot_shard(state.labels, rank)) * (
+            state.grad_scale
+        )
+        state.alloc("grad_w")[rank] = d_logits.T @ state.x
+
+    def finish(self, state: MicrobatchState) -> OutputLayerResult:
+        state.require_all_ranks("T")
+        return OutputLayerResult(
+            losses=self._losses(state),
+            grad_input=state.shared["grad_x"],
+            grad_weight_shards=state.per_rank["grad_w"],
+            comm_log=tuple(state.comm_log),
+            num_barriers=self.num_barriers,
+        )
+
+    def run(
+        self, x: np.ndarray, labels: np.ndarray, grad_scale: float = 1.0
+    ) -> OutputLayerResult:
+        state = self.begin(x, labels, grad_scale)
+        ranks = range(self.partition.num_shards)
+        for rank in ranks:
+            self.pass_S(state, rank)
+        self.barrier_C1(state)
+        for rank in ranks:
+            self.pass_T(state, rank)
+        return self.finish(state)

@@ -1,0 +1,179 @@
+"""Shared machinery for the partitioned output-layer implementations.
+
+Each implementation (naïve / Algorithm 1 / Algorithm 2) is a class over
+``p`` simulated ranks holding one ``[V_pad/p, h]`` weight shard each.
+Computation is decomposed into *pass methods* (one call per rank) and
+*barrier methods* (one call per collective), mirroring how the paper
+schedules the work: the test suite interleaves rank order arbitrarily
+and counts barriers, and the schedule generators map these passes onto
+pipeline devices.
+
+A convenience :meth:`PartitionedOutputLayerBase.run` executes a whole
+microbatch in order and returns an :class:`OutputLayerResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, ClassVar
+
+import numpy as np
+
+from repro.vocab.partition import VocabPartition
+
+
+@dataclass
+class OutputLayerResult:
+    """Outcome of one microbatch through a partitioned output layer.
+
+    Attributes
+    ----------
+    losses:
+        Per-token cross-entropy, ``[n]``.
+    grad_input:
+        ``∇X`` delivered to the last pipeline stage, ``[n, h]``.
+    grad_weight_shards:
+        Per-rank ``∇W`` shards, each ``[V_pad/p, h]``.
+    comm_log:
+        Ordered names of the collectives performed (barrier ops only;
+        fused payloads share one entry).
+    num_barriers:
+        Communication barriers crossed (3 naïve / 2 Alg1 / 1 Alg2) —
+        excludes the C0 broadcast of ``X``, which the paper also
+        excludes since it pipelines ahead of the S passes.
+    """
+
+    losses: np.ndarray
+    grad_input: np.ndarray
+    grad_weight_shards: list[np.ndarray]
+    comm_log: tuple[str, ...]
+    num_barriers: int
+
+
+@dataclass
+class MicrobatchState:
+    """Mutable per-microbatch scratchpad shared by the pass methods."""
+
+    x: np.ndarray
+    labels: np.ndarray
+    grad_scale: float
+    num_ranks: int
+    # Per-rank intermediates, keyed by name then rank.
+    per_rank: dict[str, list[Any]] = field(default_factory=dict)
+    # Replicated values (post-all-reduce).
+    shared: dict[str, Any] = field(default_factory=dict)
+    comm_log: list[str] = field(default_factory=list)
+    done: dict[str, set[int] | bool] = field(default_factory=dict)
+
+    def alloc(self, name: str) -> list[Any]:
+        if name not in self.per_rank:
+            self.per_rank[name] = [None] * self.num_ranks
+        return self.per_rank[name]
+
+    def mark_rank_done(self, phase: str, rank: int) -> None:
+        done = self.done.setdefault(phase, set())
+        assert isinstance(done, set)
+        if rank in done:
+            raise RuntimeError(f"pass {phase} already executed on rank {rank}")
+        done.add(rank)
+
+    def require_all_ranks(self, phase: str) -> None:
+        done = self.done.get(phase, set())
+        if not isinstance(done, set) or len(done) != self.num_ranks:
+            raise RuntimeError(
+                f"barrier requires pass {phase} on all {self.num_ranks} ranks; "
+                f"completed: {sorted(done) if isinstance(done, set) else done}"
+            )
+
+    def mark_barrier_done(self, name: str) -> None:
+        if self.done.get(name):
+            raise RuntimeError(f"barrier {name} already executed")
+        self.done[name] = True
+
+    def require_barrier(self, name: str) -> None:
+        if not self.done.get(name):
+            raise RuntimeError(f"pass requires barrier {name} to have run")
+
+
+class PartitionedOutputLayerBase:
+    """Common constructor/validation/run loop for the three algorithms."""
+
+    #: Communication barriers of the algorithm (set by subclasses).
+    num_barriers: ClassVar[int] = -1
+
+    def __init__(self, partition: VocabPartition, weight_shards: list[np.ndarray]):
+        if len(weight_shards) != partition.num_shards:
+            raise ValueError(
+                f"expected {partition.num_shards} weight shards, got {len(weight_shards)}"
+            )
+        hidden = weight_shards[0].shape[1]
+        for rank, shard in enumerate(weight_shards):
+            if shard.shape != (partition.shard_size, hidden):
+                raise ValueError(
+                    f"rank {rank} shard shape {shard.shape} != "
+                    f"({partition.shard_size}, {hidden})"
+                )
+        self.partition = partition
+        self.weight_shards = [shard.copy() for shard in weight_shards]
+        self.hidden_size = hidden
+
+    @classmethod
+    def from_full_weight(
+        cls, partition: VocabPartition, weight: np.ndarray
+    ) -> "PartitionedOutputLayerBase":
+        """Build from an unsharded ``[V, h]`` weight (pads + splits it)."""
+        return cls(partition, partition.split_weight(weight))
+
+    # ------------------------------------------------------------------
+    # Shared pieces of the algorithms.
+    # ------------------------------------------------------------------
+    def begin(
+        self, x: np.ndarray, labels: np.ndarray, grad_scale: float = 1.0
+    ) -> MicrobatchState:
+        """C0: broadcast ``X`` from the last stage to every rank."""
+        if x.ndim != 2 or x.shape[1] != self.hidden_size:
+            raise ValueError(
+                f"x must be [n, {self.hidden_size}], got {x.shape}"
+            )
+        if labels.shape != (x.shape[0],):
+            raise ValueError(f"labels shape {labels.shape} != ({x.shape[0]},)")
+        if labels.min(initial=0) < 0 or labels.max(initial=0) >= self.partition.vocab_size:
+            raise ValueError("labels out of (unpadded) vocabulary range")
+        state = MicrobatchState(
+            x=x,
+            labels=np.asarray(labels),
+            grad_scale=float(grad_scale),
+            num_ranks=self.partition.num_shards,
+        )
+        state.comm_log.append("C0:broadcast_x")
+        return state
+
+    def _local_logits(self, state: MicrobatchState, rank: int) -> np.ndarray:
+        """``Y_r = X W_r^T``, the rank's ``[n, V_pad/p]`` logit shard."""
+        return state.x @ self.weight_shards[rank].T
+
+    def _local_label_logit(
+        self, state: MicrobatchState, rank: int, logits: np.ndarray
+    ) -> np.ndarray:
+        """Per-token logit of the true label, zero for labels off-rank.
+
+        Summed across ranks (fused into an existing all-reduce) this
+        yields ``Y[i, g_i]`` for the loss without an extra barrier.
+        """
+        mask = self.partition.local_label_mask(state.labels, rank)
+        local = self.partition.local_labels(state.labels, rank)
+        rows = np.arange(state.labels.shape[0])
+        return np.where(mask, logits[rows, local], 0.0)
+
+    def _losses(self, state: MicrobatchState) -> np.ndarray:
+        """Cross-entropy from the reduced max / sum / label-logit."""
+        label_logit = state.shared["label_logit"]
+        m = state.shared["max"]
+        total = state.shared["sum"]
+        return -(label_logit - m - np.log(total))
+
+    def run(
+        self, x: np.ndarray, labels: np.ndarray, grad_scale: float = 1.0
+    ) -> OutputLayerResult:
+        """Execute all passes/barriers in canonical order for one microbatch."""
+        raise NotImplementedError

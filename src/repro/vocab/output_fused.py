@@ -1,0 +1,178 @@
+"""Fused streaming output layer — the paper's §7 future-work direction.
+
+The paper observes that Algorithm 2's structure "opens an opportunity
+of fusing the forward and backward pass in CUDA kernels to avoid
+writes/reads of the softmax results, which can be huge in long-context
+large-vocabulary settings" (the FlashAttention rationale applied to
+cross-entropy).  This module implements that kernel's *algorithm* in
+NumPy: each rank streams over its vocabulary shard in blocks of
+``block_size`` columns, maintaining online-softmax statistics and the
+partial ``∇X`` accumulator, so the materialized state per rank is
+``O(n · block_size)`` instead of ``O(n · V/p)``.
+
+Two passes over the blocks are needed because ``∇W`` and the exact
+softmax require the final statistics; the first pass accumulates
+``m'``, ``sum'`` and ``A = softmax'(Y)·W`` exactly as Algorithm 2 does
+(rescaling the accumulator online when the running max changes), and
+the second pass recomputes block logits to form ``∇W`` — recompute
+instead of store, which is the whole point.
+
+Numerically identical to :class:`~repro.vocab.output_alg2.OutputLayerAlg2`
+(and therefore to the reference); the test suite checks both equality
+and that per-rank peak intermediate size really is bounded by the
+block size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.collectives.ops import all_reduce_max, all_reduce_sum, reduce_sum
+from repro.vocab.output_base import (
+    MicrobatchState,
+    OutputLayerResult,
+    PartitionedOutputLayerBase,
+)
+
+
+class FusedOutputLayer(PartitionedOutputLayerBase):
+    """Block-streaming Algorithm 2 with one communication barrier.
+
+    ``block_size`` bounds the widest intermediate a rank materializes.
+    The barrier structure is identical to Algorithm 2's (a single C1),
+    so the scheduling integration and the p+1 activation-memory claim
+    carry over unchanged — what improves is the *transient* memory of
+    the S and T passes themselves.
+    """
+
+    num_barriers = 1
+
+    def __init__(self, partition, weight_shards, block_size: int = 1024):
+        super().__init__(partition, weight_shards)
+        if block_size <= 0:
+            raise ValueError(f"block_size must be positive, got {block_size}")
+        self.block_size = block_size
+        #: Peak columns materialized at once (observability for tests).
+        self.max_block_columns = 0
+
+    @classmethod
+    def from_full_weight(cls, partition, weight, block_size: int = 1024):
+        return cls(partition, partition.split_weight(weight), block_size)
+
+    def _blocks(self) -> list[tuple[int, int]]:
+        size = self.partition.shard_size
+        return [
+            (start, min(start + self.block_size, size))
+            for start in range(0, size, self.block_size)
+        ]
+
+    def pass_S(self, state: MicrobatchState, rank: int) -> None:
+        """Streaming pass 1: online stats and the ``A``/``B`` operands."""
+        state.mark_rank_done("S", rank)
+        n = state.x.shape[0]
+        w = self.weight_shards[rank]
+        running_max = np.full(n, -np.inf)
+        running_sum = np.zeros(n)
+        acc = np.zeros((n, self.hidden_size))   # Σ exp(Y−m)·W, rescaled online
+        label_logit = np.zeros(n)
+        mask = self.partition.local_label_mask(state.labels, rank)
+        local = self.partition.local_labels(state.labels, rank)
+        shard_start, _ = self.partition.shard_range(rank)
+
+        for start, end in self._blocks():
+            block_w = w[start:end]
+            logits = state.x @ block_w.T                     # [n, block]
+            self.max_block_columns = max(self.max_block_columns, end - start)
+            block_max = np.max(logits, axis=1)
+            new_max = np.maximum(running_max, block_max)
+            # Rescale previous accumulators to the new max.
+            with np.errstate(invalid="ignore"):
+                scale = np.where(
+                    np.isneginf(running_max), 0.0, np.exp(running_max - new_max)
+                )
+            running_sum *= scale
+            acc *= scale[:, None]
+            exp_block = np.exp(logits - new_max[:, None])
+            running_sum += exp_block.sum(axis=1)
+            acc += exp_block @ block_w
+            running_max = new_max
+            # Label logit if it falls inside this block.
+            in_block = mask & (local >= start) & (local < end)
+            rows = np.nonzero(in_block)[0]
+            label_logit[rows] = logits[rows, local[rows] - start]
+
+        # Normalize to the Algorithm-2 interface: softmax' statistics
+        # against the *local* max and the A = softmax'(Y)·W operand.
+        state.alloc("local_max")[rank] = running_max
+        state.alloc("local_sum")[rank] = running_sum
+        state.alloc("A")[rank] = acc / running_sum[:, None]
+        state.alloc("label_logit")[rank] = label_logit
+        # B_r = G_r W_r (gather of on-rank label rows).
+        state.alloc("B")[rank] = np.where(
+            mask[:, None], w[local], 0.0
+        )
+        del shard_start
+
+    def barrier_C1(self, state: MicrobatchState) -> None:
+        """Single barrier: stats + fused ∇X reduce (identical to Alg2)."""
+        state.require_all_ranks("S")
+        global_max = all_reduce_max(state.per_rank["local_max"])[0]
+        scaled_sums = [
+            state.per_rank["local_sum"][rank]
+            * np.exp(state.per_rank["local_max"][rank] - global_max)
+            for rank in range(state.num_ranks)
+        ]
+        state.per_rank["scaled_sum"] = scaled_sums
+        state.shared["max"] = global_max
+        total = all_reduce_sum(scaled_sums)[0]
+        state.shared["sum"] = total
+        state.shared["label_logit"] = all_reduce_sum(state.per_rank["label_logit"])[0]
+        partials = [
+            state.per_rank["A"][rank] * (scaled_sums[rank] / total)[:, None]
+            - state.per_rank["B"][rank]
+            for rank in range(state.num_ranks)
+        ]
+        state.shared["grad_x"] = reduce_sum(partials) * state.grad_scale
+        state.comm_log.append("C1:all_reduce_max+sum+reduce_grad_x")
+        state.mark_barrier_done("C1")
+
+    def pass_T(self, state: MicrobatchState, rank: int) -> None:
+        """Streaming pass 2: recompute block logits, accumulate ∇W."""
+        state.require_barrier("C1")
+        state.mark_rank_done("T", rank)
+        w = self.weight_shards[rank]
+        grad_w = np.zeros_like(w)
+        global_max = state.shared["max"]
+        total = state.shared["sum"]
+        mask = self.partition.local_label_mask(state.labels, rank)
+        local = self.partition.local_labels(state.labels, rank)
+        for start, end in self._blocks():
+            block_w = w[start:end]
+            logits = state.x @ block_w.T
+            probs = np.exp(logits - global_max[:, None]) / total[:, None]
+            in_block = mask & (local >= start) & (local < end)
+            rows = np.nonzero(in_block)[0]
+            probs[rows, local[rows] - start] -= 1.0
+            grad_w[start:end] = (probs * state.grad_scale).T @ state.x
+        state.alloc("grad_w")[rank] = grad_w
+
+    def finish(self, state: MicrobatchState) -> OutputLayerResult:
+        state.require_all_ranks("T")
+        return OutputLayerResult(
+            losses=self._losses(state),
+            grad_input=state.shared["grad_x"],
+            grad_weight_shards=state.per_rank["grad_w"],
+            comm_log=tuple(state.comm_log),
+            num_barriers=self.num_barriers,
+        )
+
+    def run(
+        self, x: np.ndarray, labels: np.ndarray, grad_scale: float = 1.0
+    ) -> OutputLayerResult:
+        state = self.begin(x, labels, grad_scale)
+        for rank in range(self.partition.num_shards):
+            self.pass_S(state, rank)
+        self.barrier_C1(state)
+        for rank in range(self.partition.num_shards):
+            self.pass_T(state, rank)
+        return self.finish(state)

@@ -1,0 +1,111 @@
+"""Naïve partitioned output layer: three communication barriers.
+
+This is Figure 4 of the paper: the softmax statistics are reduced
+eagerly, so the computation splits into
+
+* ``F1`` — local logits ``Y_r`` and local max, per rank;
+* barrier **AllReduce(max)**;
+* ``F2`` — exponentials with the *global* max, local sum, per rank;
+* barrier **AllReduce(sum)** (the label logit for the loss is fused
+  into this reduction);
+* ``B`` — softmax, ``∇X_r`` and ``∇W_r`` matmuls, per rank;
+* barrier **Reduce(∇X)** to the last pipeline stage.
+
+Each barrier is a cross-device dependency that the pipeline schedule
+must leave room for, which is why the paper counts barriers so
+carefully: every barrier inserted between the last transformer F and B
+costs one microbatch of activation memory (§5.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.collectives.ops import all_reduce_max, all_reduce_sum, reduce_sum
+from repro.vocab.output_base import (
+    MicrobatchState,
+    OutputLayerResult,
+    PartitionedOutputLayerBase,
+)
+
+
+class NaiveOutputLayer(PartitionedOutputLayerBase):
+    """Three-barrier partitioned output layer (paper §4.1, Figure 4)."""
+
+    num_barriers = 3
+
+    def pass_F1(self, state: MicrobatchState, rank: int) -> None:
+        """Local logits and their row max on one rank."""
+        state.mark_rank_done("F1", rank)
+        logits = self._local_logits(state, rank)
+        state.alloc("logits")[rank] = logits
+        state.alloc("local_max")[rank] = np.max(logits, axis=1)
+        state.alloc("label_logit")[rank] = self._local_label_logit(state, rank, logits)
+
+    def barrier_max(self, state: MicrobatchState) -> None:
+        """AllReduce of the row max across all ranks."""
+        state.require_all_ranks("F1")
+        reduced = all_reduce_max(state.per_rank["local_max"])
+        state.shared["max"] = reduced[0]
+        state.comm_log.append("C1:all_reduce_max")
+        state.mark_barrier_done("max")
+
+    def pass_F2(self, state: MicrobatchState, rank: int) -> None:
+        """Exponentials against the global max; local denominator."""
+        state.require_barrier("max")
+        state.mark_rank_done("F2", rank)
+        exp = np.exp(state.per_rank["logits"][rank] - state.shared["max"][:, None])
+        state.alloc("exp")[rank] = exp
+        state.alloc("local_sum")[rank] = np.sum(exp, axis=1)
+
+    def barrier_sum(self, state: MicrobatchState) -> None:
+        """AllReduce of the denominator (label logit fused in)."""
+        state.require_all_ranks("F2")
+        state.shared["sum"] = all_reduce_sum(state.per_rank["local_sum"])[0]
+        state.shared["label_logit"] = all_reduce_sum(state.per_rank["label_logit"])[0]
+        state.comm_log.append("C2:all_reduce_sum")
+        state.mark_barrier_done("sum")
+
+    def pass_B(self, state: MicrobatchState, rank: int) -> None:
+        """Softmax shard, ``∇X_r`` and ``∇W_r`` on one rank."""
+        state.require_barrier("sum")
+        state.mark_rank_done("B", rank)
+        probs = state.per_rank["exp"][rank] / state.shared["sum"][:, None]
+        d_logits = (probs - self.partition.one_hot_shard(state.labels, rank)) * (
+            state.grad_scale
+        )
+        state.alloc("grad_x_partial")[rank] = d_logits @ self.weight_shards[rank]
+        state.alloc("grad_w")[rank] = d_logits.T @ state.x
+
+    def barrier_reduce_grad(self, state: MicrobatchState) -> None:
+        """Reduce ``∇X`` to the last pipeline stage."""
+        state.require_all_ranks("B")
+        state.shared["grad_x"] = reduce_sum(state.per_rank["grad_x_partial"])
+        state.comm_log.append("C3:reduce_grad_x")
+        state.mark_barrier_done("reduce_grad")
+
+    def finish(self, state: MicrobatchState) -> OutputLayerResult:
+        state.require_barrier("reduce_grad")
+        return OutputLayerResult(
+            losses=self._losses(state),
+            grad_input=state.shared["grad_x"],
+            grad_weight_shards=state.per_rank["grad_w"],
+            comm_log=tuple(state.comm_log),
+            num_barriers=self.num_barriers,
+        )
+
+    def run(
+        self, x: np.ndarray, labels: np.ndarray, grad_scale: float = 1.0
+    ) -> OutputLayerResult:
+        state = self.begin(x, labels, grad_scale)
+        ranks = range(self.partition.num_shards)
+        for rank in ranks:
+            self.pass_F1(state, rank)
+        self.barrier_max(state)
+        for rank in ranks:
+            self.pass_F2(state, rank)
+        self.barrier_sum(state)
+        for rank in ranks:
+            self.pass_B(state, rank)
+        self.barrier_reduce_grad(state)
+        return self.finish(state)

@@ -1,0 +1,95 @@
+"""Single-device reference implementation of the vocabulary layers.
+
+This is the ground truth every partitioned implementation must match:
+the math of the paper's §4.2 on one device, with the numerically safe
+softmax (subtract the row max).  The backward pass assumes cross-entropy
+loss, giving the textbook ``softmax(Y) - G`` logit gradient (Eq. 3/4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise safe softmax of a ``[n, V]`` logit matrix."""
+    shifted = logits - np.max(logits, axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=-1, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise log-softmax, computed stably."""
+    shifted = logits - np.max(logits, axis=-1, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=-1, keepdims=True))
+
+
+def reference_output_layer(
+    x: np.ndarray,
+    weight: np.ndarray,
+    labels: np.ndarray,
+    grad_scale: float = 1.0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Forward + backward of the full output layer on one device.
+
+    Parameters
+    ----------
+    x:
+        Last transformer layer output, ``[n, h]`` (``n = b·s`` tokens).
+    weight:
+        Output embedding, ``[V, h]``.
+    labels:
+        Integer targets, ``[n]`` with values in ``[0, V)``.
+    grad_scale:
+        Multiplier applied to all gradients (e.g. ``1/n`` for a mean
+        loss); losses themselves are returned per token.
+
+    Returns
+    -------
+    (losses, grad_x, grad_weight):
+        ``losses`` is ``[n]`` cross-entropy per token; ``grad_x`` is
+        ``[n, h]``; ``grad_weight`` is ``[V, h]``.
+    """
+    n, h = x.shape
+    v = weight.shape[0]
+    if weight.shape[1] != h:
+        raise ValueError(f"weight width {weight.shape[1]} != input width {h}")
+    if labels.shape != (n,):
+        raise ValueError(f"labels shape {labels.shape} != ({n},)")
+    if labels.min(initial=0) < 0 or labels.max(initial=0) >= v:
+        raise ValueError("labels out of vocabulary range")
+
+    logits = x @ weight.T
+    logp = log_softmax(logits)
+    losses = -logp[np.arange(n), labels]
+
+    d_logits = softmax(logits)
+    d_logits[np.arange(n), labels] -= 1.0
+    d_logits *= grad_scale
+    grad_x = d_logits @ weight
+    grad_weight = d_logits.T @ x
+    return losses, grad_x, grad_weight
+
+
+def reference_embedding(
+    tokens: np.ndarray,
+    weight: np.ndarray,
+    grad_output: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Forward (and optional backward) of the input embedding lookup.
+
+    Returns the ``[n, h]`` embedding output and, when ``grad_output``
+    is given, the dense ``[V, h]`` weight gradient from scatter-add.
+    """
+    if tokens.min(initial=0) < 0 or tokens.max(initial=0) >= weight.shape[0]:
+        raise ValueError("tokens out of vocabulary range")
+    output = weight[tokens]
+    if grad_output is None:
+        return output, None
+    if grad_output.shape != output.shape:
+        raise ValueError(
+            f"grad_output shape {grad_output.shape} != output shape {output.shape}"
+        )
+    grad_weight = np.zeros_like(weight)
+    np.add.at(grad_weight, tokens, grad_output)
+    return output, grad_weight

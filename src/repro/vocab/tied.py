@@ -1,0 +1,81 @@
+"""Tied input/output embeddings under Vocabulary Parallelism (§6.1).
+
+The paper notes that partitioning both vocabulary layers the same way
+"makes tying input and output embedding weights easier, as the input
+and output embedding weights now have the same device placement and can
+use the shared weight tensor.  This saves GPU memory and avoids the
+additional all-reduce to synchronize gradients" — in baseline pipeline
+parallelism the tied weight lives on *both* the first and last stage
+and every step pays an all-reduce between them.
+
+:class:`TiedVocabLayers` implements that: one shard per rank serves the
+input lookup and the output projection, and the weight gradient is the
+*sum* of both paths' gradients, locally, with zero extra communication.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vocab.input_layer import VocabParallelEmbedding
+from repro.vocab.output_alg1 import OutputLayerAlg1
+from repro.vocab.output_alg2 import OutputLayerAlg2
+from repro.vocab.output_base import OutputLayerResult
+from repro.vocab.partition import VocabPartition
+
+_OUTPUT_IMPLS = {1: OutputLayerAlg1, 2: OutputLayerAlg2}
+
+
+class TiedVocabLayers:
+    """Shared-weight input + output vocabulary layers over ``p`` ranks."""
+
+    def __init__(
+        self,
+        partition: VocabPartition,
+        weight_shards: list[np.ndarray],
+        algorithm: int = 2,
+    ):
+        if algorithm not in _OUTPUT_IMPLS:
+            raise ValueError(f"algorithm must be 1 or 2, got {algorithm}")
+        self.partition = partition
+        self.weight_shards = [shard.copy() for shard in weight_shards]
+        self.algorithm = algorithm
+        # Both layers view the *same* shard objects — that is the tie.
+        self.embedding = VocabParallelEmbedding(partition, self.weight_shards)
+        self.embedding.weight_shards = self.weight_shards
+        self._output_cls = _OUTPUT_IMPLS[algorithm]
+
+    @classmethod
+    def from_full_weight(
+        cls, partition: VocabPartition, weight: np.ndarray, algorithm: int = 2
+    ) -> "TiedVocabLayers":
+        return cls(partition, partition.split_weight(weight), algorithm)
+
+    def embed(self, tokens: np.ndarray) -> np.ndarray:
+        """Input lookup through the shared shards (+ all-reduce)."""
+        output, _ = self.embedding.forward(tokens)
+        return output
+
+    def output(
+        self, x: np.ndarray, labels: np.ndarray, grad_scale: float = 1.0
+    ) -> OutputLayerResult:
+        """Output projection + loss through the shared shards."""
+        layer = self._output_cls(self.partition, self.weight_shards)
+        return layer.run(x, labels, grad_scale)
+
+    def combined_grad_shards(
+        self,
+        tokens: np.ndarray,
+        embed_grad: np.ndarray,
+        output_result: OutputLayerResult,
+    ) -> list[np.ndarray]:
+        """Total tied-weight gradient: output ∇W plus input scatter-add.
+
+        Purely rank-local — the communication saving the paper points
+        out: no cross-stage all-reduce of the tied weight gradient.
+        """
+        input_grads, _ = self.embedding.backward(tokens, embed_grad)
+        return [
+            out + inp
+            for out, inp in zip(output_result.grad_weight_shards, input_grads)
+        ]

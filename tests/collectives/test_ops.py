@@ -1,0 +1,116 @@
+"""Unit tests for the simulated numerical collectives."""
+
+import numpy as np
+import pytest
+
+from repro.collectives import (
+    all_gather,
+    all_reduce_max,
+    all_reduce_sum,
+    broadcast,
+    reduce_scatter_sum,
+    reduce_sum,
+)
+
+
+class TestAllReduce:
+    def test_sum(self, rng):
+        shards = [rng.normal(size=(3, 4)) for _ in range(5)]
+        out = all_reduce_sum(shards)
+        expected = sum(shards)
+        assert len(out) == 5
+        for o in out:
+            np.testing.assert_allclose(o, expected, rtol=1e-14)
+
+    def test_max(self, rng):
+        shards = [rng.normal(size=(6,)) for _ in range(3)]
+        out = all_reduce_max(shards)
+        expected = np.maximum.reduce(shards)
+        for o in out:
+            np.testing.assert_array_equal(o, expected)
+
+    def test_results_are_copies(self, rng):
+        shards = [rng.normal(size=(2, 2)) for _ in range(2)]
+        out = all_reduce_sum(shards)
+        out[0][0, 0] = 42.0
+        assert out[1][0, 0] != 42.0
+
+    def test_inputs_not_mutated(self, rng):
+        shards = [rng.normal(size=(2, 2)) for _ in range(3)]
+        originals = [s.copy() for s in shards]
+        all_reduce_sum(shards)
+        all_reduce_max(shards)
+        for s, o in zip(shards, originals):
+            np.testing.assert_array_equal(s, o)
+
+    def test_single_rank_identity(self, rng):
+        shard = rng.normal(size=(3,))
+        np.testing.assert_array_equal(all_reduce_sum([shard])[0], shard)
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            all_reduce_sum([np.zeros(3), np.zeros(4)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            all_reduce_sum([])
+
+
+class TestReduceBroadcast:
+    def test_reduce_sum(self, rng):
+        shards = [rng.normal(size=(3,)) for _ in range(4)]
+        np.testing.assert_allclose(reduce_sum(shards), sum(shards), rtol=1e-14)
+
+    def test_reduce_root_validation(self, rng):
+        with pytest.raises(ValueError):
+            reduce_sum([np.zeros(2)], root=1)
+
+    def test_broadcast_copies(self, rng):
+        src = rng.normal(size=(2, 3))
+        out = broadcast(src, 4)
+        assert len(out) == 4
+        for o in out:
+            np.testing.assert_array_equal(o, src)
+        out[0][0, 0] = -1.0
+        assert src[0, 0] != -1.0
+
+    def test_broadcast_world_size_validation(self, rng):
+        with pytest.raises(ValueError):
+            broadcast(np.zeros(2), 0)
+
+
+class TestGatherScatter:
+    def test_all_gather_concatenates(self, rng):
+        shards = [rng.normal(size=(2, 3)) for _ in range(3)]
+        out = all_gather(shards, axis=1)
+        assert out[0].shape == (2, 9)
+        np.testing.assert_array_equal(out[0], np.concatenate(shards, axis=1))
+
+    def test_reduce_scatter_roundtrip_with_all_gather(self, rng):
+        shards = [rng.normal(size=(8,)) for _ in range(4)]
+        scattered = reduce_scatter_sum(shards, axis=0)
+        assert all(s.shape == (2,) for s in scattered)
+        gathered = all_gather(scattered, axis=0)[0]
+        np.testing.assert_allclose(gathered, sum(shards), rtol=1e-14)
+
+    def test_reduce_scatter_uneven_rejected(self, rng):
+        with pytest.raises(ValueError):
+            reduce_scatter_sum([np.zeros(7), np.zeros(7)], axis=0)
+
+
+class TestCollectiveProperties:
+    """Algebraic identities the vocabulary layers rely on."""
+
+    def test_allreduce_sum_equals_reduce_plus_broadcast(self, rng):
+        shards = [rng.normal(size=(4,)) for _ in range(3)]
+        via_allreduce = all_reduce_sum(shards)
+        via_reduce = broadcast(reduce_sum(shards), 3)
+        for a, b in zip(via_allreduce, via_reduce):
+            np.testing.assert_allclose(a, b, rtol=1e-14)
+
+    def test_max_idempotent(self, rng):
+        shards = [rng.normal(size=(4,)) for _ in range(3)]
+        once = all_reduce_max(shards)
+        twice = all_reduce_max(once)
+        for a, b in zip(once, twice):
+            np.testing.assert_array_equal(a, b)

@@ -1,0 +1,83 @@
+"""Hypothesis property tests for the numerical collectives."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.collectives import (
+    all_gather,
+    all_reduce_max,
+    all_reduce_sum,
+    broadcast,
+    reduce_scatter_sum,
+    reduce_sum,
+)
+
+shard_lists = st.integers(1, 6).flatmap(
+    lambda world: st.lists(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.shared(
+                hnp.array_shapes(min_dims=1, max_dims=2, max_side=5), key="shape"
+            ),
+            elements=st.floats(-1e6, 1e6),
+        ),
+        min_size=world,
+        max_size=world,
+    )
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(shards=shard_lists)
+def test_all_reduce_sum_is_sum(shards):
+    out = all_reduce_sum(shards)
+    expected = np.sum(np.stack(shards), axis=0)
+    for o in out:
+        np.testing.assert_allclose(o, expected, rtol=1e-12, atol=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(shards=shard_lists)
+def test_all_reduce_max_upper_bounds_every_shard(shards):
+    out = all_reduce_max(shards)[0]
+    for shard in shards:
+        assert np.all(out >= shard)
+    # And the max is attained somewhere.
+    stacked = np.stack(shards)
+    np.testing.assert_array_equal(out, stacked.max(axis=0))
+
+
+@settings(max_examples=40, deadline=None)
+@given(shards=shard_lists)
+def test_reduce_then_broadcast_equals_all_reduce(shards):
+    via_all = all_reduce_sum(shards)
+    via_two = broadcast(reduce_sum(shards), len(shards))
+    for a, b in zip(via_all, via_two):
+        np.testing.assert_allclose(a, b, rtol=1e-12, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    world=st.integers(1, 5),
+    chunks=st.integers(1, 4),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_reduce_scatter_all_gather_roundtrip(world, chunks, seed):
+    rng = np.random.default_rng(seed)
+    length = world * chunks
+    shards = [rng.normal(size=length) for _ in range(world)]
+    scattered = reduce_scatter_sum(shards, axis=0)
+    gathered = all_gather(scattered, axis=0)[0]
+    np.testing.assert_allclose(gathered, np.sum(shards, axis=0), rtol=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(shards=shard_lists)
+def test_collectives_do_not_mutate_inputs(shards):
+    copies = [s.copy() for s in shards]
+    all_reduce_sum(shards)
+    all_reduce_max(shards)
+    reduce_sum(shards)
+    for original, copy in zip(shards, copies):
+        np.testing.assert_array_equal(original, copy)

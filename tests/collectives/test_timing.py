@@ -1,0 +1,82 @@
+"""Tests for the α–β communication timing model."""
+
+import pytest
+
+from repro.collectives import CommunicationModel
+from repro.config import ParallelConfig
+from repro.costmodel.hardware import A100_SXM_80G, HardwareModel
+
+
+def _comm(p: int, per_node: int = 8) -> CommunicationModel:
+    return CommunicationModel(
+        A100_SXM_80G, ParallelConfig(pipeline_size=p, devices_per_node=per_node)
+    )
+
+
+class TestAllReduce:
+    def test_single_rank_free(self):
+        assert _comm(1).all_reduce_time(1 << 20) == 0.0
+
+    def test_monotone_in_payload(self):
+        comm = _comm(8)
+        assert comm.all_reduce_time(2 << 20) > comm.all_reduce_time(1 << 20)
+
+    def test_zero_payload_is_latency_only(self):
+        comm = _comm(8)
+        assert comm.all_reduce_time(0) == pytest.approx(
+            2 * A100_SXM_80G.link_latency * 7
+        )
+
+    def test_multi_node_slower_than_single_node(self):
+        payload = 64 << 20
+        assert _comm(16).all_reduce_time(payload) > _comm(8).all_reduce_time(payload)
+
+    def test_ring_volume_factor(self):
+        # 2(p-1)/p of the payload per rank at ring bandwidth.
+        comm = _comm(4)
+        payload = 1e9
+        expected = 2 * 3 * A100_SXM_80G.link_latency + (
+            payload * 2 * 3 / 4 / A100_SXM_80G.intra_node_bandwidth
+        )
+        assert comm.all_reduce_time(payload) == pytest.approx(expected)
+
+    def test_reduce_equals_all_reduce(self):
+        # §6.1: Reduce implemented as NCCL AllReduce for volume balance.
+        comm = _comm(8)
+        assert comm.reduce_time(123456) == comm.all_reduce_time(123456)
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            _comm(4).all_reduce_time(-1)
+
+
+class TestBroadcast:
+    def test_cheaper_than_all_reduce(self):
+        comm = _comm(8)
+        assert comm.broadcast_time(1 << 20) < comm.all_reduce_time(1 << 20)
+
+    def test_single_rank_free(self):
+        assert _comm(1).broadcast_time(1 << 20) == 0.0
+
+
+class TestP2P:
+    def test_same_device_free(self):
+        assert _comm(8).p2p_time(1 << 20, 3, 3) == 0.0
+
+    def test_intra_node_faster_than_inter_node(self):
+        comm = _comm(16)
+        fast = comm.p2p_time(1 << 20, 0, 1)
+        slow = comm.p2p_time(1 << 20, 7, 8)   # crosses node boundary
+        assert fast < slow
+
+    def test_node_boundary_detection(self):
+        comm = CommunicationModel(
+            HardwareModel(), ParallelConfig(pipeline_size=8, devices_per_node=4)
+        )
+        intra = comm.p2p_time(1 << 20, 2, 3)
+        inter = comm.p2p_time(1 << 20, 3, 4)
+        assert intra < inter
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            _comm(4).p2p_time(-5, 0, 1)

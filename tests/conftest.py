@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig, ParallelConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_model() -> ModelConfig:
+    """A model small enough for fast schedule simulation."""
+    return ModelConfig(
+        num_layers=8,
+        hidden_size=512,
+        num_attention_heads=8,
+        seq_length=256,
+        vocab_size=4096,
+    )
+
+
+@pytest.fixture
+def small_parallel() -> ParallelConfig:
+    return ParallelConfig(pipeline_size=4, num_microbatches=16)
+
+
+@pytest.fixture
+def paper_4b_model() -> ModelConfig:
+    """The paper's ≈4B setting (Table 1, 8 GPUs)."""
+    return ModelConfig(
+        num_layers=32,
+        hidden_size=3072,
+        num_attention_heads=24,
+        seq_length=2048,
+        vocab_size=256 * 1024,
+    )

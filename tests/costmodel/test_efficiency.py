@@ -1,0 +1,114 @@
+"""Tests for the kernel-efficiency model and MFU metric."""
+
+import pytest
+
+from repro.config import ModelConfig, ParallelConfig
+from repro.costmodel import (
+    A100_SXM_80G,
+    HardwareModel,
+    KernelEfficiencyModel,
+    iteration_flops,
+    mfu,
+)
+
+
+class TestEfficiencyCurve:
+    def test_monotone_in_each_dimension(self):
+        eff = KernelEfficiencyModel()
+        base = eff.matmul_efficiency(1024, 1024, 1024)
+        assert eff.matmul_efficiency(2048, 1024, 1024) > base
+        assert eff.matmul_efficiency(1024, 2048, 1024) > base
+        assert eff.matmul_efficiency(1024, 1024, 2048) > base
+
+    def test_bounded_by_max(self):
+        eff = KernelEfficiencyModel()
+        assert eff.matmul_efficiency(1 << 20, 1 << 20, 1 << 20) < (
+            eff.max_matmul_efficiency
+        )
+
+    def test_training_scale_matmuls_realistic(self):
+        """Transformer-sized matmuls land in the 50–65 % band the
+        paper's ~50 % MFU implies."""
+        eff = KernelEfficiencyModel()
+        e = eff.matmul_efficiency(2048, 3072, 4 * 3072)
+        assert 0.5 < e < 0.66
+
+    def test_small_shards_lose_efficiency(self):
+        """§6.5: partitioned operations are less parallelized."""
+        eff = KernelEfficiencyModel()
+        assert eff.matmul_efficiency(2048, 3072, 256) < (
+            0.9 * eff.matmul_efficiency(2048, 3072, 262144)
+        )
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ValueError):
+            KernelEfficiencyModel().matmul_efficiency(0, 10, 10)
+
+
+class TestTimes:
+    def test_matmul_time_includes_launch_overhead(self):
+        eff = KernelEfficiencyModel()
+        tiny = eff.matmul_time(1, 1, 1, A100_SXM_80G)
+        assert tiny >= A100_SXM_80G.kernel_launch_overhead
+
+    def test_elementwise_bandwidth_bound(self):
+        eff = KernelEfficiencyModel()
+        one_gb = eff.elementwise_time(1e9, A100_SXM_80G)
+        assert one_gb > 1e9 / eff.hbm_bandwidth  # can't beat peak
+
+    def test_flops_time_validation(self):
+        eff = KernelEfficiencyModel()
+        with pytest.raises(ValueError):
+            eff.flops_time(1e9, A100_SXM_80G, 1.5)
+        with pytest.raises(ValueError):
+            eff.flops_time(-1, A100_SXM_80G, 0.5)
+        with pytest.raises(ValueError):
+            eff.elementwise_time(-1, A100_SXM_80G)
+
+
+class TestMFU:
+    def test_perfect_efficiency_bound(self):
+        model = ModelConfig(
+            num_layers=8,
+            hidden_size=512,
+            num_attention_heads=8,
+            seq_length=512,
+            vocab_size=8192,
+        )
+        parallel = ParallelConfig(pipeline_size=4, num_microbatches=16)
+        flops = iteration_flops(model, parallel)
+        # Running exactly at aggregate peak would be MFU = 1.
+        perfect_time = flops / (4 * A100_SXM_80G.peak_flops)
+        assert mfu(model, parallel, A100_SXM_80G, perfect_time) == pytest.approx(1.0)
+
+    def test_slower_run_lower_mfu(self):
+        model = ModelConfig(
+            num_layers=8,
+            hidden_size=512,
+            num_attention_heads=8,
+            seq_length=512,
+            vocab_size=8192,
+        )
+        parallel = ParallelConfig(pipeline_size=4, num_microbatches=16)
+        fast = mfu(model, parallel, A100_SXM_80G, 1.0)
+        slow = mfu(model, parallel, A100_SXM_80G, 2.0)
+        assert fast == pytest.approx(2 * slow)
+
+    def test_rejects_nonpositive_time(self):
+        model = ModelConfig(
+            num_layers=2, hidden_size=64, num_attention_heads=2,
+            seq_length=64, vocab_size=128,
+        )
+        with pytest.raises(ValueError):
+            mfu(model, ParallelConfig(pipeline_size=1), A100_SXM_80G, 0.0)
+
+
+class TestHardware:
+    def test_fits(self):
+        hw = HardwareModel()
+        assert hw.fits(hw.memory_bytes)
+        assert not hw.fits(hw.memory_bytes + 1)
+
+    def test_paper_testbed_defaults(self):
+        assert A100_SXM_80G.peak_flops == pytest.approx(312e12)
+        assert A100_SXM_80G.memory_bytes == pytest.approx(80 * 1024**3)

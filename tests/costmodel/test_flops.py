@@ -1,0 +1,99 @@
+"""Tests for the Table 4 FLOPs model (Appendix A)."""
+
+import pytest
+
+from repro.config import ModelConfig
+from repro.costmodel import (
+    input_layer_flops,
+    model_flops_per_iteration,
+    output_layer_flops,
+    transformer_layer_flops,
+    vocab_to_transformer_compute_ratio,
+)
+
+
+@pytest.fixture
+def model() -> ModelConfig:
+    return ModelConfig(
+        num_layers=32,
+        hidden_size=3072,
+        num_attention_heads=24,
+        seq_length=2048,
+        vocab_size=131072,
+    )
+
+
+class TestTable4Formulas:
+    def test_transformer_total(self, model):
+        b, s, h = 1, model.seq_length, model.hidden_size
+        expected = b * s * h * (72 * h + 12 * s)
+        assert transformer_layer_flops(model).total == pytest.approx(expected)
+
+    def test_input_total(self, model):
+        expected = 3 * model.seq_length * model.hidden_size
+        assert input_layer_flops(model).total == pytest.approx(expected)
+
+    def test_output_total(self, model):
+        expected = 6 * model.seq_length * model.hidden_size * model.vocab_size
+        assert output_layer_flops(model).total == pytest.approx(expected)
+
+    def test_backward_is_twice_forward(self, model):
+        for flops in (
+            transformer_layer_flops(model),
+            output_layer_flops(model),
+            input_layer_flops(model),
+        ):
+            assert flops.backward == pytest.approx(2.0 * flops.forward)
+
+    def test_microbatch_size_scales_linearly(self, model):
+        one = transformer_layer_flops(model, microbatch_size=1).total
+        four = transformer_layer_flops(model, microbatch_size=4).total
+        assert four == pytest.approx(4.0 * one)
+
+    def test_output_vocab_override(self, model):
+        half = output_layer_flops(model, vocab_size=model.vocab_size // 2)
+        assert half.total == pytest.approx(output_layer_flops(model).total / 2)
+
+
+class TestIterationFlops:
+    def test_composition(self, model):
+        per_mb = (
+            32 * transformer_layer_flops(model).total
+            + input_layer_flops(model).total
+            + output_layer_flops(model).total
+        )
+        assert model_flops_per_iteration(model, 1, 128) == pytest.approx(128 * per_mb)
+
+
+class TestFigure2Ratios:
+    """Gemma2-9B's output layer ≈ 5 transformer layers at 256k (Fig. 2)."""
+
+    def test_gemma2_9b_output_ratio_at_256k(self):
+        from repro.harness.settings import GEMMA2_9B
+
+        _, out_ratio = vocab_to_transformer_compute_ratio(GEMMA2_9B)
+        assert 4.0 < out_ratio < 6.0
+
+    def test_ratio_grows_linearly_with_vocab(self, model):
+        _, r1 = vocab_to_transformer_compute_ratio(model)
+        _, r2 = vocab_to_transformer_compute_ratio(
+            model.replace(vocab_size=2 * model.vocab_size)
+        )
+        assert r2 == pytest.approx(2.0 * r1)
+
+    def test_input_compute_negligible(self, model):
+        in_ratio, out_ratio = vocab_to_transformer_compute_ratio(model)
+        assert in_ratio < 0.01
+        assert out_ratio > 1.0
+
+    def test_paper_7b_example(self):
+        """Figure 3 caption: 7B model, 128k vocab → output ≈ 2.4×."""
+        model = ModelConfig(
+            num_layers=32,
+            hidden_size=4096,
+            num_attention_heads=32,
+            seq_length=2048,
+            vocab_size=128 * 1024,
+        )
+        _, out_ratio = vocab_to_transformer_compute_ratio(model)
+        assert out_ratio == pytest.approx(2.4, abs=0.15)

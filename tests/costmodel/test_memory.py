@@ -1,0 +1,83 @@
+"""Tests for the parameter/activation memory model."""
+
+import pytest
+
+from repro.config import ModelConfig
+from repro.costmodel import (
+    MemoryModel,
+    activation_bytes_per_microbatch,
+    input_layer_param_bytes,
+    output_layer_param_bytes,
+    transformer_layer_param_bytes,
+    vocab_to_transformer_memory_ratio,
+)
+
+
+@pytest.fixture
+def model() -> ModelConfig:
+    return ModelConfig(
+        num_layers=32,
+        hidden_size=3072,
+        num_attention_heads=24,
+        seq_length=2048,
+        vocab_size=131072,
+    )
+
+
+class TestParamBytes:
+    def test_transformer_24h2(self, model):
+        assert transformer_layer_param_bytes(model) == 24 * 3072 * 3072
+
+    def test_vocab_layers_2hv(self, model):
+        assert input_layer_param_bytes(model) == 2 * 3072 * 131072
+        assert output_layer_param_bytes(model) == input_layer_param_bytes(model)
+
+    def test_vocab_override(self, model):
+        assert output_layer_param_bytes(model, vocab_size=1024) == 2 * 3072 * 1024
+
+    def test_memory_ratio_paper_7b(self):
+        """Figure 3 caption: output = 2.6× transformer parameter memory."""
+        model = ModelConfig(
+            num_layers=32,
+            hidden_size=4096,
+            num_attention_heads=32,
+            seq_length=2048,
+            vocab_size=128 * 1024,
+        )
+        _, out_ratio = vocab_to_transformer_memory_ratio(model)
+        assert out_ratio == pytest.approx(2.67, abs=0.1)
+
+
+class TestActivationBytes:
+    def test_flash_attention_formula(self, model):
+        expected = 2048 * 3072 * 34.0
+        assert activation_bytes_per_microbatch(model) == pytest.approx(expected)
+
+    def test_without_flash_includes_quadratic_term(self, model):
+        with_flash = activation_bytes_per_microbatch(model, flash_attention=True)
+        without = activation_bytes_per_microbatch(model, flash_attention=False)
+        assert without > with_flash
+
+    def test_scales_with_layers_and_microbatch(self, model):
+        base = activation_bytes_per_microbatch(model, 1, 1)
+        assert activation_bytes_per_microbatch(model, 2, 3) == pytest.approx(6 * base)
+
+
+class TestMemoryModel:
+    def test_training_state_factor(self, model):
+        mm = MemoryModel(train_state_factor=9.0)
+        assert mm.transformer_stage_param_bytes(model, 4) == pytest.approx(
+            4 * 24 * 3072 * 3072 * 9.0
+        )
+
+    def test_output_shard_activation(self, model):
+        mm = MemoryModel()
+        assert mm.output_shard_activation_bytes(model, 1, 4096) == pytest.approx(
+            2048 * 4096 * 4.0
+        )
+
+    def test_vocab_state_bytes(self, model):
+        mm = MemoryModel(vocab_state_factor=7.0)
+        assert mm.input_layer_state_bytes(model, 1024) == pytest.approx(
+            2 * 3072 * 1024 * 7.0
+        )

@@ -1,0 +1,160 @@
+"""Tests for the tiny LM, its vocabulary-parallel twin, and the trainer."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    Adam,
+    TinyLM,
+    TinyLMConfig,
+    VocabParallelLM,
+    make_corpus,
+    train,
+)
+from repro.models.tiny_lm import init_parameters
+from repro.vocab import VocabPartition
+
+
+@pytest.fixture
+def config():
+    return TinyLMConfig(vocab_size=40, hidden_size=12, num_blocks=2, seq_length=32)
+
+
+class TestTinyLM:
+    def test_loss_near_uniform_at_init(self, config):
+        model = TinyLM(config, seed=0)
+        corpus = make_corpus(config.vocab_size, config.seq_length, 1)
+        loss, _ = model.loss_and_grads(*corpus[0])
+        assert abs(loss - np.log(config.vocab_size)) < 1.5
+
+    def test_gradients_match_finite_differences(self):
+        config = TinyLMConfig(vocab_size=9, hidden_size=5, num_blocks=1, seq_length=7)
+        model = TinyLM(config, seed=1)
+        rng = np.random.default_rng(0)
+        tokens = rng.integers(0, 9, size=7)
+        labels = rng.integers(0, 9, size=7)
+        _, grads = model.loss_and_grads(tokens, labels)
+        eps = 1e-6
+        for name in ("output", "embedding", "positional", "block0.w1", "block0.b2"):
+            param = model.params[name]
+            flat_index = (0,) * param.ndim
+            param[flat_index] += eps
+            up, _ = model.loss_and_grads(tokens, labels)
+            param[flat_index] -= 2 * eps
+            down, _ = model.loss_and_grads(tokens, labels)
+            param[flat_index] += eps
+            numeric = (up - down) / (2 * eps)
+            assert abs(numeric - grads[name][flat_index]) < 1e-6, name
+
+    def test_grads_cover_all_params(self, config):
+        model = TinyLM(config)
+        corpus = make_corpus(config.vocab_size, config.seq_length, 1)
+        _, grads = model.loss_and_grads(*corpus[0])
+        assert set(grads) == set(model.params)
+
+    def test_wrong_sequence_length_rejected(self, config):
+        model = TinyLM(config)
+        with pytest.raises(ValueError):
+            model.embed(np.zeros(5, dtype=int))
+
+
+class TestVocabParallelLM:
+    @pytest.mark.parametrize("algorithm", ["naive", "alg1", "alg2"])
+    @pytest.mark.parametrize("ranks", [2, 4])
+    def test_single_step_matches_reference(self, config, algorithm, ranks):
+        part = VocabPartition(config.vocab_size, ranks)
+        padded_config = TinyLMConfig(
+            config.vocab_size, config.hidden_size, config.num_blocks,
+            config.seq_length, padded_vocab_size=part.padded_size,
+        )
+        params = init_parameters(padded_config, seed=2)
+        ref = TinyLM(padded_config, params={k: v.copy() for k, v in params.items()})
+        vp = VocabParallelLM(
+            config, ranks, algorithm=algorithm,
+            params={k: v.copy() for k, v in params.items()},
+        )
+        corpus = make_corpus(config.vocab_size, config.seq_length, 1)
+        ref_loss, ref_grads = ref.loss_and_grads(*corpus[0])
+        vp_loss, vp_grads = vp.loss_and_grads(*corpus[0])
+        assert vp_loss == pytest.approx(ref_loss, rel=1e-12)
+        for name in ref_grads:
+            np.testing.assert_allclose(
+                vp_grads[name], ref_grads[name], rtol=1e-10, atol=1e-12,
+            )
+
+    def test_convergence_curves_match(self, config):
+        """Figure 17 / Appendix E: identical loss trajectories."""
+        part = VocabPartition(config.vocab_size, 4)
+        padded_config = TinyLMConfig(
+            config.vocab_size, config.hidden_size, config.num_blocks,
+            config.seq_length, padded_vocab_size=part.padded_size,
+        )
+        params = init_parameters(padded_config, seed=3)
+        corpus = make_corpus(config.vocab_size, config.seq_length, 4)
+        ref = train(
+            TinyLM(padded_config, params={k: v.copy() for k, v in params.items()}),
+            corpus, steps=40,
+        )
+        vp = train(
+            VocabParallelLM(config, 4, params={k: v.copy() for k, v in params.items()}),
+            corpus, steps=40,
+        )
+        np.testing.assert_allclose(ref.losses, vp.losses, rtol=1e-9, atol=1e-10)
+
+    def test_loss_decreases(self, config):
+        corpus = make_corpus(config.vocab_size, config.seq_length, 4, noise=0.1)
+        result = train(VocabParallelLM(config, 2), corpus, steps=150)
+        assert result.final_loss < 0.6 * result.losses[0]
+
+    def test_bad_algorithm_rejected(self, config):
+        with pytest.raises(ValueError):
+            VocabParallelLM(config, 2, algorithm="alg3")
+
+    def test_params_roundtrip_through_updates(self, config):
+        vp = VocabParallelLM(config, 2)
+        dense = vp.params
+        vp.apply_update("embedding", dense["embedding"] * 2.0)
+        np.testing.assert_allclose(vp.params["embedding"], dense["embedding"] * 2.0)
+
+
+class TestTrainerPieces:
+    def test_adam_moves_toward_minimum(self):
+        class Quadratic:
+            def __init__(self):
+                self.params = {"x": np.array([5.0])}
+
+        model = Quadratic()
+        opt = Adam(lr=0.1)
+        for _ in range(300):
+            grads = {"x": 2.0 * model.params["x"]}
+            opt.step(model, grads)
+        assert abs(model.params["x"][0]) < 0.05
+
+    def test_adam_validation(self):
+        with pytest.raises(ValueError):
+            Adam(lr=0.0)
+
+    def test_make_corpus_shapes_and_ranges(self):
+        corpus = make_corpus(17, 23, 5)
+        assert len(corpus) == 5
+        for tokens, labels in corpus:
+            assert tokens.shape == labels.shape == (23,)
+            assert tokens.min() >= 0 and tokens.max() < 17
+            assert labels.min() >= 0 and labels.max() < 17
+
+    def test_make_corpus_noise_validation(self):
+        with pytest.raises(ValueError):
+            make_corpus(10, 10, 1, noise=1.5)
+
+    def test_corpus_learnable_structure(self):
+        """Zero noise → labels are a function of tokens."""
+        corpus = make_corpus(11, 50, 3, noise=0.0, seed=1)
+        mapping = {}
+        for tokens, labels in corpus:
+            for t, l in zip(tokens, labels):
+                assert mapping.setdefault(t, l) == l
+
+    def test_train_validation(self, config):
+        corpus = make_corpus(config.vocab_size, config.seq_length, 1)
+        with pytest.raises(ValueError):
+            train(TinyLM(config), corpus, steps=0)

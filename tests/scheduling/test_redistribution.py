@@ -1,0 +1,103 @@
+"""Tests for the Redis layer-redistribution baseline."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import ModelConfig
+from repro.costmodel import output_layer_flops, transformer_layer_flops
+from repro.scheduling import redistribute_layers
+
+
+def _model(layers=32, hidden=3072, seq=2048, vocab=131072, heads=24):
+    return ModelConfig(
+        num_layers=layers,
+        hidden_size=hidden,
+        num_attention_heads=heads,
+        seq_length=seq,
+        vocab_size=vocab,
+    )
+
+
+class TestPlan:
+    def test_layers_conserved(self):
+        plan = redistribute_layers(_model(), 8)
+        assert sum(plan.layers_per_stage) == 32
+
+    def test_small_vocab_stays_nearly_uniform(self):
+        plan = redistribute_layers(_model(vocab=8192), 8)
+        assert max(plan.layers_per_stage) - min(plan.layers_per_stage) <= 1
+
+    def test_large_vocab_strips_output_stage(self):
+        """At 256k the output layer outweighs a whole uniform stage."""
+        plan = redistribute_layers(_model(vocab=262144), 8)
+        assert plan.layers_per_stage[-1] < 4
+
+    def test_bottleneck_not_worse_than_uniform(self):
+        model = _model(vocab=262144)
+        plan = redistribute_layers(model, 8)
+        t = transformer_layer_flops(model).total
+        out = output_layer_flops(model).total
+        uniform_bottleneck = 4 * t + out
+        assert plan.bottleneck <= uniform_bottleneck
+
+    def test_bottleneck_matches_costs(self):
+        plan = redistribute_layers(_model(), 8)
+        assert plan.bottleneck == max(plan.stage_costs)
+
+    def test_layout_holders(self):
+        layout = redistribute_layers(_model(), 8).layout()
+        assert layout.input_holder == (0, 0)
+        assert layout.output_holder == (7, 0)
+        assert layout.total_layers == 32
+
+    def test_imbalance_persists_with_coarse_granularity(self):
+        """§2: even optimal redistribution cannot balance when the
+        output layer alone exceeds the average stage load."""
+        model = _model(vocab=262144)
+        plan = redistribute_layers(model, 8)
+        t = transformer_layer_flops(model).total
+        out = output_layer_flops(model).total
+        average = (32 * t + out) / 8
+        assert plan.bottleneck > 1.2 * average
+
+    def test_rejects_bad_devices(self):
+        with pytest.raises(ValueError):
+            redistribute_layers(_model(), 0)
+
+
+class TestTieBreaking:
+    def test_extra_layers_go_to_late_stages(self):
+        """Memory-preserving tie-break: stage 0 never takes the spill."""
+        model = _model(layers=64, hidden=5120, seq=4096, vocab=131072, heads=40)
+        plan = redistribute_layers(model, 32)
+        assert plan.layers_per_stage[0] <= 2
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    layers=st.integers(4, 64),
+    devices=st.integers(2, 16),
+    vocab=st.sampled_from([8192, 32768, 131072, 262144]),
+)
+def test_plan_always_feasible_and_optimal_bound(layers, devices, vocab):
+    """Property: the plan conserves layers and its bottleneck is a
+    lower bound certified by the average-load argument."""
+    model = ModelConfig(
+        num_layers=layers,
+        hidden_size=1024,
+        num_attention_heads=8,
+        seq_length=1024,
+        vocab_size=vocab,
+    )
+    plan = redistribute_layers(model, devices)
+    assert sum(plan.layers_per_stage) == layers
+    assert len(plan.layers_per_stage) == devices
+    assert all(count >= 0 for count in plan.layers_per_stage)
+    t = transformer_layer_flops(model).total
+    out = output_layer_flops(model).total
+    total_work = layers * t + out  # input-layer FLOPs negligible
+    assert plan.bottleneck >= total_work / devices * 0.999
+    # And never worse than piling everything uniformly with the output
+    # stage overloaded.
+    per_stage = -(-layers // devices)
+    assert plan.bottleneck <= per_stage * t + out + 1e-6 * t

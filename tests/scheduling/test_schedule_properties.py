@@ -1,0 +1,78 @@
+"""Hypothesis property tests for schedule generation."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.scheduling import (
+    PassType,
+    generate_1f1b,
+    generate_1f1b_vocab,
+    generate_vhalf,
+    generate_interlaced,
+)
+from repro.sim import execute_schedule
+
+from tests.sim.test_executor import UnitRuntime
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    p=st.integers(1, 10),
+    m=st.integers(1, 20),
+    algorithm=st.sampled_from([1, 2]),
+    include_input=st.booleans(),
+)
+def test_vocab_schedules_always_valid_and_executable(p, m, algorithm, include_input):
+    schedule = generate_1f1b_vocab(
+        p, m, p, algorithm=algorithm, include_input=include_input
+    )
+    schedule.validate()
+    result = execute_schedule(schedule, UnitRuntime())
+    assert result.iteration_time > 0
+    # All m microbatches completed everywhere.
+    assert len(result.pass_times) == sum(len(o) for o in schedule.device_orders)
+
+
+@settings(max_examples=30, deadline=None)
+@given(p=st.integers(1, 12), m=st.integers(1, 16))
+def test_1f1b_total_pass_count(p, m):
+    schedule = generate_1f1b(p, m, num_layers=p)
+    for order in schedule.device_orders:
+        assert len(order) == 2 * m  # one F + one B per microbatch
+
+
+@settings(max_examples=25, deadline=None)
+@given(p=st.integers(1, 8), m=st.integers(1, 12))
+def test_vhalf_pass_count_and_chunks(p, m):
+    schedule = generate_vhalf(p, m, 2 * p)
+    for order in schedule.device_orders:
+        assert len(order) == 6 * m  # F/B/W × 2 chunks
+        for chunk in (0, 1):
+            fs = [x for x in order if x.type is PassType.F and x.chunk == chunk]
+            assert len(fs) == m
+
+
+@settings(max_examples=25, deadline=None)
+@given(p=st.integers(2, 8), m=st.integers(1, 12))
+def test_interlaced_executes_with_barrier_structure(p, m):
+    schedule = generate_interlaced(p, m, p)
+    result = execute_schedule(schedule, UnitRuntime())
+    # VF of a microbatch never precedes the last stage's F of it.
+    from repro.scheduling import Pass
+
+    for mb in range(m):
+        f_end = result.pass_times[Pass(PassType.F, mb, p - 1)][1]
+        for d in range(p):
+            assert result.pass_times[Pass(PassType.VF, mb, d)][0] >= f_end - 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(p=st.integers(1, 8), m=st.integers(1, 10), algorithm=st.sampled_from([1, 2]))
+def test_makespan_monotone_in_microbatches(p, m, algorithm):
+    """Adding a microbatch never shortens the iteration."""
+    shorter = generate_1f1b_vocab(p, m, p, algorithm=algorithm)
+    longer = generate_1f1b_vocab(p, m + 1, p, algorithm=algorithm)
+    rt = UnitRuntime()
+    assert (
+        execute_schedule(longer, rt).iteration_time
+        >= execute_schedule(shorter, rt).iteration_time - 1e-9
+    )

@@ -1,0 +1,100 @@
+"""Tests for the analysis subpackage (bubbles, balance, block rendering)."""
+
+import pytest
+
+from repro.analysis import (
+    bubble_breakdown,
+    compute_balance,
+    memory_balance,
+    render_building_block,
+)
+from repro.config import ModelConfig, ParallelConfig
+from repro.harness.experiments import build_schedule
+from repro.scheduling.onefoneb import build_1f1b_block, build_1f1b_vocab_block
+from repro.sim import RuntimeModel, SimulationSetup, execute_schedule, memory_report
+
+
+@pytest.fixture
+def setups():
+    model = ModelConfig(
+        num_layers=16,
+        hidden_size=1024,
+        num_attention_heads=8,
+        seq_length=1024,
+        vocab_size=256 * 1024,
+    )
+    return SimulationSetup(model, ParallelConfig(pipeline_size=4, num_microbatches=24))
+
+
+def _run(setup, method):
+    schedule = build_schedule(method, setup)
+    return execute_schedule(schedule, RuntimeModel(setup, schedule))
+
+
+class TestBubbleBreakdown:
+    def test_components_sum_to_span(self, setups):
+        result = _run(setups, "baseline")
+        for device in range(4):
+            b = bubble_breakdown(result, device)
+            assert b.busy + b.total_idle == pytest.approx(b.span, rel=1e-9)
+
+    def test_device0_warmup_free_last_device_warmup_heavy(self, setups):
+        result = _run(setups, "baseline")
+        first = bubble_breakdown(result, 0)
+        last = bubble_breakdown(result, 3)
+        assert first.warmup == pytest.approx(0.0, abs=1e-9)
+        assert last.warmup > 0.0
+
+    def test_vocab_kills_steady_state_stalls(self, setups):
+        """The paper's core effect, isolated: at 256k vocabulary the
+        baseline's inner devices stall every interval; Vocab-2's don't."""
+        baseline = _run(setups, "baseline")
+        vocab = _run(setups, "vocab-2")
+        base_stall = bubble_breakdown(baseline, 1).stall_fraction
+        vocab_stall = bubble_breakdown(vocab, 1).stall_fraction
+        assert vocab_stall < 0.5 * base_stall
+
+    def test_invalid_device(self, setups):
+        result = _run(setups, "baseline")
+        with pytest.raises(ValueError):
+            bubble_breakdown(result, 9)
+
+
+class TestBalance:
+    def test_compute_balance_baseline_vs_vocab(self, setups):
+        base = compute_balance(_run(setups, "baseline"))
+        vocab = compute_balance(_run(setups, "vocab-1"))
+        assert base.imbalance > 1.3     # output stage dominates
+        assert vocab.imbalance < 1.05   # balanced work
+
+    def test_memory_balance(self, setups):
+        result = _run(setups, "vhalf-vocab-1")
+        report = memory_report(result, setups)
+        balance = memory_balance(report)
+        assert balance.imbalance < 1.1
+        assert balance.spread == pytest.approx(report.spread)
+
+    def test_mean_and_spread(self):
+        from repro.analysis import BalanceReport
+
+        report = BalanceReport(values=[1.0, 2.0, 3.0])
+        assert report.mean == pytest.approx(2.0)
+        assert report.imbalance == pytest.approx(1.5)
+        assert report.spread == pytest.approx(2.0)
+
+
+class TestBlockRendering:
+    def test_1f1b_block_renders(self):
+        text = render_building_block(build_1f1b_block(4))
+        lines = text.splitlines()
+        assert len(lines) == 5
+        assert "interval=3" in lines[0]
+        assert "F" in text and "B" in text
+
+    def test_vocab_block_includes_st(self):
+        text = render_building_block(build_1f1b_vocab_block(4, algorithm=1))
+        assert "S" in text and "T" in text
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            render_building_block(build_1f1b_block(2), width_per_interval=0)

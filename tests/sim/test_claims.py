@@ -1,0 +1,177 @@
+"""End-to-end validation of the paper's headline scheduling claims.
+
+These are the statements the whole paper hangs on, checked on executed
+schedules (not just block analysis):
+
+* 1F1B stores exactly ``p`` microbatches on device 0; Vocabulary
+  Parallelism adds exactly one per communication barrier (Figure 10);
+* the interlaced pipeline stores ≈1.5× (Appendix B.1);
+* V-Half's activation memory is balanced and roughly half of 1F1B's;
+* vocabulary-parallel schedules stay near bubble-free as vocabulary
+  grows while the baseline's bubbles explode (Figures 11/13);
+* removing the interlaced sync all-reduces recovers ≈10 % at 32 GPUs
+  (Appendix B.2).
+"""
+
+import pytest
+
+from repro.config import ModelConfig, ParallelConfig
+from repro.costmodel.mfu import mfu
+from repro.harness.experiments import build_schedule, run_method
+from repro.harness.runner import run_interlaced_ablation
+from repro.sim import (
+    RuntimeModel,
+    SimulationSetup,
+    execute_schedule,
+    live_microbatch_peaks,
+    memory_report,
+)
+
+
+def _setup(p=4, m=24, vocab=64 * 1024, seq=1024, layers_per_device=4):
+    model = ModelConfig(
+        num_layers=layers_per_device * p,
+        hidden_size=1024,
+        num_attention_heads=8,
+        seq_length=seq,
+        vocab_size=vocab,
+    )
+    parallel = ParallelConfig(pipeline_size=p, num_microbatches=m)
+    return SimulationSetup(model, parallel)
+
+
+def _run(method, setup, refine=True):
+    schedule = build_schedule(method, setup, refine=refine)
+    runtime = RuntimeModel(setup, schedule)
+    return execute_schedule(schedule, runtime)
+
+
+class TestLiveMicrobatchClaims:
+    @pytest.mark.parametrize("p", [4, 8])
+    def test_1f1b_device0_holds_p(self, p):
+        setup = _setup(p=p)
+        result = _run("baseline", setup)
+        assert live_microbatch_peaks(result)[0] == pytest.approx(p)
+
+    @pytest.mark.parametrize("p", [4, 8])
+    def test_vocab1_holds_p_plus_2(self, p):
+        setup = _setup(p=p)
+        result = _run("vocab-1", setup)
+        assert live_microbatch_peaks(result)[0] == pytest.approx(p + 2)
+
+    @pytest.mark.parametrize("p", [4, 8])
+    def test_vocab2_holds_p_plus_1(self, p):
+        setup = _setup(p=p)
+        result = _run("vocab-2", setup)
+        assert live_microbatch_peaks(result)[0] == pytest.approx(p + 1)
+
+    @pytest.mark.parametrize("p", [4, 8])
+    def test_interlaced_holds_1_5p(self, p):
+        setup = _setup(p=p)
+        result = _run("interlaced", setup)
+        assert live_microbatch_peaks(result)[0] == pytest.approx(
+            p + -(-p // 2), abs=0.01
+        )
+
+    def test_vhalf_balanced_and_about_half(self):
+        setup = _setup(p=4, layers_per_device=4)
+        base = _run("baseline", setup)
+        vhalf = _run("vhalf-baseline", setup)
+        base_peaks = live_microbatch_peaks(base)
+        vhalf_peaks = live_microbatch_peaks(vhalf)
+        assert max(vhalf_peaks) - min(vhalf_peaks) <= 1.0
+        assert max(vhalf_peaks) <= 0.75 * max(base_peaks)
+
+
+class TestMemoryBalance:
+    def test_vocab_parallel_removes_parameter_imbalance(self):
+        setup = _setup(p=4, vocab=256 * 1024)
+        base_report = memory_report(_run("baseline", setup), setup)
+        vocab_report = memory_report(_run("vocab-2", setup), setup)
+        base_params = base_report.per_device_params
+        vocab_params = vocab_report.per_device_params
+        assert max(base_params) - min(base_params) > 5 * (
+            max(vocab_params) - min(vocab_params)
+        )
+
+    def test_vhalf_vocab_fully_balanced(self):
+        setup = _setup(p=4, vocab=256 * 1024)
+        report = memory_report(_run("vhalf-vocab-1", setup), setup)
+        # Paper §6.4: balanced within a small constant (positional
+        # embedding on device 0).
+        assert report.spread < 0.1 * report.peak
+
+    def test_vhalf_baseline_severely_imbalanced_at_large_vocab(self):
+        setup = _setup(p=4, vocab=256 * 1024)
+        report = memory_report(_run("vhalf-baseline", setup), setup)
+        assert report.spread > 0.3 * report.peak
+
+    def test_vocab_peak_grows_slower_than_baseline(self):
+        small, large = _setup(p=4, vocab=32 * 1024), _setup(p=4, vocab=256 * 1024)
+        base_growth = (
+            memory_report(_run("baseline", large), large).peak
+            - memory_report(_run("baseline", small), small).peak
+        )
+        vocab_growth = (
+            memory_report(_run("vocab-1", large), large).peak
+            - memory_report(_run("vocab-1", small), small).peak
+        )
+        assert vocab_growth < 0.5 * base_growth
+
+
+class TestThroughputShapes:
+    def test_baseline_mfu_collapses_with_vocab(self):
+        small, large = _setup(vocab=32 * 1024), _setup(vocab=512 * 1024)
+        mfu_small = _mfu("baseline", small)
+        mfu_large = _mfu("baseline", large)
+        assert mfu_large < 0.7 * mfu_small
+
+    def test_vocab_parallel_mfu_does_not_collapse(self):
+        """At this toy scale fixed overheads make MFU *rise* slightly
+        with vocabulary (more useful FLOPs against the same launch
+        costs); the paper-scale flatness is validated against Table 5
+        in tests/harness.  The claim here: no baseline-style collapse.
+        """
+        small, large = _setup(vocab=32 * 1024), _setup(vocab=512 * 1024)
+        for method in ("vocab-1", "vocab-2"):
+            ratio = _mfu(method, large) / _mfu(method, small)
+            assert 0.9 < ratio < 1.5
+
+    def test_vocab_beats_baseline_at_large_vocab(self):
+        setup = _setup(vocab=512 * 1024)
+        base = _mfu("baseline", setup)
+        assert _mfu("vocab-1", setup) > 1.3 * base
+        assert _mfu("vocab-2", setup) > 1.3 * base
+
+    def test_redis_between_baseline_and_vocab(self):
+        setup = _setup(vocab=512 * 1024)
+        base, redis, vocab = (
+            _mfu("baseline", setup), _mfu("redis", setup), _mfu("vocab-1", setup)
+        )
+        assert base < redis < vocab
+
+    def test_vocab_bubbles_small(self):
+        setup = _setup(p=4, m=48, vocab=256 * 1024)
+        result = _run("vocab-2", setup)
+        assert result.mean_bubble_fraction() < 0.18
+
+
+class TestInterlacedAblation:
+    def test_appendix_b_shape(self):
+        result = run_interlaced_ablation(num_microbatches=48)
+        # B.2: removing sync all-reduces recovers ~11 % at 32 GPUs.
+        assert 4.0 < result.speedup_percent < 16.0
+        # B.1: 1.5× activation memory vs 1F1B.
+        assert result.activation_memory_factor == pytest.approx(1.5, abs=0.2)
+
+    def test_multi_node_interlaced_loses_to_vocab(self):
+        """§6.3: Vocabulary Parallelism beats interlaced across nodes."""
+        setup = _setup(p=16, m=32, vocab=256 * 1024)
+        assert _mfu("vocab-1", setup) > _mfu("interlaced", setup)
+
+
+def _mfu(method, setup):
+    result = _run(method, setup)
+    return mfu(
+        setup.model, setup.parallel, setup.hardware, result.iteration_time
+    )

@@ -1,0 +1,107 @@
+"""Property-based tests for the schedule executor (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.scheduling import (
+    PassType,
+    generate_1f1b,
+    generate_1f1b_vocab,
+    generate_vhalf,
+)
+from repro.sim import execute_schedule, execute_schedule_dataflow
+
+from tests.sim.test_executor import UnitRuntime
+
+
+class ScaledRuntime(UnitRuntime):
+    """Unit durations scaled per pass type by a drawn multiplier."""
+
+    def __init__(self, scales):
+        self.scales = scales
+
+    def pass_duration(self, p):
+        return super().pass_duration(p) * self.scales.get(p.type.value, 1.0)
+
+
+schedule_strategy = st.sampled_from(
+    [
+        lambda p, m: generate_1f1b(p, m, num_layers=p),
+        lambda p, m: generate_1f1b_vocab(p, m, p, algorithm=1),
+        lambda p, m: generate_1f1b_vocab(p, m, p, algorithm=2),
+        lambda p, m: generate_vhalf(p, m, 2 * p),
+    ]
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    factory=schedule_strategy,
+    p=st.integers(2, 6),
+    m=st.integers(1, 12),
+    f_scale=st.floats(0.2, 5.0),
+    b_scale=st.floats(0.2, 5.0),
+)
+def test_makespan_bounds(factory, p, m, f_scale, b_scale):
+    """Makespan ≥ max(per-device work, per-microbatch critical path)
+    and every pass fits inside [0, makespan]."""
+    schedule = factory(p, m)
+    runtime = ScaledRuntime({"F": f_scale, "B": b_scale})
+    result = execute_schedule(schedule, runtime)
+    for device in range(p):
+        assert result.iteration_time >= result.device_busy[device] - 1e-9
+    for _, (start, end) in result.pass_times.items():
+        assert start >= -1e-12
+        assert end <= result.iteration_time + 1e-9
+        assert end >= start
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    factory=schedule_strategy,
+    p=st.integers(2, 5),
+    m=st.integers(2, 10),
+    lookahead=st.integers(1, 12),
+)
+def test_dataflow_never_slower_and_deps_hold(factory, p, m, lookahead):
+    schedule = factory(p, m)
+    runtime = UnitRuntime()
+    in_order = execute_schedule(schedule, runtime)
+    dataflow = execute_schedule_dataflow(
+        schedule, runtime, lookahead=lookahead, mode="zero-bubble"
+    )
+    assert dataflow.iteration_time <= in_order.iteration_time + 1e-9
+    # F chain still respected under reordering.
+    layout = schedule.layout
+    for mb in range(m):
+        for s in range(1, layout.num_stages):
+            up_dev, up_chunk = layout.holder_of_stage(s - 1)
+            down_dev, down_chunk = layout.holder_of_stage(s)
+            from repro.scheduling import Pass
+
+            up = dataflow.pass_times[Pass(PassType.F, mb, up_dev, up_chunk)]
+            down = dataflow.pass_times[Pass(PassType.F, mb, down_dev, down_chunk)]
+            assert down[0] >= up[1] - 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(p=st.integers(2, 6), m=st.integers(1, 10))
+def test_1f1b_memory_invariant_under_duration_scaling(p, m):
+    """Device-0 live microbatches = min(m, p) for any F/B durations."""
+    from repro.sim import live_microbatch_peaks
+
+    schedule = generate_1f1b(p, m, num_layers=p)
+    result = execute_schedule(schedule, ScaledRuntime({"F": 0.5, "B": 3.0}))
+    assert live_microbatch_peaks(result)[0] == pytest.approx(min(m, p))
+
+
+@settings(max_examples=15, deadline=None)
+@given(p=st.integers(2, 5), m=st.integers(1, 8), algorithm=st.sampled_from([1, 2]))
+def test_vocab_memory_invariant(p, m, algorithm):
+    """Device-0 live = min(m, p + barriers) for any microbatch count."""
+    from repro.sim import live_microbatch_peaks
+
+    schedule = generate_1f1b_vocab(p, m, p, algorithm=algorithm)
+    result = execute_schedule(schedule, UnitRuntime())
+    barriers = 2 if algorithm == 1 else 1
+    assert live_microbatch_peaks(result)[0] == pytest.approx(min(m, p + barriers))

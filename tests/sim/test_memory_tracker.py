@@ -1,0 +1,94 @@
+"""Tests for per-device memory accounting."""
+
+import pytest
+
+from repro.config import ModelConfig, ParallelConfig
+from repro.costmodel.memory import GiB, MemoryModel
+from repro.scheduling import generate_1f1b, generate_1f1b_vocab
+from repro.sim import (
+    RuntimeModel,
+    SimulationSetup,
+    execute_schedule,
+    memory_report,
+)
+
+
+@pytest.fixture
+def setup():
+    model = ModelConfig(
+        num_layers=16,
+        hidden_size=1024,
+        num_attention_heads=8,
+        seq_length=1024,
+        vocab_size=128 * 1024,
+    )
+    return SimulationSetup(model, ParallelConfig(pipeline_size=4, num_microbatches=16))
+
+
+def _report(setup, schedule, memory_model=None):
+    result = execute_schedule(schedule, RuntimeModel(setup, schedule))
+    return memory_report(result, setup, memory_model)
+
+
+class TestParameterAccounting:
+    def test_baseline_embedding_on_end_devices(self, setup):
+        schedule = generate_1f1b(4, 16, num_layers=16)
+        report = _report(setup, schedule)
+        params = report.per_device_params
+        # Devices 1 and 2 hold only transformer layers.
+        assert params[0] > params[1]
+        assert params[3] > params[2]
+        emb_state = (
+            MemoryModel().input_layer_state_bytes(setup.model, setup.padded_vocab_single)
+        )
+        assert params[3] - params[2] == pytest.approx(emb_state, rel=1e-6)
+
+    def test_vocab_parallel_params_near_uniform(self, setup):
+        schedule = generate_1f1b_vocab(4, 16, 16, algorithm=1)
+        report = _report(setup, schedule)
+        params = report.per_device_params
+        # Only the positional embedding distinguishes device 0.
+        pos = 2.0 * setup.model.seq_length * setup.model.hidden_size * 7.0
+        assert max(params) - min(params) == pytest.approx(pos, rel=1e-6)
+
+    def test_peak_includes_overhead(self, setup):
+        schedule = generate_1f1b(4, 16, num_layers=16)
+        small = _report(setup, schedule, MemoryModel(overhead_bytes=0.0))
+        big = _report(setup, schedule, MemoryModel(overhead_bytes=2.0 * GiB))
+        assert big.peak - small.peak == pytest.approx(2.0 * GiB)
+
+
+class TestActivationAccounting:
+    def test_device0_peak_activation_scales_with_p_microbatches(self, setup):
+        schedule = generate_1f1b(4, 16, num_layers=16)
+        report = _report(setup, schedule)
+        mm = MemoryModel()
+        one_mb = mm.activation_bytes(setup.model, 1, 4)
+        assert report.per_device_peak_activation[0] == pytest.approx(
+            4 * one_mb, rel=0.05
+        )
+
+    def test_vocab_schedule_adds_softmax_shards(self, setup):
+        base = _report(setup, generate_1f1b(4, 16, num_layers=16))
+        vocab = _report(setup, generate_1f1b_vocab(4, 16, 16, algorithm=1))
+        mm = MemoryModel()
+        one_mb = mm.activation_bytes(setup.model, 1, 4)
+        delta = vocab.per_device_peak_activation[0] - base.per_device_peak_activation[0]
+        # Two extra transformer microbatches plus shard buffers.
+        assert delta > 1.9 * one_mb
+
+    def test_output_holder_carries_logits_buffer(self, setup):
+        report = _report(setup, generate_1f1b(4, 16, num_layers=16))
+        acts = report.per_device_peak_activation
+        logits_bytes = setup.tokens * setup.padded_vocab_single * 4.0
+        # Device 3 holds 1 microbatch of activations + the fp32 softmax.
+        assert acts[3] > logits_bytes
+
+    def test_fits_capacity_check(self, setup):
+        report = _report(setup, generate_1f1b(4, 16, num_layers=16))
+        assert report.fits(report.peak)
+        assert not report.fits(report.peak - 1.0)
+
+    def test_spread_nonnegative(self, setup):
+        report = _report(setup, generate_1f1b(4, 16, num_layers=16))
+        assert report.spread >= 0.0

@@ -1,0 +1,151 @@
+"""Tests for the pass-duration runtime model."""
+
+import pytest
+
+from repro.config import ModelConfig, ParallelConfig
+from repro.harness.experiments import vocab_scaling_factor
+from repro.scheduling import Pass, PassType, generate_1f1b, generate_1f1b_vocab
+from repro.sim import PassTimings, RuntimeModel, SimulationSetup
+
+
+@pytest.fixture
+def setup(paper_4b_model):
+    return SimulationSetup(paper_4b_model, ParallelConfig(pipeline_size=8))
+
+
+class TestPassTimings:
+    def test_forward_scales_with_layers(self, setup):
+        t = PassTimings(setup)
+        assert t.transformer_forward_time(4) > 3.5 * t.transformer_forward_time(1)
+
+    def test_backward_double_unless_split(self, setup):
+        t = PassTimings(setup)
+        fwd = t.transformer_forward_time(2)
+        assert t.transformer_backward_time(2, split_weight=False) == pytest.approx(
+            2 * fwd
+        )
+        assert t.transformer_backward_time(2, split_weight=True) == pytest.approx(fwd)
+
+    def test_zero_layers_free(self, setup):
+        t = PassTimings(setup)
+        assert t.transformer_forward_time(0) == 0.0
+
+    def test_output_layer_ratio_matches_flops_model(self, setup):
+        """Full output layer ≈ its FLOPs ratio of a transformer layer
+        (Figure 2 cross-check, within kernel-efficiency wiggle)."""
+        from repro.costmodel import vocab_to_transformer_compute_ratio
+
+        t = PassTimings(setup)
+        time_ratio = (
+            t.full_output_forward_time() + t.full_output_backward_time()
+        ) / (t.transformer_forward_time(1) * 3)
+        _, flops_ratio = vocab_to_transformer_compute_ratio(setup.model)
+        assert time_ratio == pytest.approx(flops_ratio, rel=0.35)
+
+    def test_s_t_passes_shrink_with_more_ranks(self, paper_4b_model):
+        t8 = PassTimings(
+            SimulationSetup(paper_4b_model, ParallelConfig(pipeline_size=8))
+        )
+        t32 = PassTimings(
+            SimulationSetup(paper_4b_model, ParallelConfig(pipeline_size=32))
+        )
+        for alg in (1, 2):
+            assert t32.s_pass_time(alg) < t8.s_pass_time(alg)
+            assert t32.t_pass_time(alg) < t8.t_pass_time(alg)
+
+    def test_alg2_s_pass_does_more_work(self, setup):
+        t = PassTimings(setup)
+        assert t.s_pass_time(2) > t.s_pass_time(1)
+        assert t.t_pass_time(2) < t.t_pass_time(1)
+
+    def test_interlaced_sync_knob(self, paper_4b_model):
+        parallel = ParallelConfig(pipeline_size=16)  # multi-node
+        with_sync = PassTimings(SimulationSetup(paper_4b_model, parallel))
+        without = PassTimings(
+            SimulationSetup(paper_4b_model, parallel, interlaced_sync_allreduce=False)
+        )
+        assert with_sync.interlaced_vf_time() > without.interlaced_vf_time()
+        assert with_sync.interlaced_vb_time() > without.interlaced_vb_time()
+
+
+class TestRuntimeModel:
+    def test_baseline_last_stage_f_longer(self, setup):
+        schedule = generate_1f1b(8, 8, num_layers=32)
+        rt = RuntimeModel(setup, schedule)
+        inner = rt.pass_duration(Pass(PassType.F, 0, 3))
+        last = rt.pass_duration(Pass(PassType.F, 0, 7))
+        first = rt.pass_duration(Pass(PassType.F, 0, 0))
+        assert last > inner
+        assert first > inner       # input layer on stage 0
+        assert last - inner > first - inner  # output ≫ input
+
+    def test_vocab_parallel_f_uniform(self, setup):
+        schedule = generate_1f1b_vocab(8, 8, 32, algorithm=1)
+        rt = RuntimeModel(setup, schedule)
+        durations = {rt.pass_duration(Pass(PassType.F, 0, d)) for d in range(8)}
+        assert len(durations) == 1
+
+    def test_collective_durations_positive(self, setup):
+        from repro.scheduling.passes import CollectiveKind
+
+        schedule = generate_1f1b_vocab(8, 8, 32, algorithm=2)
+        rt = RuntimeModel(setup, schedule)
+        for kind in (
+            CollectiveKind.C0_BROADCAST,
+            CollectiveKind.C1_STATS,
+            CollectiveKind.INPUT_ALLREDUCE,
+            CollectiveKind.INPUT_BROADCAST,
+        ):
+            assert rt.collective_duration(kind) > 0.0
+
+    def test_alg2_c1_includes_grad_reduce(self, setup):
+        from repro.scheduling.passes import CollectiveKind
+
+        s1 = generate_1f1b_vocab(8, 8, 32, algorithm=1)
+        s2 = generate_1f1b_vocab(8, 8, 32, algorithm=2)
+        c1_alg1 = RuntimeModel(setup, s1).collective_duration(CollectiveKind.C1_STATS)
+        c1_alg2 = RuntimeModel(setup, s2).collective_duration(CollectiveKind.C1_STATS)
+        assert c1_alg2 > c1_alg1
+
+    def test_durations_cached(self, setup):
+        schedule = generate_1f1b(8, 8, num_layers=32)
+        rt = RuntimeModel(setup, schedule)
+        a = rt.pass_duration(Pass(PassType.F, 0, 2))
+        b = rt.pass_duration(Pass(PassType.F, 5, 2))
+        assert a == b
+
+
+class TestTable3ScalingFactors:
+    """§6.5: shape of the Table 3 scaling factors."""
+
+    @pytest.mark.parametrize("alg", [1, 2])
+    def test_output_scaling_declines_with_p(self, paper_4b_model, alg):
+        model = paper_4b_model
+        factors = [
+            vocab_scaling_factor(model, p, "output", alg) for p in (8, 16, 32)
+        ]
+        assert factors[0] > factors[1] > factors[2]
+        assert 0.6 < factors[2] < factors[0] < 1.0
+
+    def test_alg2_scales_worse_than_alg1(self, paper_4b_model):
+        for p in (8, 16, 32):
+            assert vocab_scaling_factor(paper_4b_model, p, "output", 2) < (
+                vocab_scaling_factor(paper_4b_model, p, "output", 1)
+            )
+
+    def test_input_scaling_much_worse_than_output(self, paper_4b_model):
+        for p in (8, 16, 32):
+            assert vocab_scaling_factor(paper_4b_model, p, "input") < 0.6 * (
+                vocab_scaling_factor(paper_4b_model, p, "output", 1)
+            )
+
+    def test_input_scaling_roughly_inverse_p(self, paper_4b_model):
+        f8 = vocab_scaling_factor(paper_4b_model, 8, "input")
+        f32 = vocab_scaling_factor(paper_4b_model, 32, "input")
+        assert 2.0 < f8 / f32 < 5.0
+
+    def test_validation(self, paper_4b_model):
+        with pytest.raises(ValueError):
+            vocab_scaling_factor(paper_4b_model, 8, "output")
+        with pytest.raises(ValueError):
+            vocab_scaling_factor(paper_4b_model, 8, "weights")

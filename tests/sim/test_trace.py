@@ -1,0 +1,68 @@
+"""Tests for the ASCII timeline renderer."""
+
+import pytest
+
+from repro.scheduling import generate_1f1b, generate_1f1b_vocab
+from repro.sim import execute_schedule, render_order, render_timeline
+
+from tests.sim.test_executor import UnitRuntime
+
+
+@pytest.fixture
+def result():
+    schedule = generate_1f1b(4, 6, num_layers=4)
+    return execute_schedule(schedule, UnitRuntime())
+
+
+class TestRenderTimeline:
+    def test_one_row_per_device(self, result):
+        text = render_timeline(result, width=80)
+        lines = text.splitlines()
+        assert len(lines) == 5  # header + 4 devices
+        assert all(line.startswith("device") for line in lines[1:])
+
+    def test_width_respected(self, result):
+        text = render_timeline(result, width=60)
+        for line in text.splitlines()[1:]:
+            body = line.split("|")[1]
+            assert len(body) == 60
+
+    def test_type_mode_characters(self, result):
+        text = render_timeline(result, width=80, mode="type")
+        assert "F" in text and "B" in text
+
+    def test_microbatch_mode_digits(self, result):
+        text = render_timeline(result, width=80, mode="microbatch")
+        assert any(c.isdigit() for c in text)
+
+    def test_idle_shown_as_dots(self, result):
+        # Warmup leaves the later devices idle at the start.
+        text = render_timeline(result, width=80)
+        last_device_row = text.splitlines()[-1].split("|")[1]
+        assert last_device_row.startswith(".")
+
+    def test_vocab_passes_rendered(self):
+        schedule = generate_1f1b_vocab(4, 6, 4, algorithm=1)
+        result = execute_schedule(schedule, UnitRuntime())
+        text = render_timeline(result, width=160, mode="type")
+        assert "S" in text and "T" in text
+
+    def test_time_range_window(self, result):
+        text = render_timeline(result, width=40, time_range=(5.0, 10.0))
+        assert "[5, 10]" in text.splitlines()[0]
+
+    def test_invalid_args(self, result):
+        with pytest.raises(ValueError):
+            render_timeline(result, width=0)
+        with pytest.raises(ValueError):
+            render_timeline(result, mode="nope")
+        with pytest.raises(ValueError):
+            render_timeline(result, time_range=(5.0, 5.0))
+
+
+class TestRenderOrder:
+    def test_lists_first_microbatches(self):
+        schedule = generate_1f1b(2, 8, num_layers=2)
+        text = render_order(schedule, max_microbatch=2)
+        assert "F[0]@0" in text
+        assert "F[7]@0" not in text

@@ -1,0 +1,107 @@
+"""Tests for the configuration dataclasses."""
+
+import pytest
+
+from repro.config import ModelConfig, ParallelConfig, layers_per_stage
+
+
+class TestModelConfig:
+    def test_default_ffn_is_4h(self):
+        model = ModelConfig(
+            num_layers=2, hidden_size=64, num_attention_heads=4,
+            seq_length=32, vocab_size=100,
+        )
+        assert model.ffn_hidden_size == 256
+        assert model.head_dim == 16
+
+    def test_parameter_count_approximation(self):
+        model = ModelConfig(
+            num_layers=32, hidden_size=3072, num_attention_heads=24,
+            seq_length=2048, vocab_size=32768,
+        )
+        # Table 1 calls this setting ≈4B.
+        assert 3.4e9 < model.num_parameters() < 4.5e9
+
+    def test_tied_embeddings_count_once(self):
+        base = dict(
+            num_layers=2, hidden_size=64, num_attention_heads=4,
+            seq_length=32, vocab_size=1000,
+        )
+        untied = ModelConfig(**base)
+        tied = ModelConfig(**base, tie_embeddings=True)
+        assert untied.num_parameters() - tied.num_parameters() == 1000 * 64
+
+    def test_replace(self):
+        model = ModelConfig(
+            num_layers=2, hidden_size=64, num_attention_heads=4,
+            seq_length=32, vocab_size=100,
+        )
+        bigger = model.replace(vocab_size=200)
+        assert bigger.vocab_size == 200
+        assert model.vocab_size == 100
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("num_layers", 0),
+            ("hidden_size", -1),
+            ("num_attention_heads", 0),
+            ("seq_length", 0),
+            ("vocab_size", 1),
+        ],
+    )
+    def test_validation(self, field, value):
+        kwargs = dict(
+            num_layers=2, hidden_size=64, num_attention_heads=4,
+            seq_length=32, vocab_size=100,
+        )
+        kwargs[field] = value
+        with pytest.raises(ValueError):
+            ModelConfig(**kwargs)
+
+    def test_heads_must_divide_hidden(self):
+        with pytest.raises(ValueError):
+            ModelConfig(
+                num_layers=2, hidden_size=65, num_attention_heads=4,
+                seq_length=32, vocab_size=100,
+            )
+
+
+class TestParallelConfig:
+    def test_node_arithmetic(self):
+        par = ParallelConfig(pipeline_size=16, devices_per_node=8)
+        assert par.num_nodes == 2
+        assert par.is_multi_node
+
+    def test_single_node(self):
+        par = ParallelConfig(pipeline_size=8, devices_per_node=8)
+        assert par.num_nodes == 1
+        assert not par.is_multi_node
+
+    def test_partial_node_rounds_up(self):
+        assert ParallelConfig(pipeline_size=9, devices_per_node=8).num_nodes == 2
+
+    @pytest.mark.parametrize("field", ["pipeline_size", "num_microbatches",
+                                       "microbatch_size", "devices_per_node"])
+    def test_validation(self, field):
+        kwargs = dict(pipeline_size=4)
+        kwargs[field] = 0
+        with pytest.raises(ValueError):
+            ParallelConfig(**kwargs)
+
+
+class TestLayersPerStage:
+    def test_even_split(self):
+        model = ModelConfig(
+            num_layers=32, hidden_size=64, num_attention_heads=4,
+            seq_length=32, vocab_size=100,
+        )
+        assert layers_per_stage(model, ParallelConfig(pipeline_size=8)) == 4
+
+    def test_uneven_split_rejected(self):
+        model = ModelConfig(
+            num_layers=30, hidden_size=64, num_attention_heads=4,
+            seq_length=32, vocab_size=100,
+        )
+        with pytest.raises(ValueError):
+            layers_per_stage(model, ParallelConfig(pipeline_size=8))

@@ -1,0 +1,85 @@
+"""Tests for the vocabulary-parallel input embedding (Appendix C)."""
+
+import numpy as np
+import pytest
+
+from repro.vocab import VocabParallelEmbedding, VocabPartition
+from repro.vocab.reference import reference_embedding
+
+
+def _case(rng, n=31, h=12, v=50, p=4):
+    part = VocabPartition(v, p)
+    weight = rng.normal(size=(v, h))
+    tokens = rng.integers(0, v, size=n)
+    emb = VocabParallelEmbedding.from_full_weight(part, weight)
+    return part, weight, tokens, emb
+
+
+class TestForward:
+    def test_matches_reference(self, rng):
+        part, weight, tokens, emb = _case(rng)
+        output, comm = emb.forward(tokens)
+        expected, _ = reference_embedding(tokens, weight)
+        np.testing.assert_allclose(output, expected, rtol=1e-14)
+        assert comm == ["all_reduce_sum"]
+
+    def test_local_partials_disjoint(self, rng):
+        part, weight, tokens, emb = _case(rng)
+        partials = [emb.forward_local(tokens, r) for r in range(4)]
+        nonzero_counts = sum((p != 0).any(axis=1).astype(int) for p in partials)
+        # Each token row produced by at most one rank.
+        assert nonzero_counts.max() <= 1
+
+    def test_partials_sum_to_output(self, rng):
+        part, weight, tokens, emb = _case(rng)
+        partials = [emb.forward_local(tokens, r) for r in range(4)]
+        output, _ = emb.forward(tokens)
+        np.testing.assert_allclose(sum(partials), output, rtol=1e-14)
+
+    def test_rejects_out_of_range_tokens(self, rng):
+        part, weight, tokens, emb = _case(rng)
+        tokens[0] = part.vocab_size
+        with pytest.raises(ValueError):
+            emb.forward_local(tokens, 0)
+
+
+class TestBackward:
+    def test_matches_reference_scatter_add(self, rng):
+        part, weight, tokens, emb = _case(rng)
+        grad_out = rng.normal(size=(tokens.shape[0], 12))
+        _, ref_grad = reference_embedding(tokens, part.pad_weight(weight), grad_out)
+        shard_grads, comm = emb.backward(tokens, grad_out)
+        merged = np.concatenate(shard_grads, axis=0)
+        np.testing.assert_allclose(merged, ref_grad, rtol=1e-14)
+        assert comm == ["broadcast"]
+
+    def test_repeated_tokens_accumulate(self, rng):
+        part = VocabPartition(8, 2)
+        weight = rng.normal(size=(8, 4))
+        emb = VocabParallelEmbedding.from_full_weight(part, weight)
+        tokens = np.array([3, 3, 3])
+        grad_out = np.ones((3, 4))
+        shard_grads, _ = emb.backward(tokens, grad_out)
+        merged = np.concatenate(shard_grads, axis=0)
+        np.testing.assert_array_equal(merged[3], 3.0)
+        assert np.count_nonzero(merged.sum(axis=1)) == 1
+
+    def test_bad_grad_shape(self, rng):
+        part, weight, tokens, emb = _case(rng)
+        with pytest.raises(ValueError):
+            emb.backward_local(tokens, np.zeros((tokens.shape[0], 5)), 0)
+
+
+class TestConstruction:
+    def test_wrong_shard_count(self, rng):
+        part = VocabPartition(48, 4)
+        shards = part.split_weight(rng.normal(size=(48, 8)))
+        with pytest.raises(ValueError):
+            VocabParallelEmbedding(part, shards[:2])
+
+    def test_wrong_shard_shape(self, rng):
+        part = VocabPartition(48, 4)
+        shards = part.split_weight(rng.normal(size=(48, 8)))
+        shards[0] = shards[0][:, :-1]
+        with pytest.raises(ValueError):
+            VocabParallelEmbedding(part, shards)

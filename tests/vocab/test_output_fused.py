@@ -1,0 +1,94 @@
+"""Tests for the fused streaming output layer (§7 future work)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.vocab import FusedOutputLayer, OutputLayerAlg2, VocabPartition
+from repro.vocab.reference import reference_output_layer
+
+
+def _case(rng, n=19, h=12, v=100, p=4):
+    part = VocabPartition(v, p)
+    x = rng.normal(size=(n, h))
+    w = rng.normal(size=(v, h))
+    labels = rng.integers(0, v, size=n)
+    return part, x, w, labels
+
+
+class TestExactness:
+    @pytest.mark.parametrize("block_size", [1, 3, 7, 25, 1024])
+    def test_matches_reference_any_block_size(self, rng, block_size):
+        part, x, w, labels = _case(rng)
+        ref_losses, ref_gx, ref_gw = reference_output_layer(
+            x, part.pad_weight(w), labels
+        )
+        layer = FusedOutputLayer.from_full_weight(part, w, block_size=block_size)
+        result = layer.run(x, labels)
+        np.testing.assert_allclose(result.losses, ref_losses, rtol=1e-11, atol=1e-11)
+        np.testing.assert_allclose(result.grad_input, ref_gx, rtol=1e-10, atol=1e-11)
+        np.testing.assert_allclose(
+            np.concatenate(result.grad_weight_shards, axis=0), ref_gw,
+            rtol=1e-10, atol=1e-11,
+        )
+
+    def test_matches_alg2_exactly(self, rng):
+        part, x, w, labels = _case(rng)
+        fused = FusedOutputLayer.from_full_weight(part, w, block_size=5).run(x, labels)
+        alg2 = OutputLayerAlg2.from_full_weight(part, w).run(x, labels)
+        np.testing.assert_allclose(fused.losses, alg2.losses, rtol=1e-11)
+        np.testing.assert_allclose(fused.grad_input, alg2.grad_input, rtol=1e-10,
+                                   atol=1e-12)
+
+    def test_single_barrier(self, rng):
+        part, x, w, labels = _case(rng)
+        result = FusedOutputLayer.from_full_weight(part, w).run(x, labels)
+        assert result.num_barriers == 1
+        assert len([c for c in result.comm_log if not c.startswith("C0")]) == 1
+
+    def test_extreme_logits_stable(self, rng):
+        part, x, w, labels = _case(rng)
+        x = x * 60.0
+        layer = FusedOutputLayer.from_full_weight(part, w, block_size=4)
+        result = layer.run(x, labels)
+        ref_losses, _, _ = reference_output_layer(x, part.pad_weight(w), labels)
+        assert np.all(np.isfinite(result.losses))
+        np.testing.assert_allclose(result.losses, ref_losses, rtol=1e-9, atol=1e-9)
+
+
+class TestStreaming:
+    def test_peak_block_bounded(self, rng):
+        part, x, w, labels = _case(rng, v=200, p=2)
+        layer = FusedOutputLayer.from_full_weight(part, w, block_size=8)
+        layer.run(x, labels)
+        assert layer.max_block_columns <= 8
+
+    def test_block_size_validation(self, rng):
+        part, x, w, labels = _case(rng)
+        with pytest.raises(ValueError):
+            FusedOutputLayer.from_full_weight(part, w, block_size=0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(1, 10),
+    h=st.integers(1, 8),
+    v=st.integers(2, 60),
+    p=st.integers(1, 5),
+    block=st.integers(1, 16),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_fused_equals_reference_property(n, h, v, p, block, seed):
+    rng = np.random.default_rng(seed)
+    part = VocabPartition(v, p)
+    x = rng.normal(size=(n, h))
+    w = rng.normal(size=(v, h))
+    labels = rng.integers(0, v, size=n)
+    ref_losses, ref_gx, ref_gw = reference_output_layer(x, part.pad_weight(w), labels)
+    result = FusedOutputLayer.from_full_weight(part, w, block_size=block).run(x, labels)
+    np.testing.assert_allclose(result.losses, ref_losses, rtol=1e-9, atol=1e-9)
+    np.testing.assert_allclose(result.grad_input, ref_gx, rtol=1e-8, atol=1e-9)
+    np.testing.assert_allclose(
+        np.concatenate(result.grad_weight_shards, axis=0), ref_gw,
+        rtol=1e-8, atol=1e-9,
+    )

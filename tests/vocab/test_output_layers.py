@@ -1,0 +1,231 @@
+"""Exactness and protocol tests for the partitioned output layers.
+
+The central numerical claim of the paper's §4 (and the basis of the
+Figure 17 convergence result): the naïve, Algorithm 1 and Algorithm 2
+partitioned output layers compute *exactly* the same losses and
+gradients as a single-device reference, while using 3, 2 and 1
+communication barriers respectively.
+"""
+
+import numpy as np
+import pytest
+
+from repro.vocab import (
+    NaiveOutputLayer,
+    OutputLayerAlg1,
+    OutputLayerAlg2,
+    VocabPartition,
+)
+from repro.vocab.reference import reference_output_layer
+
+ALL_IMPLS = [NaiveOutputLayer, OutputLayerAlg1, OutputLayerAlg2]
+
+
+def _random_case(rng, n=23, h=16, v=50, p=4):
+    part = VocabPartition(v, p)
+    x = rng.normal(size=(n, h))
+    w = rng.normal(size=(v, h))
+    labels = rng.integers(0, v, size=n)
+    return part, x, w, labels
+
+
+@pytest.mark.parametrize("impl", ALL_IMPLS)
+class TestExactness:
+    def test_losses_match_reference(self, impl, rng):
+        part, x, w, labels = _random_case(rng)
+        ref_losses, _, _ = reference_output_layer(x, part.pad_weight(w), labels)
+        result = impl.from_full_weight(part, w).run(x, labels)
+        np.testing.assert_allclose(result.losses, ref_losses, rtol=1e-12, atol=1e-12)
+
+    def test_grad_input_matches_reference(self, impl, rng):
+        part, x, w, labels = _random_case(rng)
+        _, ref_gx, _ = reference_output_layer(x, part.pad_weight(w), labels)
+        result = impl.from_full_weight(part, w).run(x, labels)
+        np.testing.assert_allclose(result.grad_input, ref_gx, rtol=1e-12, atol=1e-12)
+
+    def test_grad_weight_matches_reference(self, impl, rng):
+        part, x, w, labels = _random_case(rng)
+        _, _, ref_gw = reference_output_layer(x, part.pad_weight(w), labels)
+        result = impl.from_full_weight(part, w).run(x, labels)
+        gw = np.concatenate(result.grad_weight_shards, axis=0)
+        np.testing.assert_allclose(gw, ref_gw, rtol=1e-12, atol=1e-12)
+
+    def test_grad_scale_applied(self, impl, rng):
+        part, x, w, labels = _random_case(rng)
+        layer = impl.from_full_weight(part, w)
+        full = layer.run(x, labels, grad_scale=1.0)
+        scaled = impl.from_full_weight(part, w).run(x, labels, grad_scale=0.5)
+        np.testing.assert_allclose(
+            scaled.grad_input, 0.5 * full.grad_input, rtol=1e-12
+        )
+        np.testing.assert_allclose(scaled.losses, full.losses, rtol=1e-12)
+
+    def test_extreme_logits_stable(self, impl, rng):
+        """The online-softmax rescaling must survive huge logit ranges."""
+        part, x, w, labels = _random_case(rng)
+        x = x * 40.0  # logits of magnitude ~hundreds
+        ref_losses, ref_gx, _ = reference_output_layer(x, part.pad_weight(w), labels)
+        result = impl.from_full_weight(part, w).run(x, labels)
+        assert np.all(np.isfinite(result.losses))
+        np.testing.assert_allclose(result.losses, ref_losses, rtol=1e-10, atol=1e-10)
+        np.testing.assert_allclose(result.grad_input, ref_gx, rtol=1e-9, atol=1e-10)
+
+    def test_single_rank_degenerates_to_reference(self, impl, rng):
+        part = VocabPartition(48, 1)
+        x = rng.normal(size=(11, 8))
+        w = rng.normal(size=(48, 8))
+        labels = rng.integers(0, 48, size=11)
+        ref_losses, ref_gx, ref_gw = reference_output_layer(x, w, labels)
+        result = impl.from_full_weight(part, w).run(x, labels)
+        np.testing.assert_allclose(result.losses, ref_losses, rtol=1e-12)
+        np.testing.assert_allclose(result.grad_input, ref_gx, rtol=1e-12, atol=1e-14)
+        np.testing.assert_allclose(
+            result.grad_weight_shards[0], ref_gw, rtol=1e-12, atol=1e-14
+        )
+
+    def test_many_ranks(self, impl, rng):
+        part, x, w, labels = _random_case(rng, n=9, h=8, v=64, p=16)
+        ref_losses, ref_gx, _ = reference_output_layer(x, part.pad_weight(w), labels)
+        result = impl.from_full_weight(part, w).run(x, labels)
+        np.testing.assert_allclose(result.losses, ref_losses, rtol=1e-12)
+        np.testing.assert_allclose(result.grad_input, ref_gx, rtol=1e-12, atol=1e-13)
+
+    def test_rejects_out_of_range_labels(self, impl, rng):
+        part, x, w, labels = _random_case(rng)
+        layer = impl.from_full_weight(part, w)
+        labels[0] = part.vocab_size  # in padding but not a legal label
+        with pytest.raises(ValueError):
+            layer.run(x, labels)
+
+    def test_rejects_wrong_x_width(self, impl, rng):
+        part, x, w, labels = _random_case(rng)
+        layer = impl.from_full_weight(part, w)
+        with pytest.raises(ValueError):
+            layer.run(x[:, :-1], labels)
+
+
+class TestBarrierCounts:
+    """Figure 7: 3 / 2 / 1 communication barriers."""
+
+    def test_naive_has_three_barriers(self, rng):
+        part, x, w, labels = _random_case(rng)
+        result = NaiveOutputLayer.from_full_weight(part, w).run(x, labels)
+        assert result.num_barriers == 3
+        barrier_ops = [c for c in result.comm_log if not c.startswith("C0")]
+        assert len(barrier_ops) == 3
+
+    def test_alg1_has_two_barriers(self, rng):
+        part, x, w, labels = _random_case(rng)
+        result = OutputLayerAlg1.from_full_weight(part, w).run(x, labels)
+        assert result.num_barriers == 2
+        barrier_ops = [c for c in result.comm_log if not c.startswith("C0")]
+        assert len(barrier_ops) == 2
+
+    def test_alg2_has_one_barrier(self, rng):
+        part, x, w, labels = _random_case(rng)
+        result = OutputLayerAlg2.from_full_weight(part, w).run(x, labels)
+        assert result.num_barriers == 1
+        barrier_ops = [c for c in result.comm_log if not c.startswith("C0")]
+        assert len(barrier_ops) == 1
+
+    def test_all_start_with_broadcast(self, rng):
+        part, x, w, labels = _random_case(rng)
+        for impl in ALL_IMPLS:
+            result = impl.from_full_weight(part, w).run(x, labels)
+            assert result.comm_log[0] == "C0:broadcast_x"
+
+
+class TestPassProtocol:
+    """The pass/barrier state machine enforces the paper's dependencies."""
+
+    def test_alg1_t_before_c1_rejected(self, rng):
+        part, x, w, labels = _random_case(rng)
+        layer = OutputLayerAlg1.from_full_weight(part, w)
+        state = layer.begin(x, labels)
+        layer.pass_S(state, 0)
+        with pytest.raises(RuntimeError):
+            layer.pass_T(state, 0)
+
+    def test_alg1_c1_requires_all_s(self, rng):
+        part, x, w, labels = _random_case(rng)
+        layer = OutputLayerAlg1.from_full_weight(part, w)
+        state = layer.begin(x, labels)
+        for rank in range(part.num_shards - 1):
+            layer.pass_S(state, rank)
+        with pytest.raises(RuntimeError):
+            layer.barrier_C1(state)
+
+    def test_alg2_finish_requires_all_t(self, rng):
+        part, x, w, labels = _random_case(rng)
+        layer = OutputLayerAlg2.from_full_weight(part, w)
+        state = layer.begin(x, labels)
+        for rank in range(part.num_shards):
+            layer.pass_S(state, rank)
+        layer.barrier_C1(state)
+        layer.pass_T(state, 0)
+        with pytest.raises(RuntimeError):
+            layer.finish(state)
+
+    def test_duplicate_pass_rejected(self, rng):
+        part, x, w, labels = _random_case(rng)
+        layer = OutputLayerAlg2.from_full_weight(part, w)
+        state = layer.begin(x, labels)
+        layer.pass_S(state, 1)
+        with pytest.raises(RuntimeError):
+            layer.pass_S(state, 1)
+
+    def test_duplicate_barrier_rejected(self, rng):
+        part, x, w, labels = _random_case(rng)
+        layer = OutputLayerAlg1.from_full_weight(part, w)
+        state = layer.begin(x, labels)
+        for rank in range(part.num_shards):
+            layer.pass_S(state, rank)
+        layer.barrier_C1(state)
+        with pytest.raises(RuntimeError):
+            layer.barrier_C1(state)
+
+    def test_naive_f2_requires_max_barrier(self, rng):
+        part, x, w, labels = _random_case(rng)
+        layer = NaiveOutputLayer.from_full_weight(part, w)
+        state = layer.begin(x, labels)
+        layer.pass_F1(state, 0)
+        with pytest.raises(RuntimeError):
+            layer.pass_F2(state, 0)
+
+    def test_rank_order_irrelevant(self, rng):
+        """Ranks may execute their passes in any order (paper §3:
+        computations on each device can be scheduled independently)."""
+        part, x, w, labels = _random_case(rng)
+        ref = OutputLayerAlg2.from_full_weight(part, w).run(x, labels)
+        layer = OutputLayerAlg2.from_full_weight(part, w)
+        state = layer.begin(x, labels)
+        for rank in (2, 0, 3, 1):
+            layer.pass_S(state, rank)
+        layer.barrier_C1(state)
+        for rank in (3, 1, 0, 2):
+            layer.pass_T(state, rank)
+        result = layer.finish(state)
+        np.testing.assert_array_equal(result.grad_input, ref.grad_input)
+        np.testing.assert_array_equal(result.losses, ref.losses)
+
+
+class TestConstruction:
+    def test_wrong_shard_count_rejected(self, rng):
+        part = VocabPartition(48, 4)
+        shards = part.split_weight(rng.normal(size=(48, 8)))
+        with pytest.raises(ValueError):
+            OutputLayerAlg1(part, shards[:3])
+
+    def test_wrong_shard_shape_rejected(self, rng):
+        part = VocabPartition(48, 4)
+        shards = part.split_weight(rng.normal(size=(48, 8)))
+        shards[2] = shards[2][:-1]
+        with pytest.raises(ValueError):
+            OutputLayerAlg1(part, shards)
+
+    def test_weight_shards_copied(self, rng):
+        part = VocabPartition(48, 4)
+        shards = part.split_weight(rng.normal(size=(48, 8)))
+        layer = OutputLayerAlg2(part, shards)
+        shards[0][0, 0] = 123.0
+        assert layer.weight_shards[0][0, 0] != 123.0

@@ -1,0 +1,146 @@
+"""Unit tests for vocabulary partitioning (paper §3, §6.1)."""
+
+import numpy as np
+import pytest
+
+from repro.vocab import VocabPartition
+
+
+class TestPadding:
+    def test_pads_to_multiple_of_2p(self):
+        part = VocabPartition(vocab_size=50, num_shards=4)
+        assert part.padded_size == 56
+        assert part.padded_size % (2 * 4) == 0
+
+    def test_no_padding_when_aligned(self):
+        part = VocabPartition(vocab_size=64, num_shards=4)
+        assert part.padded_size == 64
+        assert part.padding == 0
+
+    def test_paper_example_256008_to_256032(self):
+        # §6.1: on 24 devices the 256008-entry vocabulary pads to
+        # 256032, a multiple of 48.
+        part = VocabPartition(vocab_size=256008, num_shards=24)
+        assert part.padded_size == 256032
+        assert part.padded_size % 48 == 0
+
+    def test_shard_size_even_split(self):
+        part = VocabPartition(vocab_size=100, num_shards=8)
+        assert part.shard_size * 8 == part.padded_size
+
+    def test_single_shard(self):
+        part = VocabPartition(vocab_size=100, num_shards=1)
+        assert part.shard_size == part.padded_size == 100
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_rejects_nonpositive_vocab(self, bad):
+        with pytest.raises(ValueError):
+            VocabPartition(vocab_size=bad, num_shards=2)
+
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_rejects_nonpositive_shards(self, bad):
+        with pytest.raises(ValueError):
+            VocabPartition(vocab_size=16, num_shards=bad)
+
+
+class TestShardRanges:
+    def test_ranges_are_contiguous_and_cover(self):
+        part = VocabPartition(vocab_size=50, num_shards=4)
+        cursor = 0
+        for rank in range(4):
+            start, end = part.shard_range(rank)
+            assert start == cursor
+            assert end - start == part.shard_size
+            cursor = end
+        assert cursor == part.padded_size
+
+    def test_shard_of_token_matches_ranges(self):
+        part = VocabPartition(vocab_size=50, num_shards=4)
+        for token in range(part.padded_size):
+            rank = part.shard_of_token(token)
+            start, end = part.shard_range(rank)
+            assert start <= token < end
+
+    def test_shard_of_token_out_of_range(self):
+        part = VocabPartition(vocab_size=50, num_shards=4)
+        with pytest.raises(ValueError):
+            part.shard_of_token(part.padded_size)
+        with pytest.raises(ValueError):
+            part.shard_of_token(-1)
+
+    def test_shard_range_bad_rank(self):
+        part = VocabPartition(vocab_size=50, num_shards=4)
+        with pytest.raises(ValueError):
+            part.shard_range(4)
+
+
+class TestWeightSplitting:
+    def test_split_then_merge_roundtrip(self, rng):
+        part = VocabPartition(vocab_size=50, num_shards=4)
+        weight = rng.normal(size=(50, 8))
+        shards = part.split_weight(weight)
+        assert len(shards) == 4
+        assert all(s.shape == (part.shard_size, 8) for s in shards)
+        merged = part.merge_shards(shards)
+        np.testing.assert_array_equal(merged, weight)
+
+    def test_pad_weight_zero_rows(self, rng):
+        part = VocabPartition(vocab_size=50, num_shards=4)
+        weight = rng.normal(size=(50, 8))
+        padded = part.pad_weight(weight)
+        assert padded.shape == (56, 8)
+        np.testing.assert_array_equal(padded[50:], 0.0)
+
+    def test_pad_weight_wrong_rows(self, rng):
+        part = VocabPartition(vocab_size=50, num_shards=4)
+        with pytest.raises(ValueError):
+            part.pad_weight(rng.normal(size=(51, 8)))
+
+    def test_merge_wrong_shard_count(self, rng):
+        part = VocabPartition(vocab_size=50, num_shards=4)
+        shards = part.split_weight(rng.normal(size=(50, 8)))
+        with pytest.raises(ValueError):
+            part.merge_shards(shards[:3])
+
+    def test_split_does_not_alias_input(self, rng):
+        part = VocabPartition(vocab_size=16, num_shards=2)
+        weight = rng.normal(size=(16, 4))
+        shards = part.split_weight(weight)
+        shards[0][0, 0] = 999.0
+        assert weight[0, 0] != 999.0
+
+
+class TestLabelHelpers:
+    def test_local_label_mask_partitions_tokens(self, rng):
+        part = VocabPartition(vocab_size=50, num_shards=4)
+        labels = rng.integers(0, 50, size=200)
+        covered = np.zeros(200, dtype=int)
+        for rank in range(4):
+            covered += part.local_label_mask(labels, rank).astype(int)
+        np.testing.assert_array_equal(covered, 1)
+
+    def test_local_labels_shift(self):
+        part = VocabPartition(vocab_size=64, num_shards=4)
+        labels = np.array([0, 16, 17, 33, 63])
+        local = part.local_labels(labels, 1)
+        mask = part.local_label_mask(labels, 1)
+        assert mask.tolist() == [False, True, True, False, False]
+        assert local[1] == 0 and local[2] == 1
+
+    def test_one_hot_shard_rows(self):
+        part = VocabPartition(vocab_size=64, num_shards=4)
+        labels = np.array([0, 16, 31, 63])
+        shard = part.one_hot_shard(labels, 1)
+        assert shard.shape == (4, 16)
+        assert shard[1, 0] == 1.0 and shard[2, 15] == 1.0
+        assert shard.sum() == 2.0
+
+    def test_one_hot_shards_sum_to_full_matrix(self, rng):
+        part = VocabPartition(vocab_size=50, num_shards=4)
+        labels = rng.integers(0, 50, size=30)
+        full = np.concatenate(
+            [part.one_hot_shard(labels, r) for r in range(4)], axis=1
+        )
+        assert full.shape == (30, part.padded_size)
+        np.testing.assert_array_equal(full.sum(axis=1), 1.0)
+        np.testing.assert_array_equal(np.argmax(full, axis=1), labels)

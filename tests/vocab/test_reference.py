@@ -1,0 +1,107 @@
+"""Tests for the single-device reference implementation."""
+
+import numpy as np
+import pytest
+
+from repro.vocab.reference import (
+    log_softmax,
+    reference_embedding,
+    reference_output_layer,
+    softmax,
+)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        logits = rng.normal(size=(7, 13))
+        np.testing.assert_allclose(softmax(logits).sum(axis=1), 1.0, rtol=1e-12)
+
+    def test_shift_invariance(self, rng):
+        logits = rng.normal(size=(5, 9))
+        shifted = logits + 123.0
+        np.testing.assert_allclose(softmax(logits), softmax(shifted), rtol=1e-10)
+
+    def test_stable_at_large_magnitudes(self):
+        logits = np.array([[1000.0, 1000.0, -1000.0]])
+        probs = softmax(logits)
+        assert np.all(np.isfinite(probs))
+        np.testing.assert_allclose(probs[0, :2], 0.5, rtol=1e-12)
+
+    def test_log_softmax_consistent(self, rng):
+        logits = rng.normal(size=(4, 6))
+        np.testing.assert_allclose(
+            np.exp(log_softmax(logits)), softmax(logits), rtol=1e-12
+        )
+
+
+class TestOutputLayerGradients:
+    def test_finite_difference_grad_x(self, rng):
+        n, h, v = 4, 5, 7
+        x = rng.normal(size=(n, h))
+        w = rng.normal(size=(v, h))
+        labels = rng.integers(0, v, size=n)
+        _, grad_x, _ = reference_output_layer(x, w, labels)
+        eps = 1e-6
+        for i in range(n):
+            for j in range(h):
+                bumped = x.copy()
+                bumped[i, j] += eps
+                up, _, _ = reference_output_layer(bumped, w, labels)
+                bumped[i, j] -= 2 * eps
+                down, _, _ = reference_output_layer(bumped, w, labels)
+                numeric = (up.sum() - down.sum()) / (2 * eps)
+                assert abs(numeric - grad_x[i, j]) < 1e-6
+
+    def test_finite_difference_grad_w(self, rng):
+        n, h, v = 3, 4, 6
+        x = rng.normal(size=(n, h))
+        w = rng.normal(size=(v, h))
+        labels = rng.integers(0, v, size=n)
+        _, _, grad_w = reference_output_layer(x, w, labels)
+        eps = 1e-6
+        for i in range(v):
+            for j in range(h):
+                bumped = w.copy()
+                bumped[i, j] += eps
+                up, _, _ = reference_output_layer(x, bumped, labels)
+                bumped[i, j] -= 2 * eps
+                down, _, _ = reference_output_layer(x, bumped, labels)
+                numeric = (up.sum() - down.sum()) / (2 * eps)
+                assert abs(numeric - grad_w[i, j]) < 1e-6
+
+    def test_loss_is_nll_of_label(self, rng):
+        n, h, v = 6, 4, 9
+        x = rng.normal(size=(n, h))
+        w = rng.normal(size=(v, h))
+        labels = rng.integers(0, v, size=n)
+        losses, _, _ = reference_output_layer(x, w, labels)
+        probs = softmax(x @ w.T)
+        np.testing.assert_allclose(
+            losses, -np.log(probs[np.arange(n), labels]), rtol=1e-10
+        )
+
+    def test_rejects_bad_labels(self, rng):
+        x = rng.normal(size=(3, 4))
+        w = rng.normal(size=(5, 4))
+        with pytest.raises(ValueError):
+            reference_output_layer(x, w, np.array([0, 1, 5]))
+
+    def test_rejects_mismatched_width(self, rng):
+        with pytest.raises(ValueError):
+            reference_output_layer(
+                rng.normal(size=(3, 4)), rng.normal(size=(5, 3)), np.zeros(3, int)
+            )
+
+
+class TestReferenceEmbedding:
+    def test_gather(self, rng):
+        weight = rng.normal(size=(10, 3))
+        tokens = np.array([0, 9, 4])
+        output, grad = reference_embedding(tokens, weight)
+        np.testing.assert_array_equal(output, weight[tokens])
+        assert grad is None
+
+    def test_rejects_bad_tokens(self, rng):
+        weight = rng.normal(size=(10, 3))
+        with pytest.raises(ValueError):
+            reference_embedding(np.array([10]), weight)

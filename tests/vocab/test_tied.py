@@ -1,0 +1,70 @@
+"""Tests for tied vocabulary layers (§6.1)."""
+
+import numpy as np
+import pytest
+
+from repro.vocab import VocabPartition
+from repro.vocab.reference import reference_embedding, reference_output_layer
+from repro.vocab.tied import TiedVocabLayers
+
+
+@pytest.fixture
+def case(rng):
+    v, h, p, n = 60, 10, 4, 25
+    part = VocabPartition(v, p)
+    weight = rng.normal(size=(v, h))
+    tokens = rng.integers(0, v, size=n)
+    labels = rng.integers(0, v, size=n)
+    x = rng.normal(size=(n, h))
+    return part, weight, tokens, labels, x
+
+
+class TestTiedLayers:
+    @pytest.mark.parametrize("algorithm", [1, 2])
+    def test_embed_and_output_match_references(self, case, algorithm):
+        part, weight, tokens, labels, x = case
+        tied = TiedVocabLayers.from_full_weight(part, weight, algorithm)
+        np.testing.assert_allclose(
+            tied.embed(tokens), reference_embedding(tokens, weight)[0], rtol=1e-14
+        )
+        result = tied.output(x, labels)
+        ref_losses, ref_gx, _ = reference_output_layer(
+            x, part.pad_weight(weight), labels
+        )
+        np.testing.assert_allclose(result.losses, ref_losses, rtol=1e-11)
+        np.testing.assert_allclose(result.grad_input, ref_gx, rtol=1e-11, atol=1e-12)
+
+    def test_combined_gradient_is_sum_of_paths(self, case, rng):
+        part, weight, tokens, labels, x = case
+        tied = TiedVocabLayers.from_full_weight(part, weight)
+        result = tied.output(x, labels)
+        embed_grad = rng.normal(size=x.shape)
+        combined = tied.combined_grad_shards(tokens, embed_grad, result)
+        merged = np.concatenate(combined, axis=0)
+        _, _, ref_out_gw = reference_output_layer(x, part.pad_weight(weight), labels)
+        _, ref_in_gw = reference_embedding(
+            tokens, part.pad_weight(weight), embed_grad
+        )
+        np.testing.assert_allclose(merged, ref_out_gw + ref_in_gw, rtol=1e-11,
+                                   atol=1e-12)
+
+    def test_shards_actually_shared(self, case):
+        part, weight, tokens, labels, x = case
+        tied = TiedVocabLayers.from_full_weight(part, weight)
+        assert tied.embedding.weight_shards[0] is tied.weight_shards[0]
+        tied.weight_shards[0][0, 0] += 1.0
+        # The embedding sees the mutation — one tensor, two layers.
+        assert tied.embedding.weight_shards[0][0, 0] == tied.weight_shards[0][0, 0]
+
+    def test_no_extra_communication(self, case, rng):
+        """The tied gradient combination is rank-local: the only comm
+        in the whole step is C0/C1(/C2) + the input all-reduce/bcast."""
+        part, weight, tokens, labels, x = case
+        tied = TiedVocabLayers.from_full_weight(part, weight, algorithm=2)
+        result = tied.output(x, labels)
+        assert len(result.comm_log) == 2  # C0 + C1 only
+
+    def test_algorithm_validation(self, case):
+        part, weight, *_ = case
+        with pytest.raises(ValueError):
+            TiedVocabLayers.from_full_weight(part, weight, algorithm=3)
