@@ -1,0 +1,60 @@
+"""Planner validation — top choice vs brute-force simulation.
+
+For the paper's Table 5 and Table 6 experiment panels, runs the
+schedule planner (analytic pricing + top-k simulation) and a
+brute-force sweep simulating *every* family, and records both
+rankings.  Shape assertions encode the acceptance criterion: the
+planner's top choice must be the simulator-measured fastest schedule,
+and it must be a vocabulary-parallel method at the large vocabulary.
+"""
+
+import pytest
+
+from repro.harness import model_for_1f1b, model_for_vhalf, run_method
+from repro.harness.settings import (
+    ONE_F_ONE_B_METHODS,
+    VHALF_METHODS,
+    parallel_for,
+)
+from repro.planner import PlanCache, PlannerConstraints, plan
+
+from conftest import bench_microbatches
+
+PANELS = [
+    ("tab5", 8, ONE_F_ONE_B_METHODS, model_for_1f1b),
+    ("tab6", 16, VHALF_METHODS, model_for_vhalf),
+]
+
+
+@pytest.mark.parametrize("tag,gpus,methods,model_for", PANELS,
+                         ids=[p[0] for p in PANELS])
+def test_planner_matches_brute_force(benchmark, record, tag, gpus, methods,
+                                     model_for):
+    vocab = 256 * 1024
+    model = model_for(gpus, 2048, vocab)
+    parallel = parallel_for(gpus, num_microbatches=bench_microbatches())
+
+    plans = benchmark.pedantic(
+        lambda: plan(
+            model,
+            parallel,
+            PlannerConstraints(methods=methods),
+            cache=PlanCache(),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record(f"planner_{tag}_{gpus}gpu_256k", plans.render())
+
+    brute = {m: run_method(m, model, parallel) for m in methods}
+    fastest = min(
+        (m for m in brute if not brute[m].oom),
+        key=lambda m: brute[m].iteration_time,
+    )
+    assert plans.best.method == fastest
+    assert plans.best.source == "sim"
+    assert plans.best.iteration_time == pytest.approx(
+        brute[fastest].iteration_time
+    )
+    # The paper's claim at 256k: vocabulary parallelism wins the panel.
+    assert "vocab" in plans.best.method

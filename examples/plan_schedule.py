@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Plan the best pipeline schedule for a model, then sweep a grid.
+
+Demonstrates the :mod:`repro.planner` subsystem in three steps:
+
+1. Rank every schedule family for the paper's ≈4B model at a 256k
+   vocabulary on 8 devices — the planner prices all families with the
+   analytic cost model and verifies the frontrunners with the
+   discrete-event simulator.
+2. Tighten the per-device memory budget and watch the ranking change:
+   schedules that blow the budget are rejected with a reason.
+3. Sweep a (devices × vocabulary) grid in parallel and print the
+   winning family at every point — the planner-level view of the
+   paper's Tables 5/6.
+
+Run:  python examples/plan_schedule.py
+"""
+
+from repro import ModelConfig, ParallelConfig
+from repro.planner import PlannerConstraints, best_method_table, grid, plan, sweep
+
+
+def step1_rank_families() -> None:
+    print("=" * 72)
+    print("1. Rank all schedule families (paper's 4B model, 256k vocabulary)")
+    model = ModelConfig(num_layers=32, hidden_size=3072,
+                        num_attention_heads=24, seq_length=2048,
+                        vocab_size=256 * 1024)
+    parallel = ParallelConfig(pipeline_size=8, num_microbatches=64)
+    plans = plan(model, parallel)
+    print(plans.render())
+    best = plans.best
+    print(f"\n   planner picks: {best.method} "
+          f"({best.iteration_time:.3f}s/iter, {100 * best.mfu:.1f}% MFU, "
+          f"{best.peak_memory_gb:.1f} GiB peak)")
+
+
+def step2_memory_budget() -> None:
+    print("=" * 72)
+    print("2. Same config under a 20 GiB per-device budget")
+    model = ModelConfig(num_layers=32, hidden_size=3072,
+                        num_attention_heads=24, seq_length=2048,
+                        vocab_size=256 * 1024)
+    parallel = ParallelConfig(pipeline_size=8, num_microbatches=64)
+    plans = plan(model, parallel, PlannerConstraints(memory_budget_gib=20.0))
+    print(plans.render())
+
+
+def step3_sweep() -> None:
+    print("=" * 72)
+    print("3. Grid sweep: winning family per (devices, vocabulary)")
+    points = grid(devices=(4, 8), vocab_sizes=(32 * 1024, 256 * 1024),
+                  microbatches=(32,))
+    outcomes = sweep(points, PlannerConstraints(simulate_top_k=2),
+                     executor="process")
+    print(best_method_table(outcomes))
+
+
+if __name__ == "__main__":
+    step1_rank_families()
+    step2_memory_budget()
+    step3_sweep()

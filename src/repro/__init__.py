@@ -18,7 +18,10 @@ The package provides:
   replicate the paper's convergence check (Figure 17) —
   :mod:`repro.models`;
 * the experiment harness regenerating every table and figure —
-  :mod:`repro.harness`.
+  :mod:`repro.harness`;
+* a schedule planner that ranks all schedule families for an arbitrary
+  model/hardware description under a memory budget, with cached
+  results and parallel grid sweeps — :mod:`repro.planner`.
 """
 
 from repro.config import ModelConfig, ParallelConfig, layers_per_stage

@@ -93,6 +93,14 @@ class ModelConfig:
         """Return a copy with ``changes`` applied (dataclasses.replace)."""
         return dataclasses.replace(self, **changes)
 
+    def as_dict(self) -> dict:
+        """Plain-dict rendering (stable field order) for hashing/logging.
+
+        The planner's result cache keys on this via
+        :func:`repro.planner.config_digest`.
+        """
+        return dataclasses.asdict(self)
+
 
 @dataclass(frozen=True)
 class ParallelConfig:
@@ -143,6 +151,10 @@ class ParallelConfig:
 
     def replace(self, **changes: object) -> "ParallelConfig":
         return dataclasses.replace(self, **changes)
+
+    def as_dict(self) -> dict:
+        """Plain-dict rendering (stable field order) for hashing/logging."""
+        return dataclasses.asdict(self)
 
 
 def layers_per_stage(model: ModelConfig, parallel: ParallelConfig) -> int:

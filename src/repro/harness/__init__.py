@@ -12,7 +12,9 @@ Entry points:
 * :mod:`repro.harness.paper_data` — the numbers printed in the paper's
   Tables 3, 5 and 6 (for comparison columns, never used by the
   simulation itself);
-* :mod:`repro.harness.cli` — ``repro-experiments`` command.
+* :mod:`repro.harness.cli` — ``repro-experiments`` command (tables,
+  figures, schedule timelines, and the :mod:`repro.planner` ``plan``
+  subcommand).
 """
 
 from repro.harness.settings import (

@@ -1,4 +1,18 @@
-"""``repro-experiments`` — regenerate the paper's tables and figures.
+"""``repro-experiments`` — regenerate the paper's results and plan schedules.
+
+Subcommands:
+
+* ``fig2`` — Figure 2: vocabulary/transformer cost ratios (Gemma2-9B);
+* ``fig3`` — Figure 3: layer redistribution per-device view;
+* ``table3`` — Table 3: partitioned vocabulary scaling factors;
+* ``table5`` — Table 5 / Figures 11–12: methods on 1F1B;
+* ``table6`` — Table 6 / Figures 13–14: the V-Half family;
+* ``appendix-b`` — Appendix B: interlaced pipeline ablation;
+* ``schedules`` — ASCII schedule timelines (Figures 1/10);
+* ``plan`` — rank all schedule families for a configuration
+  (:mod:`repro.planner`); accepts multiple ``--devices``/``--vocab``
+  values and sweeps the grid in parallel;
+* ``all`` — every table and figure (several minutes).
 
 Examples::
 
@@ -9,6 +23,8 @@ Examples::
     repro-experiments table6 --gpus 16 --seq 4096 --microbatches 64
     repro-experiments appendix-b
     repro-experiments schedules --devices 4
+    repro-experiments plan --devices 8 --vocab 128k
+    repro-experiments plan --devices 8 16 --vocab 64k 256k --memory-budget 40
     repro-experiments all
 """
 
@@ -16,6 +32,47 @@ from __future__ import annotations
 
 import argparse
 import sys
+
+#: One line per subcommand, rendered into ``--help``'s epilog.
+SUBCOMMANDS = {
+    "fig2": "Figure 2: vocabulary/transformer cost ratios",
+    "fig3": "Figure 3: layer redistribution per-device view",
+    "table3": "Table 3: partitioned vocabulary scaling factors",
+    "table5": "Table 5 / Figures 11-12: methods on 1F1B",
+    "table6": "Table 6 / Figures 13-14: V-Half",
+    "appendix-b": "Appendix B: interlaced ablation",
+    "schedules": "ASCII schedule timelines (Figures 1/10)",
+    "plan": "rank schedule families for a config (planner)",
+    "all": "everything (several minutes)",
+}
+
+
+def _parse_vocab(text: str) -> int:
+    """Parse a vocabulary size: ``131072``, ``128k`` or ``128K``."""
+    text = text.strip().lower()
+    try:
+        if text.endswith("k"):
+            return int(text[:-1]) * 1024
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid vocabulary size {text!r}; use e.g. 128k or 131072"
+        ) from None
+
+
+def _parse_top_k(text: str) -> int | None:
+    """Parse ``--top-k``: an integer, or ``all`` to simulate everything."""
+    if text.strip().lower() == "all":
+        return None
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid --top-k {text!r}; use an integer or 'all'"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError("--top-k must be >= 0 or 'all'")
+    return value
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -99,6 +156,53 @@ def _cmd_schedules(args: argparse.Namespace) -> None:
         print()
 
 
+def _cmd_plan(args: argparse.Namespace) -> None:
+    from repro.planner import (
+        PlannerConstraints,
+        best_method_table,
+        grid,
+        plan_point,
+        sweep,
+    )
+
+    try:
+        constraints = PlannerConstraints(
+            memory_budget_gib=args.memory_budget,
+            methods=tuple(args.methods) if args.methods else None,
+            simulate_top_k=args.top_k,
+        )
+        points = grid(
+            devices=args.devices,
+            vocab_sizes=args.vocab,
+            seq_lengths=[args.seq],
+            microbatches=[args.microbatches],
+            memory_budgets_gib=[args.memory_budget],
+        )
+        if len(points) == 1:
+            print(
+                plan_point(
+                    points[0], constraints, cache_dir=args.cache_dir
+                ).plans.render()
+            )
+            return
+        outcomes = sweep(
+            points,
+            constraints,
+            executor=args.executor,
+            max_workers=args.workers,
+            cache_dir=args.cache_dir,
+        )
+    except ValueError as error:
+        # Config validation (vocab/seq/devices bounds, unknown methods,
+        # bad budgets) surfaces as an argparse-style message, not a
+        # traceback.
+        raise SystemExit(f"repro-experiments plan: error: {error}") from None
+    for outcome in outcomes:
+        print(outcome.plans.render())
+        print()
+    print(best_method_table(outcomes))
+
+
 def _cmd_all(args: argparse.Namespace) -> None:
     from repro.harness.runner import (
         run_figure2,
@@ -124,37 +228,79 @@ def _cmd_all(args: argparse.Namespace) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
+    epilog = "subcommands:\n" + "\n".join(
+        f"  {name:12s} {help_}" for name, help_ in SUBCOMMANDS.items()
+    )
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the tables/figures of 'Balancing Pipeline "
-        "Parallelism with Vocabulary Parallelism' (MLSys 2025).",
+        "Parallelism with Vocabulary Parallelism' (MLSys 2025), or plan "
+        "the best schedule for a new configuration.",
+        epilog=epilog,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("fig2", help="Figure 2: vocabulary/transformer cost ratios")
-    sub.add_parser("fig3", help="Figure 3: layer redistribution per-device view")
-    sub.add_parser("table3", help="Table 3: partitioned vocabulary scaling factors")
+    sub.add_parser("fig2", help=SUBCOMMANDS["fig2"])
+    sub.add_parser("fig3", help=SUBCOMMANDS["fig3"])
+    sub.add_parser("table3", help=SUBCOMMANDS["table3"])
 
-    t5 = sub.add_parser("table5", help="Table 5 / Figures 11-12: methods on 1F1B")
+    t5 = sub.add_parser("table5", help=SUBCOMMANDS["table5"])
     t5.add_argument("--gpus", type=int, nargs="+", default=[8], choices=[8, 16, 32])
     t5.add_argument("--seq", type=int, nargs="+", default=[2048], choices=[2048, 4096])
     _add_common(t5)
 
-    t6 = sub.add_parser("table6", help="Table 6 / Figures 13-14: V-Half")
+    t6 = sub.add_parser("table6", help=SUBCOMMANDS["table6"])
     t6.add_argument("--gpus", type=int, nargs="+", default=[16], choices=[16, 24, 32])
     t6.add_argument("--seq", type=int, nargs="+", default=[2048], choices=[2048, 4096])
     _add_common(t6)
 
-    ab = sub.add_parser("appendix-b", help="Appendix B: interlaced ablation")
+    ab = sub.add_parser("appendix-b", help=SUBCOMMANDS["appendix-b"])
     _add_common(ab)
 
-    sc = sub.add_parser("schedules", help="ASCII schedule timelines (Figures 1/10)")
+    sc = sub.add_parser("schedules", help=SUBCOMMANDS["schedules"])
     sc.add_argument("--devices", type=int, default=4)
     sc.add_argument("--width", type=int, default=120)
     sc.add_argument("--mode", choices=["type", "microbatch"], default="type")
     _add_common(sc)
 
-    al = sub.add_parser("all", help="everything (several minutes)")
+    pl = sub.add_parser("plan", help=SUBCOMMANDS["plan"])
+    pl.add_argument(
+        "--devices", type=int, nargs="+", default=[8],
+        help="pipeline device counts to plan for (several values sweep a grid)",
+    )
+    pl.add_argument(
+        "--vocab", type=_parse_vocab, nargs="+", default=[128 * 1024],
+        metavar="SIZE", help="vocabulary sizes, e.g. 128k or 131072",
+    )
+    pl.add_argument("--seq", type=int, default=2048, help="sequence length")
+    pl.add_argument(
+        "--memory-budget", type=float, default=None, metavar="GIB",
+        help="per-device peak-memory budget in GiB (default: the A100's 80)",
+    )
+    pl.add_argument(
+        "--methods", nargs="+", default=None, metavar="METHOD",
+        help="restrict the search to these schedule families",
+    )
+    pl.add_argument(
+        "--top-k", type=_parse_top_k, default=3, metavar="K",
+        help="simulate the K best-estimated candidates (0: estimates only, "
+        "'all': simulate everything; default 3)",
+    )
+    pl.add_argument(
+        "--executor", choices=["process", "thread", "serial"], default="process",
+        help="pool type for grid sweeps",
+    )
+    pl.add_argument(
+        "--workers", type=int, default=None, help="max sweep workers"
+    )
+    pl.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="disk-backed plan cache shared across invocations and workers",
+    )
+    _add_common(pl)
+
+    al = sub.add_parser("all", help=SUBCOMMANDS["all"])
     _add_common(al)
 
     args = parser.parse_args(argv)
@@ -166,9 +312,18 @@ def main(argv: list[str] | None = None) -> int:
         "table6": _cmd_table6,
         "appendix-b": _cmd_appendix_b,
         "schedules": _cmd_schedules,
+        "plan": _cmd_plan,
         "all": _cmd_all,
     }
-    handlers[args.command](args)
+    try:
+        handlers[args.command](args)
+    except BrokenPipeError:
+        # Piping into `head` closes stdout early; exit quietly the way
+        # well-behaved Unix tools do instead of dumping a traceback.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
     return 0
 
 

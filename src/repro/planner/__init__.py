@@ -1,0 +1,68 @@
+"""Schedule planner: pick the best pipeline schedule for a config.
+
+The paper shows that vocabulary-parallel schedules dominate the naive
+and Redis baselines across device counts, vocabulary ratios and memory
+budgets — but only by replaying its fixed experiment grid.  This
+package turns that result into a *decision procedure*: given any
+model/hardware description, it enumerates every implemented schedule
+family, prices each with the analytic cost model, verifies the
+frontrunners with the discrete-event simulator, and ranks them under a
+peak-memory constraint.
+
+Programmatic entry points:
+
+* :func:`plan` — rank schedule families for one configuration;
+* :func:`sweep` / :func:`grid` — plan whole (devices, vocab,
+  microbatches, memory budget) grids in parallel;
+* :class:`PlannerConstraints` — memory budget, family restriction and
+  simulation effort;
+* :class:`PlanCache` / :func:`clear_plan_cache` — result caching keyed
+  on a config digest.
+
+CLI: ``repro-experiments plan --devices 8 --vocab 128k``.
+"""
+
+from repro.planner.cache import PlanCache, config_digest
+from repro.planner.estimate import (
+    CandidateEstimate,
+    estimate_method,
+    infeasibility_reason,
+)
+from repro.planner.planner import (
+    PlanCandidate,
+    PlannerConstraints,
+    RankedPlans,
+    clear_plan_cache,
+    default_plan_cache,
+    plan,
+)
+from repro.planner.sweep import (
+    SweepOutcome,
+    SweepPoint,
+    best_method_table,
+    grid,
+    model_for_devices,
+    plan_point,
+    sweep,
+)
+
+__all__ = [
+    "CandidateEstimate",
+    "PlanCache",
+    "PlanCandidate",
+    "PlannerConstraints",
+    "RankedPlans",
+    "SweepOutcome",
+    "SweepPoint",
+    "best_method_table",
+    "clear_plan_cache",
+    "config_digest",
+    "default_plan_cache",
+    "estimate_method",
+    "grid",
+    "infeasibility_reason",
+    "model_for_devices",
+    "plan",
+    "plan_point",
+    "sweep",
+]

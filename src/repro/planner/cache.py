@@ -1,0 +1,126 @@
+"""Plan-result caching keyed on a configuration digest.
+
+A plan is a pure function of its inputs (model shape, parallel config,
+constraints, hardware, memory model and the planner version), so the
+cache key is a SHA-256 over a canonical JSON rendering of all of them.
+Dataclasses are serialized field by field; anything non-JSON falls back
+to ``repr``, which is stable for the frozen dataclasses used here.
+
+The default cache is in-memory and process-local.  Passing a
+``directory`` additionally persists entries as pickle files named by
+digest, so repeated CLI invocations and sweep workers can share
+results across processes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import Any
+
+
+def _canonical(obj: Any) -> Any:
+    """Render ``obj`` as JSON-serializable data, deterministically.
+
+    Dataclasses exposing an ``as_dict()`` hook (``ModelConfig``,
+    ``ParallelConfig``) are serialized through it; other dataclasses
+    field by field.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        as_dict = getattr(obj, "as_dict", None)
+        if callable(as_dict):
+            fields = as_dict()
+        else:
+            fields = {
+                field.name: getattr(obj, field.name)
+                for field in dataclasses.fields(obj)
+            }
+        rendered = {name: _canonical(value) for name, value in fields.items()}
+        rendered["__type__"] = type(obj).__name__
+        return rendered
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(item) for item in obj]
+    if isinstance(obj, dict):
+        return {
+            str(key): _canonical(value)
+            for key, value in sorted(obj.items(), key=lambda kv: str(kv[0]))
+        }
+    if obj is None or isinstance(obj, (str, int, float, bool)):
+        return obj
+    return repr(obj)
+
+
+def config_digest(*parts: Any) -> str:
+    """SHA-256 hex digest of an arbitrary tuple of config objects."""
+    payload = json.dumps([_canonical(part) for part in parts], sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class PlanCache:
+    """Digest-keyed store of :class:`~repro.planner.planner.RankedPlans`.
+
+    Hits return the stored object itself (plans are treated as
+    immutable once ranked).  ``hits``/``misses`` counters make cache
+    behaviour observable in tests and sweeps.
+    """
+
+    def __init__(self, directory: str | Path | None = None):
+        self._store: dict[str, Any] = {}
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def _path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{key}.plan.pkl"
+
+    def get(self, key: str) -> Any | None:
+        """Stored plans for ``key``, or ``None`` (counts hit/miss)."""
+        if key in self._store:
+            self.hits += 1
+            return self._store[key]
+        if self.directory is not None:
+            path = self._path(key)
+            try:
+                with path.open("rb") as handle:
+                    value = pickle.load(handle)
+            except (OSError, EOFError, pickle.UnpicklingError):
+                # Missing, or a concurrent writer's file we cannot read:
+                # either way, a miss — never a crash.
+                pass
+            else:
+                self._store[key] = value
+                self.hits += 1
+                return value
+        self.misses += 1
+        return None
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` (and on disk when configured).
+
+        Disk writes go to a temp file first and are renamed into place,
+        so concurrent readers of a shared directory never observe a
+        half-written pickle.
+        """
+        self._store[key] = value
+        if self.directory is not None:
+            path = self._path(key)
+            temp = path.with_suffix(f".tmp.{os.getpid()}")
+            with temp.open("wb") as handle:
+                pickle.dump(value, handle)
+            os.replace(temp, path)
+
+    def clear(self) -> None:
+        """Drop all in-memory entries (disk files are left alone)."""
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0

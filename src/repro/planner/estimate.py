@@ -1,0 +1,168 @@
+"""Analytic candidate pricing for the schedule planner.
+
+The planner has to compare every schedule family before it can afford
+to simulate any of them, so this module prices a candidate from the
+cost model alone — no discrete-event execution.  Two quantities are
+estimated per method:
+
+* **iteration time** — per-device steady-state compute is read off a
+  single-microbatch instance of the schedule (an ``m = 1`` schedule
+  contains exactly one microbatch's worth of every pass stream, so
+  summing its pass durations per device gives the per-microbatch cost
+  ``C_d`` exactly, including folded-in vocabulary layers, S/T passes
+  and the interlaced segments' synchronous all-reduces).  The estimate
+  is the standard pipeline bound ``m · max_d C_d`` plus a ramp term
+  for warmup/cooldown;
+* **peak memory** — static parameter/optimizer bytes from the layout
+  (:func:`repro.sim.memory.device_param_bytes`) plus live-microbatch
+  activation counts taken from the paper's per-family analysis: 1F1B
+  holds ``p − d`` microbatches on device ``d``, Vocabulary Parallelism
+  adds one microbatch per communication barrier (§5.1), the interlaced
+  pipeline holds 1.5× 1F1B (Appendix B.1), and the V-Half families are
+  memory-balanced at roughly half of 1F1B's device-0 peak (Appendix D).
+
+Estimates deliberately favour robustness of the *ranking* over
+absolute accuracy — the planner re-measures the top candidates with
+the simulator before committing (see :mod:`repro.planner.planner`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import ModelConfig, ParallelConfig
+from repro.costmodel.memory import MemoryModel
+from repro.harness.experiments import KNOWN_METHODS, build_schedule
+from repro.sim.memory import device_param_bytes
+from repro.sim.runtime import BF16, FP32, RuntimeModel, SimulationSetup
+
+
+@dataclass(frozen=True)
+class CandidateEstimate:
+    """Cost-model-only price of one schedule family on one config."""
+
+    method: str
+    iteration_time: float
+    per_device_peak: tuple[float, ...]
+    per_device_compute: tuple[float, ...]
+
+    @property
+    def peak_bytes(self) -> float:
+        """Max estimated peak across devices."""
+        return max(self.per_device_peak)
+
+
+def infeasibility_reason(
+    method: str, model: ModelConfig, parallel: ParallelConfig
+) -> str | None:
+    """Why ``method`` cannot be instantiated on this config, or ``None``.
+
+    These are the structural constraints the schedule generators
+    enforce; the planner filters on them instead of catching
+    ``ValueError`` so infeasible candidates carry a readable reason.
+    """
+    if method not in KNOWN_METHODS:
+        raise ValueError(f"unknown method {method!r}; expected one of {KNOWN_METHODS}")
+    p = parallel.pipeline_size
+    if method.startswith("vhalf"):
+        if model.num_layers % (2 * p) != 0:
+            return (
+                f"V-Half needs num_layers divisible by 2p "
+                f"({model.num_layers} % {2 * p} != 0)"
+            )
+    elif model.num_layers % p != 0:
+        return (
+            f"needs num_layers divisible by pipeline_size "
+            f"({model.num_layers} % {p} != 0)"
+        )
+    return None
+
+
+def _live_microbatches(method: str, device: int, p: int, m: int) -> float:
+    """Estimated peak in-flight activation microbatches on ``device``.
+
+    The per-family counts the paper derives (Figure 10 annotations,
+    Appendix B.1, Appendix D), capped at ``m``.
+    """
+    if method.startswith("vhalf"):
+        barriers = {"vhalf-vocab-1": 2, "vhalf-vocab-2": 1}.get(method, 0)
+        live = p / 2.0 + barriers
+    elif method == "interlaced":
+        live = 1.5 * (p - device)
+    elif method in ("vocab-1", "vocab-2"):
+        barriers = 2 if method == "vocab-1" else 1
+        live = (p - device) + barriers
+    else:  # baseline / redis
+        live = float(p - device)
+    return min(float(m), max(1.0, live))
+
+
+def estimate_method(
+    method: str,
+    setup: SimulationSetup,
+    memory_model: MemoryModel | None = None,
+) -> CandidateEstimate:
+    """Price one method with the analytic cost model only.
+
+    Builds a single-microbatch instance of the schedule (cheap — a few
+    passes per device) to obtain the exact stage layout and pass
+    durations, then extrapolates to ``m`` microbatches.
+    """
+    memory_model = memory_model or MemoryModel()
+    model = setup.model
+    parallel = setup.parallel
+    p = parallel.pipeline_size
+    m = parallel.num_microbatches
+
+    probe_setup = SimulationSetup(
+        model,
+        parallel.replace(num_microbatches=1),
+        hardware=setup.hardware,
+        efficiency=setup.efficiency,
+        interlaced_sync_allreduce=setup.interlaced_sync_allreduce,
+        pass_overhead=setup.pass_overhead,
+    )
+    probe = build_schedule(method, probe_setup, refine=False)
+    runtime = RuntimeModel(probe_setup, probe)
+    compute = tuple(
+        sum(runtime.pass_duration(pass_) for pass_ in order)
+        for order in probe.device_orders
+    )
+    bottleneck = max(compute)
+    # Steady state is bound by the slowest device; warmup/cooldown ramps
+    # add roughly one traversal of the average stage.
+    ramp = (p - 1) * (sum(compute) / p)
+    iteration = m * bottleneck + ramp
+
+    layout = probe.layout
+    params = device_param_bytes(setup, layout, memory_model)
+    n = setup.tokens
+    h = model.hidden_size
+    shard = setup.partition.shard_size
+    b = parallel.microbatch_size
+    peaks = []
+    for device in range(p):
+        layers = sum(layout.transformer_layers[device])
+        live = _live_microbatches(method, device, p, m)
+        act = live * memory_model.activation_bytes(model, b, layers)
+        # Output-layer transients on top of transformer activations.
+        if layout.vocab_parallel:
+            act += 2.0 * n * shard * FP32
+            if probe.vocab_algorithm == 2:
+                act += 2.0 * n * h * BF16
+            if probe.interlaced:
+                act += n * h * BF16
+        else:
+            holds_output = any(
+                layout.hosts_output(device, chunk)
+                for chunk in range(layout.num_chunks)
+            )
+            if holds_output:
+                act += n * setup.padded_vocab_single * FP32
+        peaks.append(params[device] + act + memory_model.overhead_bytes)
+    return CandidateEstimate(
+        method=method,
+        iteration_time=iteration,
+        per_device_peak=tuple(peaks),
+        per_device_compute=compute,
+    )

@@ -1,0 +1,207 @@
+"""Parallel planning sweeps over (devices, vocab, microbatch, budget) grids.
+
+A sweep answers the question the planner's single-config API cannot:
+*where* in the hardware/workload space does each schedule family win?
+Each grid point is planned independently, so the sweep parallelizes
+with :mod:`concurrent.futures` — ``executor="process"`` for real
+multi-core speedup (the planner is pure Python), ``"thread"`` when
+worker processes are unavailable (sandboxes, pytest-cov), or
+``"serial"`` for debugging.  Worker failures fall back to serial
+execution rather than failing the sweep.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+from collections.abc import Iterable, Sequence
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from dataclasses import dataclass
+
+from repro.config import ModelConfig, ParallelConfig
+from repro.harness.settings import TABLE1_SHAPES, TABLE2_SHAPES
+from repro.planner.cache import PlanCache
+from repro.planner.planner import PlannerConstraints, RankedPlans, plan
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point of a planning sweep."""
+
+    devices: int
+    vocab_size: int
+    seq_length: int = 2048
+    num_microbatches: int = 128
+    memory_budget_gib: float | None = None
+
+
+@dataclass
+class SweepOutcome:
+    """The ranked plans produced for one grid point."""
+
+    point: SweepPoint
+    plans: RankedPlans
+
+    @property
+    def best_method(self) -> str | None:
+        """Winning family, or ``None`` when nothing fit the budget."""
+        return self.plans.best.method if self.plans.ranked else None
+
+
+def model_for_devices(
+    devices: int, seq_length: int, vocab_size: int
+) -> ModelConfig:
+    """A proportionally-sized model for an arbitrary device count.
+
+    Uses the paper's Table 1 shape when the device count matches one
+    (8/16/32 GPUs), the Table 2 shape for its extra count (24 GPUs),
+    and otherwise a generic 4-layers-per-device GPT shape so that both
+    the 1F1B family (``L % p == 0``) and the V-Half family
+    (``L % 2p == 0``) stay feasible.
+    """
+    if devices in TABLE1_SHAPES:
+        layers, heads, hidden = TABLE1_SHAPES[devices]
+    elif devices in TABLE2_SHAPES:
+        layers, heads, hidden = TABLE2_SHAPES[devices]
+    else:
+        layers, heads, hidden = 4 * devices, 16, 2048
+    return ModelConfig(
+        num_layers=layers,
+        hidden_size=hidden,
+        num_attention_heads=heads,
+        seq_length=seq_length,
+        vocab_size=vocab_size,
+    )
+
+
+def grid(
+    devices: Sequence[int],
+    vocab_sizes: Sequence[int],
+    seq_lengths: Sequence[int] = (2048,),
+    microbatches: Sequence[int] = (128,),
+    memory_budgets_gib: Sequence[float | None] = (None,),
+) -> list[SweepPoint]:
+    """Cartesian product of the sweep axes, in deterministic order."""
+    return [
+        SweepPoint(d, v, s, m, b)
+        for d, v, s, m, b in itertools.product(
+            devices, vocab_sizes, seq_lengths, microbatches, memory_budgets_gib
+        )
+    ]
+
+
+def plan_point(
+    point: SweepPoint,
+    constraints: PlannerConstraints | None = None,
+    cache_dir: str | None = None,
+) -> SweepOutcome:
+    """Plan one grid point (top-level so process pools can pickle it).
+
+    ``cache_dir`` names a disk-backed :class:`~repro.planner.cache.PlanCache`
+    directory, letting repeated CLI invocations and pool workers share
+    results across processes.
+    """
+    base = constraints or PlannerConstraints()
+    model = model_for_devices(point.devices, point.seq_length, point.vocab_size)
+    parallel = ParallelConfig(
+        pipeline_size=point.devices,
+        num_microbatches=point.num_microbatches,
+        microbatch_size=1,
+    )
+    if point.memory_budget_gib is not None:
+        import dataclasses
+
+        base = dataclasses.replace(
+            base, memory_budget_gib=point.memory_budget_gib
+        )
+    cache = PlanCache(cache_dir) if cache_dir is not None else None
+    return SweepOutcome(point=point, plans=plan(model, parallel, base, cache=cache))
+
+
+def sweep(
+    points: Iterable[SweepPoint],
+    constraints: PlannerConstraints | None = None,
+    *,
+    executor: str = "process",
+    max_workers: int | None = None,
+    cache_dir: str | None = None,
+) -> list[SweepOutcome]:
+    """Plan every grid point, in parallel, preserving input order.
+
+    ``executor`` selects the :mod:`concurrent.futures` backend:
+    ``"process"`` (default), ``"thread"`` or ``"serial"``.  If the
+    chosen pool cannot be started or dies mid-sweep (restricted
+    environments), results gathered so far are kept and only the
+    missing points are re-planned serially in-process.  ``cache_dir``
+    enables a shared disk-backed plan cache across workers and runs.
+    """
+    points = list(points)
+    if executor not in ("process", "thread", "serial"):
+        raise ValueError(
+            f"executor must be 'process', 'thread' or 'serial', got {executor!r}"
+        )
+    worker = functools.partial(
+        plan_point, constraints=constraints, cache_dir=cache_dir
+    )
+    if executor == "serial" or len(points) <= 1:
+        return [worker(point) for point in points]
+    pool_cls = ProcessPoolExecutor if executor == "process" else ThreadPoolExecutor
+    try:
+        pool = pool_cls(max_workers=max_workers)
+    except (OSError, RuntimeError):
+        # Pools are unavailable in some sandboxes; degrade gracefully.
+        return [worker(point) for point in points]
+    completed: dict[int, SweepOutcome] = {}
+    with pool:
+        futures = []
+        try:
+            for point in points:
+                futures.append(pool.submit(worker, point))
+        except BrokenExecutor:
+            pass
+        for index, future in enumerate(futures):
+            try:
+                completed[index] = future.result()
+            except BrokenExecutor:
+                # The pool died mid-sweep; keep every future that did
+                # finish and plan the rest serially below.  Genuine
+                # worker exceptions (a planner bug) propagate with
+                # their original traceback instead.
+                continue
+    for index, point in enumerate(points):
+        if index not in completed:
+            completed[index] = worker(point)
+    return [completed[index] for index in range(len(points))]
+
+
+def best_method_table(outcomes: Sequence[SweepOutcome]) -> str:
+    """ASCII summary: the winning family at every grid point."""
+    from repro.harness.tables import format_table
+
+    rows: list[list[object]] = []
+    for outcome in outcomes:
+        plans = outcome.plans
+        best = plans.best if plans.ranked else None
+        rows.append(
+            [
+                outcome.point.devices,
+                f"{outcome.point.vocab_size // 1024}k",
+                outcome.point.seq_length,
+                outcome.point.num_microbatches,
+                round(plans.memory_budget_gib, 1),
+                "(none fits)" if best is None else best.method,
+                None if best is None or best.iteration_time is None
+                else round(best.iteration_time, 3),
+                None if best is None or best.mfu is None
+                else round(100.0 * best.mfu, 2),
+            ]
+        )
+    return format_table(
+        ["devices", "vocab", "seq", "m", "budgetGB", "best", "time(s)", "MFU%"],
+        rows,
+        title="Planner sweep — winning schedule family per grid point",
+    )

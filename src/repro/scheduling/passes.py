@@ -58,6 +58,7 @@ class Pass:
     chunk: int = 0
 
     def __post_init__(self) -> None:
+        """Reject negative indices and non-zero chunks on replicated passes."""
         if self.microbatch < 0:
             raise ValueError(f"microbatch must be non-negative, got {self.microbatch}")
         if self.device < 0:

@@ -52,6 +52,7 @@ class ExecutionResult:
         return 1.0 - self.device_busy[device] / self.iteration_time
 
     def mean_bubble_fraction(self) -> float:
+        """Bubble fraction averaged over all devices (the paper's ⌀)."""
         p = len(self.device_busy)
         return sum(self.bubble_fraction(d) for d in range(p)) / p
 
@@ -75,12 +76,14 @@ class _Graph:
         self.indegree: dict[NodeKey, int] = defaultdict(int)
 
     def add_node(self, key: NodeKey, duration: float) -> None:
+        """Register a node; duplicate keys are a schedule bug."""
         if key in self.durations:
             raise ValueError(f"duplicate node {key}")
         self.durations[key] = duration
         self.indegree.setdefault(key, 0)
 
     def add_edge(self, src: NodeKey, dst: NodeKey, lag: float = 0.0) -> None:
+        """Add a dependency edge; ``lag`` models transfer latency."""
         if src not in self.durations or dst not in self.durations:
             raise KeyError(f"edge references unknown node: {src} -> {dst}")
         self.edges[src].append((dst, lag))

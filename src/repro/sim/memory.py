@@ -55,9 +55,17 @@ class MemoryReport:
         return self.peak <= capacity_bytes
 
 
-def _device_param_bytes(
+def device_param_bytes(
     setup: SimulationSetup, schedule_layout, memory_model: MemoryModel
 ) -> list[float]:
+    """Static parameter/optimizer-state bytes per device for a layout.
+
+    Table 4 accounting: transformer-stage weights times the training
+    state factor, plus the vocabulary layers (full copies on their
+    holder stages, or a shard everywhere under vocabulary parallelism)
+    and the first device's positional embedding.  Shared with the
+    planner's analytic estimator (:mod:`repro.planner.estimate`).
+    """
     model = setup.model
     layout = schedule_layout
     params = []
@@ -169,7 +177,7 @@ def memory_report(
     """Peak memory per device for an executed schedule."""
     memory_model = memory_model or MemoryModel()
     layout = result.schedule.layout
-    params = _device_param_bytes(setup, layout, memory_model)
+    params = device_param_bytes(setup, layout, memory_model)
     events = _activation_events(
         result, setup, memory_model, weight_release_fraction
     )

@@ -167,3 +167,59 @@ class TestCLI:
 
         with pytest.raises(SystemExit):
             main([])
+
+    def test_run_plan_wrapper(self):
+        from repro.harness.runner import run_plan
+
+        plans = run_plan(devices=4, vocab_size=32 * 1024, num_microbatches=8,
+                         simulate_top_k=1)
+        assert plans.best.source == "sim"
+        assert plans.parallel.pipeline_size == 4
+
+    def test_plan_command(self, capsys):
+        from repro.harness.cli import main
+
+        assert main(["plan", "--devices", "4", "--vocab", "128k",
+                     "--microbatches", "8", "--top-k", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Schedule plan" in out and "vocab 128k" in out
+
+    def test_plan_command_grid(self, capsys):
+        from repro.harness.cli import main
+
+        assert main(["plan", "--devices", "4", "--vocab", "32k", "64k",
+                     "--microbatches", "8", "--top-k", "0",
+                     "--executor", "serial"]) == 0
+        out = capsys.readouterr().out
+        assert "Planner sweep" in out
+
+    def test_plan_command_cache_dir(self, capsys, tmp_path):
+        from repro.harness.cli import main
+
+        args = ["plan", "--devices", "4", "--vocab", "32k",
+                "--microbatches", "4", "--top-k", "1",
+                "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+        assert list(tmp_path.glob("*.plan.pkl"))
+
+    def test_plan_vocab_parsing(self):
+        from repro.harness.cli import _parse_top_k, _parse_vocab
+
+        assert _parse_vocab("128k") == 128 * 1024
+        assert _parse_vocab("131072") == 131072
+        assert _parse_top_k("all") is None
+        assert _parse_top_k("2") == 2
+        with pytest.raises(Exception):
+            _parse_vocab("huge")
+
+    def test_help_epilog_lists_every_subcommand(self, capsys):
+        from repro.harness.cli import SUBCOMMANDS, main
+
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        for name in SUBCOMMANDS:
+            assert name in out

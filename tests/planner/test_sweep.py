@@ -1,0 +1,89 @@
+"""Tests for grid construction and the parallel planning sweep."""
+
+import pytest
+
+from repro.harness.settings import TABLE1_SHAPES, TABLE2_SHAPES
+from repro.planner import (
+    PlannerConstraints,
+    SweepPoint,
+    best_method_table,
+    grid,
+    model_for_devices,
+    plan_point,
+    sweep,
+)
+
+FAST = PlannerConstraints(simulate_top_k=1)
+
+
+class TestGrid:
+    def test_cartesian_product_order(self):
+        points = grid(
+            devices=(4, 8),
+            vocab_sizes=(32 * 1024, 64 * 1024),
+            microbatches=(8,),
+        )
+        assert len(points) == 4
+        assert points[0] == SweepPoint(4, 32 * 1024, 2048, 8, None)
+        assert [p.devices for p in points] == [4, 4, 8, 8]
+
+    def test_budget_axis(self):
+        points = grid(
+            devices=(4,), vocab_sizes=(32 * 1024,), memory_budgets_gib=(24.0, 80.0)
+        )
+        assert [p.memory_budget_gib for p in points] == [24.0, 80.0]
+
+
+class TestModelForDevices:
+    def test_paper_shapes_preferred(self):
+        assert model_for_devices(8, 2048, 32 * 1024).num_layers == TABLE1_SHAPES[8][0]
+        assert model_for_devices(24, 2048, 32 * 1024).num_layers == TABLE2_SHAPES[24][0]
+
+    def test_generic_shape_keeps_both_families_feasible(self):
+        model = model_for_devices(6, 2048, 32 * 1024)
+        assert model.num_layers % 6 == 0
+        assert model.num_layers % 12 == 0  # V-Half needs 2p
+
+
+class TestSweep:
+    def test_serial_sweep_matches_individual_plans(self):
+        points = grid(devices=(4,), vocab_sizes=(32 * 1024, 128 * 1024),
+                      microbatches=(8,))
+        outcomes = sweep(points, FAST, executor="serial")
+        assert [o.point for o in outcomes] == points
+        for outcome in outcomes:
+            alone = plan_point(outcome.point, FAST)
+            assert alone.best_method == outcome.best_method
+
+    def test_thread_sweep_matches_serial(self):
+        points = grid(devices=(4,), vocab_sizes=(32 * 1024, 128 * 1024),
+                      microbatches=(8,))
+        serial = sweep(points, FAST, executor="serial")
+        threaded = sweep(points, FAST, executor="thread", max_workers=2)
+        assert [o.best_method for o in serial] == [
+            o.best_method for o in threaded
+        ]
+
+    def test_budget_override_applies(self):
+        point = SweepPoint(4, 256 * 1024, num_microbatches=8,
+                           memory_budget_gib=1.0)
+        outcome = plan_point(point, FAST)
+        assert not outcome.plans.ranked
+        assert outcome.plans.memory_budget_gib == 1.0
+
+    def test_invalid_executor(self):
+        with pytest.raises(ValueError, match="executor"):
+            sweep([SweepPoint(4, 32 * 1024)], executor="mpi")
+
+    def test_best_method_table_renders(self):
+        points = grid(devices=(4,), vocab_sizes=(32 * 1024,), microbatches=(8,))
+        outcomes = sweep(points, FAST, executor="serial")
+        text = best_method_table(outcomes)
+        assert "best" in text and outcomes[0].best_method in text
+
+    def test_infeasible_grid_point_renders_without_crashing(self):
+        points = grid(devices=(4,), vocab_sizes=(256 * 1024,),
+                      microbatches=(8,), memory_budgets_gib=(0.5,))
+        outcomes = sweep(points, FAST, executor="serial")
+        assert outcomes[0].best_method is None
+        assert "(none fits)" in best_method_table(outcomes)

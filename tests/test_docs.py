@@ -1,0 +1,39 @@
+"""The user documentation must exist and stay internally consistent."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def test_docs_pages_exist():
+    assert (REPO / "README.md").is_file()
+    assert (REPO / "docs" / "architecture.md").is_file()
+    assert (REPO / "docs" / "schedules.md").is_file()
+
+
+def test_docs_link_checker_passes():
+    result = subprocess.run(
+        [sys.executable, str(REPO / "tools" / "check_docs_links.py")],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_readme_documents_every_subcommand():
+    from repro.harness.cli import SUBCOMMANDS
+
+    text = (REPO / "README.md").read_text() + (
+        REPO / "docs" / "schedules.md"
+    ).read_text()
+    for name in ("fig2", "table5", "table6", "schedules", "plan"):
+        assert name in SUBCOMMANDS and name in text
+
+
+def test_readme_quickstart_commands_run():
+    """The README's first CLI command works exactly as written."""
+    from repro.harness.cli import main
+
+    assert main(["fig2"]) == 0

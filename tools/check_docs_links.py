@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Validate the user documentation: links, file references, CLI commands.
+
+Checks, over ``README.md`` and every ``docs/*.md``:
+
+* relative markdown links ``[text](target)`` resolve to files that
+  exist (anchors are stripped; http(s)/mailto links are skipped);
+* backticked file references like ``benchmarks/bench_planner.py``
+  point at real files (paths are also tried relative to ``src/repro/``
+  so module references in docs/architecture.md resolve);
+* every ``repro-experiments <subcommand>`` shown in a fenced code
+  block or table names a real subcommand of :mod:`repro.harness.cli`.
+
+Exit code 0 when clean, 1 with a list of problems otherwise.  Run
+from the repository root (CI does)::
+
+    PYTHONPATH=src python tools/check_docs_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)]+)\)")
+BACKTICK_PATH = re.compile(r"`([A-Za-z0-9_./-]+\.(?:py|md|toml|yml))`")
+CLI_COMMAND = re.compile(r"repro-experiments\s+([a-z0-9-]+)")
+
+
+def doc_files() -> list[Path]:
+    """README plus every markdown page under docs/."""
+    files = [REPO / "README.md"]
+    files.extend(sorted((REPO / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def resolves(target: str, base: Path, allow_module_paths: bool = False) -> bool:
+    """Whether a referenced path exists (docs-relative or repo-relative).
+
+    ``allow_module_paths`` additionally tries ``src/repro/<target>`` —
+    only for backticked module references; markdown *links* must point
+    at real files so they do not 404 when rendered.
+    """
+    candidates = [base.parent / target, REPO / target]
+    if allow_module_paths:
+        candidates.append(REPO / "src" / "repro" / target)
+    return any(c.exists() for c in candidates)
+
+
+def check_file(path: Path, subcommands: set[str]) -> list[str]:
+    """All problems found in one markdown file."""
+    text = path.read_text()
+    rel = path.relative_to(REPO)
+    problems = []
+    for match in LINK.finditer(text):
+        target = match.group(1).split("#")[0].strip()
+        if not target or target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if not resolves(target, path):
+            problems.append(f"{rel}: broken link -> {target}")
+    for match in BACKTICK_PATH.finditer(text):
+        target = match.group(1)
+        if not resolves(target, path, allow_module_paths=True):
+            problems.append(f"{rel}: missing file reference -> {target}")
+    for match in CLI_COMMAND.finditer(text):
+        command = match.group(1)
+        if command not in subcommands:
+            problems.append(
+                f"{rel}: unknown repro-experiments subcommand -> {command}"
+            )
+    return problems
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.harness.cli import SUBCOMMANDS
+
+    problems: list[str] = []
+    files = doc_files()
+    if len(files) < 2:
+        problems.append("expected README.md plus docs/*.md pages")
+    for path in files:
+        problems.extend(check_file(path, set(SUBCOMMANDS)))
+    if problems:
+        print("\n".join(problems))
+        return 1
+    print(f"docs check OK: {len(files)} files, no broken references")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
