@@ -1,0 +1,119 @@
+"""Simulator-core microbenchmark: compiled replay vs reference rebuild.
+
+For the paper's Table 5 (8-GPU 1F1B Vocab-1) and Table 6 (16-GPU
+V-Half Vocab-1) panels, times one in-order execution three ways —
+reference executor (DAG rebuilt from dicts every call), a fresh
+compile + execute, and a replay of the precompiled graph (the planner
+loop's steady state) — and records the resulting speedups.  The
+equivalence of results between the engines is asserted here as well,
+so the artifact always describes matching simulations.
+
+The committed perf trajectory lives in ``BENCH_sim.json`` (see
+``tools/bench_trajectory.py`` and ``docs/performance.md``); this
+benchmark is the interactive, pytest-run view of the same numbers.
+"""
+
+import time
+
+import pytest
+
+from repro.harness.settings import model_for_1f1b, model_for_vhalf, parallel_for
+from repro.sim import RuntimeModel, SimulationSetup, compile_schedule
+from repro.sim.reference_executor import (
+    reference_execute_schedule,
+    reference_execute_schedule_dataflow,
+)
+from repro.harness.experiments import generate_method_schedule
+
+from conftest import bench_microbatches
+
+PANELS = [
+    ("tab5", 8, "vocab-1", model_for_1f1b),
+    ("tab6", 16, "vhalf-vocab-1", model_for_vhalf),
+]
+
+
+def _best_of(fn, rounds: int = 3) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+@pytest.mark.parametrize("tag,gpus,method,model_for", PANELS,
+                         ids=[p[0] for p in PANELS])
+def test_in_order_execution_speedup(benchmark, record, tag, gpus, method,
+                                    model_for):
+    model = model_for(gpus, 2048, 256 * 1024)
+    parallel = parallel_for(gpus, num_microbatches=bench_microbatches())
+    setup = SimulationSetup(model, parallel)
+    schedule = generate_method_schedule(method, setup)
+    runtime = RuntimeModel(setup, schedule)
+    graph = compile_schedule(schedule, runtime)
+
+    compiled = benchmark.pedantic(graph.replay, rounds=3, iterations=1)
+    reference = reference_execute_schedule(schedule, runtime)
+    assert compiled.pass_times == reference.pass_times
+    assert compiled.iteration_time == reference.iteration_time
+
+    t_reference = _best_of(lambda: reference_execute_schedule(schedule, runtime))
+    t_fresh = _best_of(lambda: compile_schedule(schedule, runtime).execute())
+    t_replay = _best_of(graph.replay)
+    record(
+        f"sim_core_{tag}_{gpus}gpu_inorder",
+        "\n".join(
+            [
+                f"in-order execution, {method}, {gpus} GPUs, "
+                f"m={parallel.num_microbatches}, vocab 256k",
+                f"reference executor : {t_reference * 1e3:9.2f} ms",
+                f"compile + execute  : {t_fresh * 1e3:9.2f} ms "
+                f"({t_reference / t_fresh:5.1f}x)",
+                f"compiled replay    : {t_replay * 1e3:9.2f} ms "
+                f"({t_reference / t_replay:5.1f}x)",
+            ]
+        ),
+    )
+
+
+@pytest.mark.parametrize("tag,gpus,method,model_for", PANELS,
+                         ids=[p[0] for p in PANELS])
+def test_dataflow_execution_speedup(benchmark, record, tag, gpus, method,
+                                    model_for):
+    model = model_for(gpus, 2048, 256 * 1024)
+    parallel = parallel_for(gpus, num_microbatches=bench_microbatches())
+    setup = SimulationSetup(model, parallel)
+    schedule = generate_method_schedule(method, setup)
+    runtime = RuntimeModel(setup, schedule)
+    graph = compile_schedule(schedule, runtime)
+    mode = "zero-bubble" if schedule.has_weight_passes else "strict"
+
+    compiled = benchmark.pedantic(
+        lambda: graph.execute_dataflow(lookahead=64, mode=mode),
+        rounds=3,
+        iterations=1,
+    )
+    reference = reference_execute_schedule_dataflow(
+        schedule, runtime, lookahead=64, mode=mode
+    )
+    assert compiled.pass_times == reference.pass_times
+
+    t_reference = _best_of(
+        lambda: reference_execute_schedule_dataflow(
+            schedule, runtime, lookahead=64, mode=mode
+        )
+    )
+    t_compiled = _best_of(lambda: graph.execute_dataflow(lookahead=64, mode=mode))
+    record(
+        f"sim_core_{tag}_{gpus}gpu_dataflow",
+        "\n".join(
+            [
+                f"dataflow execution ({mode}), {method}, {gpus} GPUs, "
+                f"m={parallel.num_microbatches}, vocab 256k",
+                f"reference executor : {t_reference * 1e3:9.2f} ms",
+                f"compiled graph     : {t_compiled * 1e3:9.2f} ms "
+                f"({t_reference / t_compiled:5.1f}x)",
+            ]
+        ),
+    )

@@ -191,6 +191,7 @@ def _cmd_plan(args: argparse.Namespace) -> None:
             executor=args.executor,
             max_workers=args.workers,
             cache_dir=args.cache_dir,
+            chunk_size=args.chunk_size,
         )
     except ValueError as error:
         # Config validation (vocab/seq/devices bounds, unknown methods,
@@ -293,6 +294,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     pl.add_argument(
         "--workers", type=int, default=None, help="max sweep workers"
+    )
+    pl.add_argument(
+        "--chunk-size", type=int, default=None, metavar="N",
+        help="grid points per pool task (default: ~4 chunks per worker)",
     )
     pl.add_argument(
         "--cache-dir", default=None, metavar="DIR",

@@ -11,6 +11,7 @@ mark them the way the paper's figures do.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from repro.config import ModelConfig, ParallelConfig, layers_per_stage
@@ -26,12 +27,15 @@ from repro.scheduling import (
     redistribute_layers,
 )
 from repro.sim import (
+    ExecutionResult,
     PassTimings,
     RuntimeModel,
     SimulationSetup,
+    compile_schedule,
     execute_schedule,
     memory_report,
     refine_schedule_order,
+    simulation_engine,
 )
 
 #: All method names understood by :func:`run_method`.
@@ -65,10 +69,8 @@ class MethodMetrics:
         return 100.0 * self.mfu
 
 
-def build_schedule(
-    method: str, setup: SimulationSetup, refine: bool = True
-) -> Schedule:
-    """Generate (and optionally order-refine) the schedule for a method."""
+def generate_method_schedule(method: str, setup: SimulationSetup) -> Schedule:
+    """Generate the nominal (unrefined) schedule for a method."""
     model = setup.model
     parallel = setup.parallel
     p = parallel.pipeline_size
@@ -148,16 +150,60 @@ def build_schedule(
             )
     else:
         raise ValueError(f"unknown method {method!r}; expected one of {KNOWN_METHODS}")
+    return schedule
+
+
+def _wants_refinement(schedule: Schedule) -> bool:
     # Baseline/Redis orders are the canonical 1F1B already; the
     # interlaced schedule is a rigid synchronous design (Figure 15b)
     # with nothing flexible to reorder.  The Vocabulary Parallelism
     # schedules profit from the profiling-style refinement; the V-Half
     # family additionally allows F/B reordering (zero-bubble design).
-    if refine and (schedule.vocab_algorithm is not None or schedule.has_weight_passes):
+    return schedule.vocab_algorithm is not None or schedule.has_weight_passes
+
+
+def _refine_mode(schedule: Schedule) -> str:
+    return "zero-bubble" if schedule.has_weight_passes else "strict"
+
+
+def build_schedule(
+    method: str, setup: SimulationSetup, refine: bool = True
+) -> Schedule:
+    """Generate (and optionally order-refine) the schedule for a method."""
+    schedule = generate_method_schedule(method, setup)
+    if refine and _wants_refinement(schedule):
         runtime = RuntimeModel(setup, schedule)
-        mode = "zero-bubble" if schedule.has_weight_passes else "strict"
-        schedule = refine_schedule_order(schedule, runtime, mode=mode)
+        schedule = refine_schedule_order(
+            schedule, runtime, mode=_refine_mode(schedule)
+        )
     return schedule
+
+
+def _simulate(
+    schedule: Schedule, setup: SimulationSetup, refine: bool
+) -> tuple[Schedule, ExecutionResult]:
+    """Refine (optionally) and execute in-order, sharing one compiled graph.
+
+    Under the compiled engine the schedule is lowered once; refinement's
+    dataflow run, its before/after checks, and the final in-order result
+    all replay that graph — where the pre-compiled flow executed the
+    schedule up to five times from scratch.  The reference engine keeps
+    the original execute-from-scratch behaviour for oracle comparisons.
+    """
+    runtime = RuntimeModel(setup, schedule)
+    wants_refine = refine and _wants_refinement(schedule)
+    if simulation_engine() == "reference":
+        if wants_refine:
+            schedule = refine_schedule_order(
+                schedule, runtime, mode=_refine_mode(schedule)
+            )
+            runtime = RuntimeModel(setup, schedule)
+        return schedule, execute_schedule(schedule, runtime)
+    graph = compile_schedule(schedule, runtime)
+    if wants_refine:
+        schedule, result, _ = graph.refine(mode=_refine_mode(schedule))
+        return schedule, result
+    return schedule, graph.execute()
 
 
 def run_method(
@@ -167,14 +213,32 @@ def run_method(
     setup: SimulationSetup | None = None,
     memory_model: MemoryModel | None = None,
     refine: bool = True,
+    sim_cache: dict | None = None,
 ) -> MethodMetrics:
-    """Simulate one method end-to-end and collect its metrics."""
+    """Simulate one method end-to-end and collect its metrics.
+
+    ``sim_cache`` (any mutable mapping) deduplicates structurally
+    identical candidates: when two methods generate schedules with equal
+    :meth:`~repro.scheduling.schedule.Schedule.structure_key` — e.g.
+    Redis degenerating to the baseline layout on a small vocabulary —
+    the second simulation is skipped and the stored metrics are reused.
+    Callers must use one cache per (setup, memory_model) pairing; the
+    planner's top-k loop does exactly that.
+    """
     setup = setup or SimulationSetup(model, parallel)
-    schedule = build_schedule(method, setup, refine=refine)
-    runtime = RuntimeModel(setup, schedule)
-    result = execute_schedule(schedule, runtime)
+    schedule = generate_method_schedule(method, setup)
+    key = (schedule.structure_key(), bool(refine))
+    if sim_cache is not None:
+        cached = sim_cache.get(key)
+        if cached is not None:
+            return dataclasses.replace(
+                cached,
+                method=method,
+                per_device_peak_gb=list(cached.per_device_peak_gb),
+            )
+    schedule, result = _simulate(schedule, setup, refine)
     report = memory_report(result, setup, memory_model)
-    return MethodMetrics(
+    metrics = MethodMetrics(
         method=method,
         mfu=mfu(model, parallel, setup.hardware, result.iteration_time),
         iteration_time=result.iteration_time,
@@ -184,6 +248,14 @@ def run_method(
         mean_bubble=result.mean_bubble_fraction(),
         oom=not report.fits(setup.hardware.memory_bytes),
     )
+    if sim_cache is not None:
+        # Store a clone, not the returned object: a caller mutating its
+        # result (per_device_peak_gb is a plain list) must not poison
+        # later cache hits.
+        sim_cache[key] = dataclasses.replace(
+            metrics, per_device_peak_gb=list(metrics.per_device_peak_gb)
+        )
+    return metrics
 
 
 def vocab_scaling_factor(

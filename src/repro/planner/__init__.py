@@ -40,9 +40,11 @@ from repro.planner.sweep import (
     SweepOutcome,
     SweepPoint,
     best_method_table,
+    default_chunk_size,
     grid,
     model_for_devices,
     plan_point,
+    plan_points,
     sweep,
 )
 
@@ -57,6 +59,7 @@ __all__ = [
     "best_method_table",
     "clear_plan_cache",
     "config_digest",
+    "default_chunk_size",
     "default_plan_cache",
     "estimate_method",
     "grid",
@@ -64,5 +67,6 @@ __all__ = [
     "model_for_devices",
     "plan",
     "plan_point",
+    "plan_points",
     "sweep",
 ]

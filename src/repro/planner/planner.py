@@ -332,6 +332,12 @@ def plan(
 
     simulated: list[PlanCandidate] = []
     estimated: list[PlanCandidate] = []
+    # Shared across the top-k loop: candidates whose generated schedules
+    # are structurally identical (equal ``Schedule.structure_key``, e.g.
+    # Redis collapsing onto the baseline layout) are simulated once and
+    # the metrics reused; ``run_method`` also shares one compiled graph
+    # across refinement and measurement within each simulation.
+    sim_cache: dict = {}
     for index, (candidate, _) in enumerate(priced):
         if needs_simulation(index, candidate):
             metrics = run_method(
@@ -341,6 +347,7 @@ def plan(
                 setup=setup,
                 memory_model=memory_model,
                 refine=constraints.refine,
+                sim_cache=sim_cache,
             )
             verified = PlanCandidate(
                 method=candidate.method,

@@ -8,12 +8,20 @@ multi-core speedup (the planner is pure Python), ``"thread"`` when
 worker processes are unavailable (sandboxes, pytest-cov), or
 ``"serial"`` for debugging.  Worker failures fall back to serial
 execution rather than failing the sweep.
+
+Grid points are submitted to the pool in *chunks* rather than one
+future per point: every process-pool task pays a fixed cost (pickling
+the constraints and the worker closure, queue round-trips), which for
+small per-point work dominated the sweep.  ``chunk_size`` controls the
+batching; the default targets a few chunks per worker so load still
+balances.
 """
 
 from __future__ import annotations
 
 import functools
 import itertools
+import os
 from collections.abc import Iterable, Sequence
 from concurrent.futures import (
     BrokenExecutor,
@@ -122,6 +130,30 @@ def plan_point(
     return SweepOutcome(point=point, plans=plan(model, parallel, base, cache=cache))
 
 
+def plan_points(
+    points: Sequence[SweepPoint],
+    constraints: PlannerConstraints | None = None,
+    cache_dir: str | None = None,
+) -> list[SweepOutcome]:
+    """Plan a chunk of grid points serially (one pool task per chunk).
+
+    Top-level so process pools can pickle it; the per-task fixed cost
+    (constraint pickling, queue round-trips) is paid once per chunk
+    instead of once per point.
+    """
+    return [plan_point(point, constraints, cache_dir) for point in points]
+
+
+def default_chunk_size(num_points: int, workers: int) -> int:
+    """Points per pool task: ~4 chunks per worker, at least 1 point.
+
+    Large enough that small sweeps stop paying per-task process-pool
+    overhead, small enough that stragglers still rebalance across the
+    pool.
+    """
+    return max(1, -(-num_points // (4 * max(1, workers))))
+
+
 def sweep(
     points: Iterable[SweepPoint],
     constraints: PlannerConstraints | None = None,
@@ -129,6 +161,7 @@ def sweep(
     executor: str = "process",
     max_workers: int | None = None,
     cache_dir: str | None = None,
+    chunk_size: int | None = None,
 ) -> list[SweepOutcome]:
     """Plan every grid point, in parallel, preserving input order.
 
@@ -138,29 +171,45 @@ def sweep(
     environments), results gathered so far are kept and only the
     missing points are re-planned serially in-process.  ``cache_dir``
     enables a shared disk-backed plan cache across workers and runs.
+    ``chunk_size`` batches grid points per pool task
+    (:func:`default_chunk_size` when ``None``); ``1`` restores the old
+    one-future-per-point submission.
     """
     points = list(points)
     if executor not in ("process", "thread", "serial"):
         raise ValueError(
             f"executor must be 'process', 'thread' or 'serial', got {executor!r}"
         )
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError(f"chunk_size must be ≥ 1, got {chunk_size}")
     worker = functools.partial(
         plan_point, constraints=constraints, cache_dir=cache_dir
     )
     if executor == "serial" or len(points) <= 1:
         return [worker(point) for point in points]
+    if chunk_size is None:
+        cpus = os.cpu_count() or 1
+        # Match each pool's actual default sizing so chunks balance:
+        # ThreadPoolExecutor defaults to min(32, cpus + 4) workers.
+        pool_default = min(32, cpus + 4) if executor == "thread" else cpus
+        workers = max_workers or pool_default
+        chunk_size = default_chunk_size(len(points), workers)
+    chunks = [points[i : i + chunk_size] for i in range(0, len(points), chunk_size)]
+    chunk_worker = functools.partial(
+        plan_points, constraints=constraints, cache_dir=cache_dir
+    )
     pool_cls = ProcessPoolExecutor if executor == "process" else ThreadPoolExecutor
     try:
         pool = pool_cls(max_workers=max_workers)
     except (OSError, RuntimeError):
         # Pools are unavailable in some sandboxes; degrade gracefully.
         return [worker(point) for point in points]
-    completed: dict[int, SweepOutcome] = {}
+    completed: dict[int, list[SweepOutcome]] = {}
     with pool:
         futures = []
         try:
-            for point in points:
-                futures.append(pool.submit(worker, point))
+            for chunk in chunks:
+                futures.append(pool.submit(chunk_worker, chunk))
         except BrokenExecutor:
             pass
         for index, future in enumerate(futures):
@@ -172,10 +221,14 @@ def sweep(
                 # worker exceptions (a planner bug) propagate with
                 # their original traceback instead.
                 continue
-    for index, point in enumerate(points):
+    for index, chunk in enumerate(chunks):
         if index not in completed:
-            completed[index] = worker(point)
-    return [completed[index] for index in range(len(points))]
+            completed[index] = [worker(point) for point in chunk]
+    return [
+        outcome
+        for index in range(len(chunks))
+        for outcome in completed[index]
+    ]
 
 
 def best_method_table(outcomes: Sequence[SweepOutcome]) -> str:

@@ -176,6 +176,25 @@ class Schedule:
         """All passes of one type on one device, in execution order."""
         return [p for p in self.device_orders[device] if p.type is type_]
 
+    def structure_key(self) -> tuple:
+        """Hashable identity of everything the executor's timing sees.
+
+        Two schedules with equal keys produce identical simulation
+        results for the same :class:`~repro.sim.runtime.SimulationSetup`
+        (``name`` and ``metadata`` are cosmetic and excluded) — the
+        planner uses this to deduplicate structurally identical
+        candidates across its top-k verification loop.
+        """
+        return (
+            self.num_microbatches,
+            self.layout,
+            self.vocab_algorithm,
+            self.has_weight_passes,
+            self.has_input_passes,
+            self.interlaced,
+            tuple(tuple(order) for order in self.device_orders),
+        )
+
     def last_stage_holder(self) -> tuple[int, int]:
         """(device, chunk) of the final transformer stage."""
         return self.layout.holder_of_stage(self.layout.num_stages - 1)

@@ -17,7 +17,9 @@ from repro.sim.executor import (
     execute_schedule,
     execute_schedule_dataflow,
     refine_schedule_order,
+    simulation_engine,
 )
+from repro.sim.compiled import CompiledGraph, compile_schedule
 from repro.sim.memory import MemoryReport, memory_report, live_microbatch_peaks
 from repro.sim.trace import render_timeline, render_order
 
@@ -28,6 +30,9 @@ __all__ = [
     "execute_schedule",
     "execute_schedule_dataflow",
     "refine_schedule_order",
+    "simulation_engine",
+    "CompiledGraph",
+    "compile_schedule",
     "ExecutionResult",
     "DeadlockError",
     "MemoryReport",

@@ -1,0 +1,683 @@
+"""Compiled schedule graphs: lower once, execute on flat integer arrays.
+
+The discrete-event executor of :mod:`repro.sim.executor` is the hot
+path of every planner call — :func:`repro.planner.planner.plan`
+simulates its top-k candidates, and each
+:func:`~repro.sim.executor.refine_schedule_order` pass used to run
+*three additional* full executions, every one of which rebuilt the
+dependency DAG as dicts keyed by tuples and :class:`Pass` dataclasses.
+
+This module applies the compile-then-replay discipline schedule-search
+systems (TeraPipe, BaPipe) use to keep their search loops affordable:
+
+* :func:`compile_schedule` lowers a ``(Schedule, RuntimeModel)`` pair
+  **once** into a :class:`CompiledGraph` — integer node ids (passes
+  first, in flattened device order, then collective barrier nodes),
+  CSR-style successor/lag arrays, a flat durations array, and
+  per-device pass-index lists;
+* :meth:`CompiledGraph.execute` runs the in-order longest-path
+  evaluation over those arrays (the topological order itself is
+  computed once and replayed);
+* :meth:`CompiledGraph.execute_dataflow` runs the work-conserving
+  event-driven mode on the same arrays, re-scanning only devices whose
+  dependency state or free time actually changed instead of sweeping
+  every device per event;
+* :meth:`CompiledGraph.rebind` re-prices durations and transfer lags
+  for a different runtime **without re-lowering the topology**, and
+  :meth:`CompiledGraph.with_orders` re-threads the device chains for a
+  reordered schedule while sharing every structural array — which is
+  exactly what :meth:`CompiledGraph.refine` needs for its before/after
+  comparison.
+
+Results are bit-identical to the reference executor
+(:mod:`repro.sim.reference_executor`): the same floating-point
+operations run in an order whose reductions (``max`` relaxations,
+per-device busy sums) are associativity-safe, and the equivalence
+suite (``tests/sim/test_compiled_equivalence.py``) holds the two
+implementations together.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from collections import defaultdict, deque
+
+from repro.scheduling.passes import CollectiveKind, Pass, PassType
+from repro.scheduling.schedule import Schedule
+from repro.sim.executor import (
+    FLEXIBLE_TYPES,
+    DeadlockError,
+    ExecutionResult,
+    _live_f_caps,
+)
+
+
+class CompiledGraph:
+    """A schedule's dependency DAG lowered to flat arrays.
+
+    Node ids ``0 .. num_passes-1`` are compute passes in flattened
+    ``device_orders`` order; ids ``num_passes .. num_nodes-1`` are
+    collective barrier nodes in registration order.  Structural arrays
+    (successor CSR, per-device streams) depend only on the schedule;
+    ``durations`` and ``succ_lag`` depend on the runtime and can be
+    re-bound without re-lowering (:meth:`rebind`).
+    """
+
+    __slots__ = (
+        "schedule",
+        "runtime",
+        "num_passes",
+        "num_nodes",
+        "node_pass",
+        "node_device",
+        "node_type",
+        "node_chunk",
+        "node_flexible",
+        "coll_keys",
+        "coll_comm",
+        "coll_override",
+        "num_comms",
+        "durations",
+        "succ_off",
+        "succ_node",
+        "succ_lag",
+        "succ_p2p",
+        "base_indeg",
+        "device_nodes",
+        "_pass_id",
+        "_chain_next",
+        "_topo",
+        "_inorder",
+    )
+
+    def __init__(self) -> None:
+        # Populated by compile_schedule / rebind / with_orders.
+        self._chain_next: list[int] | None = None
+        self._topo: list[int] | None = None
+        self._inorder: ExecutionResult | None = None
+
+    # ------------------------------------------------------------------
+    # Binding (runtime-dependent arrays)
+    # ------------------------------------------------------------------
+
+    def _bind(self, runtime) -> None:
+        """(Re)compute durations and transfer lags from ``runtime``."""
+        self.runtime = runtime
+        durations = [0.0] * self.num_nodes
+        for i, p in enumerate(self.node_pass):
+            durations[i] = runtime.pass_duration(p)
+        coll_duration: dict[int, float] = {}
+        for j, (kind, _mb) in enumerate(self.coll_keys):
+            override = self.coll_override[j]
+            if override is not None:
+                durations[self.num_passes + j] = override
+            else:
+                comm = self.coll_comm[j]
+                if comm not in coll_duration:
+                    coll_duration[comm] = runtime.collective_duration(kind)
+                durations[self.num_passes + j] = coll_duration[comm]
+        p2p: dict[tuple[int, int], float] = {}
+        lags = [0.0] * len(self.succ_node)
+        for k, pair in enumerate(self.succ_p2p):
+            if pair is not None:
+                if pair not in p2p:
+                    p2p[pair] = runtime.p2p_duration(*pair)
+                lags[k] = p2p[pair]
+        self.durations = durations
+        self.succ_lag = lags
+        # Topology (and its cached topological order) is unaffected by a
+        # rebind; only the cached execution result must be dropped.
+        self._inorder = None
+
+    def rebind(self, runtime) -> CompiledGraph:
+        """A graph sharing this topology with durations from ``runtime``.
+
+        The expensive lowering (node numbering, edge CSR, device
+        streams) is reused; only the duration and lag arrays are
+        recomputed.  The cached topological order survives, so a
+        rebound graph replays at full speed immediately.
+        """
+        clone = CompiledGraph()
+        clone.schedule = self.schedule
+        for name in (
+            "num_passes", "num_nodes", "node_pass", "node_device",
+            "node_type", "node_chunk", "node_flexible", "coll_keys",
+            "coll_comm", "coll_override", "num_comms", "succ_off",
+            "succ_node", "succ_p2p", "base_indeg", "device_nodes",
+            "_pass_id",
+        ):
+            setattr(clone, name, getattr(self, name))
+        clone._chain_next = self._chain_next
+        clone._topo = self._topo
+        clone._bind(runtime)
+        return clone
+
+    def with_orders(
+        self, device_orders: list[list[Pass]], schedule: Schedule | None = None
+    ) -> CompiledGraph:
+        """A graph for the same passes executed in a different order.
+
+        Only the per-device streams (and therefore the implicit device
+        chains of the in-order mode) change; every structural array and
+        the bound durations are shared.  ``schedule`` defaults to this
+        graph's schedule with the new orders substituted.
+        """
+        if schedule is None:
+            schedule = dataclasses.replace(
+                self.schedule, device_orders=[list(o) for o in device_orders]
+            )
+        clone = CompiledGraph()
+        clone.schedule = schedule
+        for name in (
+            "runtime", "num_passes", "num_nodes", "node_pass",
+            "node_device", "node_type", "node_chunk", "node_flexible",
+            "coll_keys", "coll_comm", "coll_override", "num_comms",
+            "durations", "succ_off", "succ_node", "succ_lag",
+            "succ_p2p", "base_indeg", "_pass_id",
+        ):
+            setattr(clone, name, getattr(self, name))
+        pass_id = self._pass_id
+        clone.device_nodes = [[pass_id[p] for p in order] for order in device_orders]
+        return clone
+
+    # ------------------------------------------------------------------
+    # In-order execution (compile the topological order, then replay)
+    # ------------------------------------------------------------------
+
+    def _describe(self, node: int) -> tuple:
+        """Reference-style node key, for deadlock diagnostics only."""
+        if node >= self.num_passes:
+            kind, mb = self.coll_keys[node - self.num_passes]
+            return ("coll", kind.value, mb)
+        device = self.node_device[node]
+        return ("pass", device, self.device_nodes[device].index(node))
+
+    def _topology(self) -> tuple[list[int], list[int]]:
+        """Topological order including device chains; cached."""
+        if self._topo is not None and self._chain_next is not None:
+            return self._topo, self._chain_next
+        n = self.num_nodes
+        chain_next = [-1] * n
+        indeg = list(self.base_indeg)
+        for nodes in self.device_nodes:
+            for a, b in zip(nodes, nodes[1:]):
+                chain_next[a] = b
+                indeg[b] += 1
+        off, nxt = self.succ_off, self.succ_node
+        queue = deque(i for i in range(n) if indeg[i] == 0)
+        topo: list[int] = []
+        while queue:
+            i = queue.popleft()
+            topo.append(i)
+            for k in range(off[i], off[i + 1]):
+                j = nxt[k]
+                indeg[j] -= 1
+                if indeg[j] == 0:
+                    queue.append(j)
+            j = chain_next[i]
+            if j >= 0:
+                indeg[j] -= 1
+                if indeg[j] == 0:
+                    queue.append(j)
+        if len(topo) != n:
+            blocked = [self._describe(i) for i in range(n) if indeg[i] > 0]
+            raise DeadlockError(
+                f"schedule '{self.schedule.name}' deadlocked; "
+                f"{len(blocked)} nodes blocked, e.g. {blocked[:5]}"
+            )
+        self._chain_next = chain_next
+        self._topo = topo
+        return topo, chain_next
+
+    def replay(self) -> ExecutionResult:
+        """One in-order execution over the flat arrays (uncached).
+
+        Longest-path evaluation in precompiled topological order: a
+        single forward sweep with ``max`` relaxations, no dict lookups
+        and no queue management.
+        """
+        topo, chain_next = self._topology()
+        num_passes = self.num_passes
+        dur = self.durations
+        off, nxt, lag = self.succ_off, self.succ_node, self.succ_lag
+        ready = [0.0] * self.num_nodes
+        end = [0.0] * self.num_nodes
+        for i in topo:
+            e = ready[i] + dur[i]
+            end[i] = e
+            for k in range(off[i], off[i + 1]):
+                j = nxt[k]
+                r = e + lag[k]
+                if r > ready[j]:
+                    ready[j] = r
+            j = chain_next[i] if i < num_passes else -1
+            if j >= 0 and e > ready[j]:
+                ready[j] = e
+        result = self._collect(ready, end)
+        self._inorder = result
+        return result
+
+    def execute(self) -> ExecutionResult:
+        """In-order execution result; cached across calls.
+
+        The refinement flow shares this single run between the
+        zero-bubble memory-cap pre-pass, the "before" side of the
+        refinement check, and the metrics collection that used to be a
+        separate execution.
+        """
+        if self._inorder is None:
+            self.replay()
+        return self._inorder
+
+    def _collect(self, start: list[float], end: list[float]) -> ExecutionResult:
+        schedule = self.schedule
+        pass_times: dict[Pass, tuple[float, float]] = {}
+        busy = [0.0] * schedule.num_devices
+        node_pass = self.node_pass
+        # Walk passes in the *current* stream order (which differs from
+        # node-id order after with_orders) so the busy sums accumulate in
+        # exactly the reference executor's order — float addition is not
+        # associative, and the equivalence suite compares bit-for-bit.
+        for device, nodes in enumerate(self.device_nodes):
+            for i in nodes:
+                s, e = start[i], end[i]
+                pass_times[node_pass[i]] = (s, e)
+                busy[device] += e - s
+        num_passes = self.num_passes
+        collective_times = {
+            key: (start[num_passes + j], end[num_passes + j])
+            for j, key in enumerate(self.coll_keys)
+        }
+        iteration_time = max(end) - min(start)
+        return ExecutionResult(
+            schedule=schedule,
+            pass_times=pass_times,
+            collective_times=collective_times,
+            iteration_time=iteration_time,
+            device_busy=busy,
+        )
+
+    # ------------------------------------------------------------------
+    # Work-conserving (dataflow) execution
+    # ------------------------------------------------------------------
+
+    def execute_dataflow(
+        self, lookahead: int = 4, mode: str = "strict"
+    ) -> ExecutionResult:
+        """Work-conserving simulation on the compiled arrays.
+
+        Semantics match
+        :func:`repro.sim.reference_executor.reference_execute_schedule_dataflow`
+        exactly (same dispatch rules, same collective serialization,
+        same tie-breaking); the difference is that after each event
+        only devices whose dependency state or free time changed are
+        re-scanned, instead of the reference's O(devices) sweep per
+        completion.
+        """
+        if lookahead < 1:
+            raise ValueError(f"lookahead must be ≥ 1, got {lookahead}")
+        if mode not in ("strict", "zero-bubble"):
+            raise ValueError(
+                f"mode must be 'strict' or 'zero-bubble', got {mode!r}"
+            )
+        schedule = self.schedule
+        num_devices = schedule.num_devices
+        num_passes = self.num_passes
+        n = self.num_nodes
+        dur = self.durations
+        off, nxt, lag = self.succ_off, self.succ_node, self.succ_lag
+        node_device = self.node_device
+        node_type = self.node_type
+        node_chunk = self.node_chunk
+        node_flexible = self.node_flexible
+        strict = mode == "strict"
+
+        f_caps: list[dict[int, int]] | None = None
+        release_type = (
+            PassType.W if schedule.has_weight_passes else PassType.B
+        )
+        if mode == "zero-bubble":
+            f_caps = _live_f_caps(schedule, self.execute())
+        live_f: list[dict[int, int]] = [
+            defaultdict(int) for _ in range(num_devices)
+        ]
+
+        num_deps = list(self.base_indeg)
+        dep_ready = [0.0] * n
+        start_arr = [0.0] * n
+        end_arr = [0.0] * n
+        seen = [False] * n
+        pending: list[deque[int]] = [deque(nodes) for nodes in self.device_nodes]
+        device_free = [0.0] * num_devices
+        comm_free = [0.0] * self.num_comms
+
+        events: list[tuple[float, int, int]] = []
+        counter = 0
+        # Devices become eligible again the moment simulated time reaches
+        # their busy-until mark — which can happen at an event of *another*
+        # node sharing that timestamp, not just at their own completion.
+        # A min-heap of (free_time, device) reproduces the reference
+        # executor's every-event sweep exactly while only re-scanning
+        # devices whose state could actually have changed.
+        free_heap: list[tuple[float, int]] = []
+
+        def finish_at(i: int, start: float) -> None:
+            nonlocal counter
+            e = start + dur[i]
+            start_arr[i] = start
+            end_arr[i] = e
+            seen[i] = True
+            counter += 1
+            heapq.heappush(events, (e, counter, i))
+
+        def launch_collective(j: int, now: float) -> None:
+            comm = self.coll_comm[j - num_passes]
+            start = max(dep_ready[j], comm_free[comm], now)
+            comm_free[comm] = start + dur[j]
+            finish_at(j, start)
+
+        def try_dispatch(device: int, now: float) -> None:
+            if device_free[device] > now:
+                return
+            queue = pending[device]
+            window = lookahead if lookahead < len(queue) else len(queue)
+            for offset in range(window):
+                i = queue[offset]
+                if strict:
+                    if offset > 0 and not node_flexible[i]:
+                        continue
+                elif node_type[i] is PassType.F and f_caps is not None:
+                    cap = f_caps[device].get(node_chunk[i], 0)
+                    if live_f[device][node_chunk[i]] >= cap:
+                        continue
+                if num_deps[i] == 0:
+                    start = max(now, dep_ready[i], device_free[device])
+                    device_free[device] = start + dur[i]
+                    heapq.heappush(free_heap, (device_free[device], device))
+                    del queue[offset]
+                    if not strict:
+                        if node_type[i] is PassType.F:
+                            live_f[device][node_chunk[i]] += 1
+                        elif node_type[i] is release_type:
+                            live_f[device][node_chunk[i]] -= 1
+                    finish_at(i, start)
+                    return
+
+        # Seed: collectives with no dependencies, then every device.
+        for j in range(num_passes, n):
+            if num_deps[j] == 0:
+                launch_collective(j, 0.0)
+        for device in range(num_devices):
+            try_dispatch(device, 0.0)
+
+        executed = 0
+        while events:
+            now, _, i = heapq.heappop(events)
+            executed += 1
+            e = end_arr[i]
+            dirty: set[int] = set()
+            for k in range(off[i], off[i + 1]):
+                j = nxt[k]
+                r = e + lag[k]
+                if r > dep_ready[j]:
+                    dep_ready[j] = r
+                num_deps[j] -= 1
+                if num_deps[j] == 0:
+                    if j >= num_passes:
+                        launch_collective(j, now)
+                    else:
+                        dirty.add(node_device[j])
+            while free_heap and free_heap[0][0] <= now:
+                dirty.add(heapq.heappop(free_heap)[1])
+            for device in sorted(dirty):
+                try_dispatch(device, now)
+        if executed != n:
+            blocked = [self._describe(i) for i in range(n) if not seen[i]]
+            raise DeadlockError(
+                f"schedule '{self.schedule.name}' deadlocked in dataflow mode; "
+                f"{len(blocked)} nodes blocked, e.g. {blocked[:5]}"
+            )
+        return self._collect(start_arr, end_arr)
+
+    # ------------------------------------------------------------------
+    # Refinement (shared compiled graph across all phases)
+    # ------------------------------------------------------------------
+
+    def refine(
+        self, lookahead: int = 64, mode: str = "strict"
+    ) -> tuple[Schedule, ExecutionResult, CompiledGraph]:
+        """Freeze the dataflow order; return the better schedule + result.
+
+        Returns ``(schedule, in_order_result, graph)`` where ``result``
+        is the in-order execution of the *returned* schedule and
+        ``graph`` is its compiled form — so callers (``run_method``,
+        the planner's top-k loop) never re-execute or re-lower.  One
+        compile now covers the zero-bubble pre-pass, the dataflow run
+        and both sides of the before/after check; only the reordered
+        device chains are re-threaded (:meth:`with_orders`).
+        """
+        flow = self.execute_dataflow(lookahead=lookahead, mode=mode)
+        new_orders = [
+            [p for p, _, _ in flow.passes_on(device)]
+            for device in range(self.schedule.num_devices)
+        ]
+        refined = dataclasses.replace(self.schedule, device_orders=new_orders)
+        refined.validate()
+        refined_graph = self.with_orders(new_orders, refined)
+        before = self.execute()
+        after = refined_graph.execute()
+        if after.iteration_time <= before.iteration_time:
+            return refined, after, refined_graph
+        return self.schedule, before, self
+
+
+def compile_schedule(schedule: Schedule, runtime) -> CompiledGraph:
+    """Lower ``(schedule, runtime)`` into a :class:`CompiledGraph`.
+
+    Mirrors the edge construction of the reference executor's
+    ``_build_graph`` exactly (stage P2P chains, collective barriers
+    serialized per communicator, input-layer and interlaced couplings),
+    but emits integer ids and flat arrays instead of dict-of-tuple
+    graphs.  Device-chain edges are *implicit* (consecutive entries of
+    ``device_nodes``), which is what lets :meth:`CompiledGraph.with_orders`
+    reorder a schedule without touching the CSR.
+    """
+    layout = schedule.layout
+    m = schedule.num_microbatches
+
+    graph = CompiledGraph()
+    graph.schedule = schedule
+
+    node_pass: list[Pass] = []
+    node_device: list[int] = []
+    device_nodes: list[list[int]] = []
+    pass_id: dict[Pass, int] = {}
+    for device, order in enumerate(schedule.device_orders):
+        ids = []
+        for p in order:
+            ids.append(len(node_pass))
+            pass_id[p] = len(node_pass)
+            node_pass.append(p)
+            node_device.append(device)
+        device_nodes.append(ids)
+    num_passes = len(node_pass)
+
+    coll_keys: list[tuple[CollectiveKind, int]] = []
+    coll_comm: list[int] = []
+    coll_override: list[float | None] = []
+    coll_id: dict[tuple[str, int], int] = {}
+    comm_index: dict[str, int] = {}
+    edges: list[tuple[int, int, tuple[int, int] | None]] = []
+
+    # (type, device, chunk) -> node id per microbatch.  Validation
+    # guarantees one pass per stream per microbatch, so edge lowering can
+    # index streams directly instead of hashing a fresh Pass per lookup.
+    streams: dict[tuple[PassType, int, int], list[int]] = {}
+    for i, p in enumerate(node_pass):
+        streams.setdefault((p.type, p.device, p.chunk), [-1] * m)[p.microbatch] = i
+
+    def node_of(type_: PassType, mb: int, device: int, chunk: int = 0) -> int:
+        node = streams[(type_, device, chunk)][mb]
+        if node < 0:
+            # A hole in an otherwise-present stream: keep the reference
+            # executor's behaviour of rejecting malformed schedules
+            # instead of silently wiring the edge to the last node.
+            raise KeyError(
+                f"edge references unknown node: {Pass(type_, mb, device, chunk)}"
+            )
+        return node
+
+    def add_collective_chain(
+        kind: CollectiveKind, duration: float | None = None
+    ) -> None:
+        comm = comm_index.setdefault(kind.value, len(comm_index))
+        for mb in range(m):
+            key = (kind.value, mb)
+            if key in coll_id:
+                raise ValueError(f"duplicate node {('coll',) + key}")
+            node = num_passes + len(coll_keys)
+            coll_id[key] = node
+            coll_keys.append((kind, mb))
+            coll_comm.append(comm)
+            coll_override.append(duration)
+            if mb > 0:
+                edges.append((coll_id[(kind.value, mb - 1)], node, None))
+
+    # Transformer stage chains (P2P activation/gradient transfers).
+    stages = layout.num_stages
+    holders = [layout.holder_of_stage(s) for s in range(stages)]
+    for mb in range(m):
+        for s in range(1, stages):
+            src_dev, src_chunk = holders[s - 1]
+            dst_dev, dst_chunk = holders[s]
+            pair = (src_dev, dst_dev)
+            edges.append(
+                (
+                    node_of(PassType.F, mb, src_dev, src_chunk),
+                    node_of(PassType.F, mb, dst_dev, dst_chunk),
+                    pair,
+                )
+            )
+            edges.append(
+                (
+                    node_of(PassType.B, mb, dst_dev, dst_chunk),
+                    node_of(PassType.B, mb, src_dev, src_chunk),
+                    pair,
+                )
+            )
+        for s in range(stages):
+            dev, chunk = holders[s]
+            edges.append(
+                (
+                    node_of(PassType.F, mb, dev, chunk),
+                    node_of(PassType.B, mb, dev, chunk),
+                    None,
+                )
+            )
+            if schedule.has_weight_passes:
+                edges.append(
+                    (
+                        node_of(PassType.B, mb, dev, chunk),
+                        node_of(PassType.W, mb, dev, chunk),
+                        None,
+                    )
+                )
+
+    last_dev, last_chunk = holders[-1]
+    first_dev, first_chunk = holders[0]
+    devices = range(layout.num_devices)
+
+    # Collectives for the partitioned vocabulary layers.
+    if schedule.vocab_algorithm is not None:
+        add_collective_chain(CollectiveKind.C0_BROADCAST)
+        add_collective_chain(CollectiveKind.C1_STATS)
+        if schedule.vocab_algorithm == 1:
+            add_collective_chain(CollectiveKind.C2_GRAD_REDUCE)
+        for mb in range(m):
+            c0 = coll_id[(CollectiveKind.C0_BROADCAST.value, mb)]
+            c1 = coll_id[(CollectiveKind.C1_STATS.value, mb)]
+            edges.append((node_of(PassType.F, mb, last_dev, last_chunk), c0, None))
+            for d in devices:
+                edges.append((c0, node_of(PassType.S, mb, d), None))
+                edges.append((node_of(PassType.S, mb, d), c1, None))
+                edges.append((c1, node_of(PassType.T, mb, d), None))
+            last_b = node_of(PassType.B, mb, last_dev, last_chunk)
+            if schedule.vocab_algorithm == 1:
+                c2 = coll_id[(CollectiveKind.C2_GRAD_REDUCE.value, mb)]
+                for d in devices:
+                    edges.append((node_of(PassType.T, mb, d), c2, None))
+                edges.append((c2, last_b, None))
+            else:
+                edges.append((c1, last_b, None))
+
+    # Input-layer passes (Appendix C).
+    if schedule.has_input_passes:
+        add_collective_chain(CollectiveKind.INPUT_ALLREDUCE)
+        add_collective_chain(CollectiveKind.INPUT_BROADCAST)
+        for mb in range(m):
+            iar = coll_id[(CollectiveKind.INPUT_ALLREDUCE.value, mb)]
+            ibc = coll_id[(CollectiveKind.INPUT_BROADCAST.value, mb)]
+            for d in devices:
+                edges.append((node_of(PassType.IF, mb, d), iar, None))
+                edges.append((ibc, node_of(PassType.IB, mb, d), None))
+            edges.append((iar, node_of(PassType.F, mb, first_dev, first_chunk), None))
+            edges.append((node_of(PassType.B, mb, first_dev, first_chunk), ibc, None))
+
+    # Interlaced synchronous segments (barriers via 0-duration colls).
+    if schedule.interlaced:
+        add_collective_chain(CollectiveKind.C0_BROADCAST)
+        add_collective_chain(CollectiveKind.C1_STATS, duration=0.0)
+        add_collective_chain(CollectiveKind.C2_GRAD_REDUCE, duration=0.0)
+        for mb in range(m):
+            c0 = coll_id[(CollectiveKind.C0_BROADCAST.value, mb)]
+            c1 = coll_id[(CollectiveKind.C1_STATS.value, mb)]
+            c2 = coll_id[(CollectiveKind.C2_GRAD_REDUCE.value, mb)]
+            edges.append((node_of(PassType.F, mb, last_dev, last_chunk), c0, None))
+            for d in devices:
+                edges.append((c0, node_of(PassType.VF, mb, d), None))
+                edges.append((node_of(PassType.VF, mb, d), c1, None))
+                edges.append((c1, node_of(PassType.VB, mb, d), None))
+                edges.append((node_of(PassType.VB, mb, d), c2, None))
+            edges.append((c2, node_of(PassType.B, mb, last_dev, last_chunk), None))
+
+    num_nodes = num_passes + len(coll_keys)
+
+    # CSR over the base edges, preserving insertion order per source so
+    # the dataflow mode relaxes successors exactly like the reference.
+    counts = [0] * num_nodes
+    for src, _, _ in edges:
+        counts[src] += 1
+    succ_off = [0] * (num_nodes + 1)
+    for i in range(num_nodes):
+        succ_off[i + 1] = succ_off[i] + counts[i]
+    cursor = list(succ_off[:num_nodes])
+    succ_node = [0] * len(edges)
+    succ_p2p: list[tuple[int, int] | None] = [None] * len(edges)
+    base_indeg = [0] * num_nodes
+    for src, dst, pair in edges:
+        k = cursor[src]
+        cursor[src] = k + 1
+        succ_node[k] = dst
+        succ_p2p[k] = pair
+        base_indeg[dst] += 1
+
+    graph.num_passes = num_passes
+    graph.num_nodes = num_nodes
+    graph.node_pass = node_pass
+    graph.node_device = node_device
+    graph.node_type = [p.type for p in node_pass]
+    graph.node_chunk = [p.chunk for p in node_pass]
+    graph.node_flexible = [p.type in FLEXIBLE_TYPES for p in node_pass]
+    graph.coll_keys = coll_keys
+    graph.coll_comm = coll_comm
+    graph.coll_override = coll_override
+    graph.num_comms = len(comm_index)
+    graph.succ_off = succ_off
+    graph.succ_node = succ_node
+    graph.succ_p2p = succ_p2p
+    graph.base_indeg = base_indeg
+    graph.device_nodes = device_nodes
+    graph._pass_id = pass_id
+    graph._bind(runtime)
+    return graph

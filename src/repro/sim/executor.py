@@ -1,9 +1,9 @@
 """Execution of pipeline schedules: in-order and dataflow modes.
 
-Builds the full dependency DAG of a schedule — stage-to-stage P2P
-edges, collective barrier nodes (serialized per communicator, as NCCL
-requires), interlaced segment couplings — and simulates one training
-iteration two ways:
+The schedule's full dependency DAG — stage-to-stage P2P edges,
+collective barrier nodes (serialized per communicator, as NCCL
+requires), interlaced segment couplings — is simulated for one
+training iteration two ways:
 
 * :func:`execute_schedule` — **in-order**: each device executes its
   pass list strictly in order (the Megatron runtime model); start times
@@ -15,20 +15,51 @@ iteration two ways:
   would have produced (the paper's §6.1 step): the realized order can
   then be frozen back into a static schedule via
   :func:`refine_schedule_order` and re-executed in-order.
+
+Two engines implement these semantics (selected by the
+``REPRO_SIM_ENGINE`` environment variable, see
+``docs/performance.md``):
+
+* ``compiled`` (default) — :mod:`repro.sim.compiled` lowers the graph
+  once into flat integer arrays and replays it; refinement shares one
+  compiled graph across all of its internal executions;
+* ``reference`` — :mod:`repro.sim.reference_executor`, the original
+  dict-based implementation, kept frozen as the correctness oracle the
+  equivalence suite and the perf trajectory benchmark compare against.
+
+Both produce bit-identical :class:`ExecutionResult` values.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import heapq
-from collections import defaultdict, deque
-from dataclasses import dataclass
+import os
+from collections import defaultdict
+from dataclasses import dataclass, field
 
 from repro.scheduling.passes import CollectiveKind, Pass, PassType
 from repro.scheduling.schedule import Schedule
 from repro.sim.runtime import RuntimeModel
 
 NodeKey = tuple  # ("pass", device, index) | ("coll", kind, mb)
+
+#: Environment variable selecting the execution engine.
+ENGINE_ENV = "REPRO_SIM_ENGINE"
+
+_ENGINES = ("compiled", "reference")
+
+
+def simulation_engine() -> str:
+    """The active execution engine: ``"compiled"`` or ``"reference"``.
+
+    Read from ``REPRO_SIM_ENGINE`` on every call so tests and the
+    trajectory benchmark can flip engines without reloading modules.
+    """
+    engine = os.environ.get(ENGINE_ENV, "compiled")
+    if engine not in _ENGINES:
+        raise ValueError(
+            f"{ENGINE_ENV} must be one of {_ENGINES}, got {engine!r}"
+        )
+    return engine
 
 
 class DeadlockError(RuntimeError):
@@ -44,6 +75,12 @@ class ExecutionResult:
     collective_times: dict[tuple[CollectiveKind, int], tuple[float, float]]
     iteration_time: float
     device_busy: list[float]
+    #: Lazily built per-device (pass, start, end) rows sorted by start —
+    #: one O(P log P) pass over ``pass_times`` serves every device
+    #: instead of a full scan per ``passes_on`` call.
+    _per_device: list[list[tuple[Pass, float, float]]] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def bubble_fraction(self, device: int) -> float:
         """Idle share of the iteration on ``device``."""
@@ -57,217 +94,25 @@ class ExecutionResult:
         return sum(self.bubble_fraction(d) for d in range(p)) / p
 
     def passes_on(self, device: int) -> list[tuple[Pass, float, float]]:
-        """(pass, start, end) for one device, sorted by start time."""
-        rows = [
-            (p, t[0], t[1])
-            for p, t in self.pass_times.items()
-            if p.device == device
-        ]
-        rows.sort(key=lambda r: (r[1], r[2]))
-        return rows
+        """(pass, start, end) for one device, sorted by start time.
 
-
-class _Graph:
-    """Nodes, durations and lagged edges of the schedule DAG."""
-
-    def __init__(self) -> None:
-        self.durations: dict[NodeKey, float] = {}
-        self.edges: dict[NodeKey, list[tuple[NodeKey, float]]] = defaultdict(list)
-        self.indegree: dict[NodeKey, int] = defaultdict(int)
-
-    def add_node(self, key: NodeKey, duration: float) -> None:
-        """Register a node; duplicate keys are a schedule bug."""
-        if key in self.durations:
-            raise ValueError(f"duplicate node {key}")
-        self.durations[key] = duration
-        self.indegree.setdefault(key, 0)
-
-    def add_edge(self, src: NodeKey, dst: NodeKey, lag: float = 0.0) -> None:
-        """Add a dependency edge; ``lag`` models transfer latency."""
-        if src not in self.durations or dst not in self.durations:
-            raise KeyError(f"edge references unknown node: {src} -> {dst}")
-        self.edges[src].append((dst, lag))
-        self.indegree[dst] += 1
-
-
-def _build_graph(
-    schedule: Schedule,
-    runtime: RuntimeModel,
-    include_device_chains: bool,
-) -> tuple[_Graph, dict[Pass, NodeKey]]:
-    layout = schedule.layout
-    m = schedule.num_microbatches
-    graph = _Graph()
-
-    pass_node: dict[Pass, NodeKey] = {}
-    for device, order in enumerate(schedule.device_orders):
-        prev: NodeKey | None = None
-        for index, p in enumerate(order):
-            key: NodeKey = ("pass", device, index)
-            graph.add_node(key, runtime.pass_duration(p))
-            pass_node[p] = key
-            if include_device_chains and prev is not None:
-                graph.add_edge(prev, key)
-            prev = key
-
-    def node_of(type_: PassType, mb: int, device: int, chunk: int = 0) -> NodeKey:
-        return pass_node[Pass(type_, mb, device, chunk)]
-
-    # Transformer stage chains (P2P activation/gradient transfers).
-    stages = layout.num_stages
-    holders = [layout.holder_of_stage(s) for s in range(stages)]
-    for mb in range(m):
-        for s in range(1, stages):
-            src_dev, src_chunk = holders[s - 1]
-            dst_dev, dst_chunk = holders[s]
-            lag = runtime.p2p_duration(src_dev, dst_dev)
-            graph.add_edge(
-                node_of(PassType.F, mb, src_dev, src_chunk),
-                node_of(PassType.F, mb, dst_dev, dst_chunk),
-                lag,
-            )
-            graph.add_edge(
-                node_of(PassType.B, mb, dst_dev, dst_chunk),
-                node_of(PassType.B, mb, src_dev, src_chunk),
-                lag,
-            )
-        for s in range(stages):
-            dev, chunk = holders[s]
-            graph.add_edge(
-                node_of(PassType.F, mb, dev, chunk),
-                node_of(PassType.B, mb, dev, chunk),
-            )
-            if schedule.has_weight_passes:
-                graph.add_edge(
-                    node_of(PassType.B, mb, dev, chunk),
-                    node_of(PassType.W, mb, dev, chunk),
-                )
-
-    last_dev, last_chunk = holders[-1]
-    first_dev, first_chunk = holders[0]
-    devices = range(layout.num_devices)
-
-    def add_collective_chain(
-        kind: CollectiveKind, duration: float | None = None
-    ) -> None:
-        if duration is None:
-            duration = runtime.collective_duration(kind)
-        for mb in range(m):
-            graph.add_node(("coll", kind.value, mb), duration)
-            if mb > 0:
-                graph.add_edge(
-                    ("coll", kind.value, mb - 1), ("coll", kind.value, mb)
-                )
-
-    # Collectives for the partitioned vocabulary layers.
-    if schedule.vocab_algorithm is not None:
-        add_collective_chain(CollectiveKind.C0_BROADCAST)
-        add_collective_chain(CollectiveKind.C1_STATS)
-        if schedule.vocab_algorithm == 1:
-            add_collective_chain(CollectiveKind.C2_GRAD_REDUCE)
-        for mb in range(m):
-            c0 = ("coll", CollectiveKind.C0_BROADCAST.value, mb)
-            c1 = ("coll", CollectiveKind.C1_STATS.value, mb)
-            graph.add_edge(node_of(PassType.F, mb, last_dev, last_chunk), c0)
-            for d in devices:
-                graph.add_edge(c0, node_of(PassType.S, mb, d))
-                graph.add_edge(node_of(PassType.S, mb, d), c1)
-                graph.add_edge(c1, node_of(PassType.T, mb, d))
-            last_b = node_of(PassType.B, mb, last_dev, last_chunk)
-            if schedule.vocab_algorithm == 1:
-                c2 = ("coll", CollectiveKind.C2_GRAD_REDUCE.value, mb)
-                for d in devices:
-                    graph.add_edge(node_of(PassType.T, mb, d), c2)
-                graph.add_edge(c2, last_b)
-            else:
-                graph.add_edge(c1, last_b)
-
-    # Input-layer passes (Appendix C).
-    if schedule.has_input_passes:
-        add_collective_chain(CollectiveKind.INPUT_ALLREDUCE)
-        add_collective_chain(CollectiveKind.INPUT_BROADCAST)
-        for mb in range(m):
-            iar = ("coll", CollectiveKind.INPUT_ALLREDUCE.value, mb)
-            ibc = ("coll", CollectiveKind.INPUT_BROADCAST.value, mb)
-            for d in devices:
-                graph.add_edge(node_of(PassType.IF, mb, d), iar)
-                graph.add_edge(ibc, node_of(PassType.IB, mb, d))
-            graph.add_edge(iar, node_of(PassType.F, mb, first_dev, first_chunk))
-            graph.add_edge(node_of(PassType.B, mb, first_dev, first_chunk), ibc)
-
-    # Interlaced synchronous segments.  The VF/VB pass durations already
-    # include the blocking all-reduce time (the cost Appendix B.2
-    # ablates); barrier ordering is enforced by zero-duration
-    # collectives.
-    if schedule.interlaced:
-        add_collective_chain(CollectiveKind.C0_BROADCAST)
-        add_collective_chain(CollectiveKind.C1_STATS, duration=0.0)
-        add_collective_chain(CollectiveKind.C2_GRAD_REDUCE, duration=0.0)
-        for mb in range(m):
-            c0 = ("coll", CollectiveKind.C0_BROADCAST.value, mb)
-            c1 = ("coll", CollectiveKind.C1_STATS.value, mb)
-            c2 = ("coll", CollectiveKind.C2_GRAD_REDUCE.value, mb)
-            graph.add_edge(node_of(PassType.F, mb, last_dev, last_chunk), c0)
-            for d in devices:
-                graph.add_edge(c0, node_of(PassType.VF, mb, d))
-                graph.add_edge(node_of(PassType.VF, mb, d), c1)
-                graph.add_edge(c1, node_of(PassType.VB, mb, d))
-                graph.add_edge(node_of(PassType.VB, mb, d), c2)
-            graph.add_edge(c2, node_of(PassType.B, mb, last_dev, last_chunk))
-
-    return graph, pass_node
-
-
-def _collect_result(
-    schedule: Schedule,
-    pass_node: dict[Pass, NodeKey],
-    times: dict[NodeKey, tuple[float, float]],
-) -> ExecutionResult:
-    pass_times = {p: times[node] for p, node in pass_node.items()}
-    collective_times = {
-        (CollectiveKind(key[1]), key[2]): span
-        for key, span in times.items()
-        if key[0] == "coll"
-    }
-    iteration_time = max(end for _, end in times.values()) - min(
-        start for start, _ in times.values()
-    )
-    busy = [0.0] * schedule.num_devices
-    for p, (start, end) in pass_times.items():
-        busy[p.device] += end - start
-    return ExecutionResult(
-        schedule=schedule,
-        pass_times=pass_times,
-        collective_times=collective_times,
-        iteration_time=iteration_time,
-        device_busy=busy,
-    )
-
-
-def execute_schedule(schedule: Schedule, runtime: RuntimeModel) -> ExecutionResult:
-    """Simulate one iteration with strict in-order device streams."""
-    graph, pass_node = _build_graph(schedule, runtime, include_device_chains=True)
-    ready: dict[NodeKey, float] = defaultdict(float)
-    indegree = dict(graph.indegree)
-    queue = deque(key for key, deg in indegree.items() if deg == 0)
-    times: dict[NodeKey, tuple[float, float]] = {}
-    while queue:
-        key = queue.popleft()
-        start = ready[key]
-        end = start + graph.durations[key]
-        times[key] = (start, end)
-        for succ, lag in graph.edges[key]:
-            ready[succ] = max(ready[succ], end + lag)
-            indegree[succ] -= 1
-            if indegree[succ] == 0:
-                queue.append(succ)
-    if len(times) != len(graph.durations):
-        blocked = [k for k in graph.durations if k not in times]
-        raise DeadlockError(
-            f"schedule '{schedule.name}' deadlocked; "
-            f"{len(blocked)} nodes blocked, e.g. {blocked[:5]}"
-        )
-    return _collect_result(schedule, pass_node, times)
+        The per-device rows are built once for *all* devices on the
+        first call and indexed thereafter; ``refine_schedule_order``
+        and the bubble analyses call this per device, which used to
+        cost a full O(total-passes) scan each time.
+        """
+        if not 0 <= device < len(self.device_busy):
+            return []
+        if self._per_device is None:
+            rows: list[list[tuple[Pass, float, float]]] = [
+                [] for _ in range(len(self.device_busy))
+            ]
+            for p, (start, end) in self.pass_times.items():
+                rows[p.device].append((p, start, end))
+            for device_rows in rows:
+                device_rows.sort(key=lambda r: (r[1], r[2]))
+            self._per_device = rows
+        return list(self._per_device[device])
 
 
 #: Pass types a work-conserving runtime may pull ahead of a stalled
@@ -310,6 +155,24 @@ def _live_f_caps(
     return caps
 
 
+def execute_schedule(schedule: Schedule, runtime: RuntimeModel) -> ExecutionResult:
+    """Simulate one iteration with strict in-order device streams.
+
+    Callers that execute the same schedule repeatedly (planner loops,
+    sweeps) should compile once via
+    :func:`repro.sim.compiled.compile_schedule` and call
+    :meth:`~repro.sim.compiled.CompiledGraph.execute` themselves — this
+    convenience wrapper lowers the graph afresh on every call.
+    """
+    if simulation_engine() == "reference":
+        from repro.sim.reference_executor import reference_execute_schedule
+
+        return reference_execute_schedule(schedule, runtime)
+    from repro.sim.compiled import compile_schedule
+
+    return compile_schedule(schedule, runtime).execute()
+
+
 def execute_schedule_dataflow(
     schedule: Schedule,
     runtime: RuntimeModel,
@@ -338,101 +201,19 @@ def execute_schedule_dataflow(
     serialized per communicator kind).  ``lookahead=1`` reproduces
     in-order semantics.
     """
-    if lookahead < 1:
-        raise ValueError(f"lookahead must be ≥ 1, got {lookahead}")
-    if mode not in ("strict", "zero-bubble"):
-        raise ValueError(f"mode must be 'strict' or 'zero-bubble', got {mode!r}")
-    f_caps: list[dict[int, int]] | None = None
-    release_type = PassType.W if schedule.has_weight_passes else PassType.B
-    if mode == "zero-bubble":
-        f_caps = _live_f_caps(schedule, execute_schedule(schedule, runtime))
-    live_f: list[dict[int, int]] = [defaultdict(int) for _ in range(schedule.num_devices)]
-    graph, pass_node = _build_graph(schedule, runtime, include_device_chains=False)
-    num_deps = dict(graph.indegree)
-    dep_ready: dict[NodeKey, float] = defaultdict(float)
-    times: dict[NodeKey, tuple[float, float]] = {}
-
-    node_pass: dict[NodeKey, Pass] = {n: p for p, n in pass_node.items()}
-    pending: list[deque[NodeKey]] = []
-    for device, order in enumerate(schedule.device_orders):
-        pending.append(deque(pass_node[p] for p in order))
-    device_free = [0.0] * schedule.num_devices
-    comm_free: dict[str, float] = defaultdict(float)
-
-    # Event queue of completions; counter breaks ties deterministically.
-    events: list[tuple[float, int, NodeKey]] = []
-    counter = 0
-
-    def finish_at(key: NodeKey, start: float) -> None:
-        nonlocal counter
-        end = start + graph.durations[key]
-        times[key] = (start, end)
-        counter += 1
-        heapq.heappush(events, (end, counter, key))
-
-    def launch_collective(key: NodeKey, now: float) -> None:
-        kind = key[1]
-        start = max(dep_ready[key], comm_free[kind], now)
-        comm_free[kind] = start + graph.durations[key]
-        finish_at(key, start)
-
-    def try_dispatch(device: int, now: float) -> None:
-        if device_free[device] > now:
-            return
-        queue = pending[device]
-        window = min(lookahead, len(queue))
-        for offset in range(window):
-            key = queue[offset]
-            p = node_pass[key]
-            if mode == "strict":
-                if offset > 0 and p.type not in FLEXIBLE_TYPES:
-                    continue
-            else:
-                if p.type is PassType.F and f_caps is not None:
-                    cap = f_caps[device].get(p.chunk, 0)
-                    if live_f[device][p.chunk] >= cap:
-                        continue
-            if num_deps[key] == 0:
-                start = max(now, dep_ready[key], device_free[device])
-                device_free[device] = start + graph.durations[key]
-                del queue[offset]
-                if mode == "zero-bubble":
-                    if p.type is PassType.F:
-                        live_f[device][p.chunk] += 1
-                    elif p.type is release_type:
-                        live_f[device][p.chunk] -= 1
-                finish_at(key, start)
-                return
-
-    # Seed: collectives with no deps (none in practice) and device scans.
-    for key, deg in list(num_deps.items()):
-        if deg == 0 and key[0] == "coll":
-            launch_collective(key, 0.0)
-    for device in range(schedule.num_devices):
-        try_dispatch(device, 0.0)
-
-    executed = 0
-    total = len(graph.durations)
-    while events:
-        now, _, key = heapq.heappop(events)
-        executed += 1
-        for succ, lag in graph.edges[key]:
-            end = times[key][1]
-            dep_ready[succ] = max(dep_ready[succ], end + lag)
-            num_deps[succ] -= 1
-            if num_deps[succ] == 0 and succ[0] == "coll":
-                launch_collective(succ, now)
-        for device in range(schedule.num_devices):
-            try_dispatch(device, now)
-        if key[0] == "pass":
-            try_dispatch(node_pass[key].device, now)
-    if executed != total:
-        blocked = [k for k in graph.durations if k not in times]
-        raise DeadlockError(
-            f"schedule '{schedule.name}' deadlocked in dataflow mode; "
-            f"{len(blocked)} nodes blocked, e.g. {blocked[:5]}"
+    if simulation_engine() == "reference":
+        from repro.sim.reference_executor import (
+            reference_execute_schedule_dataflow,
         )
-    return _collect_result(schedule, pass_node, times)
+
+        return reference_execute_schedule_dataflow(
+            schedule, runtime, lookahead=lookahead, mode=mode
+        )
+    from repro.sim.compiled import compile_schedule
+
+    return compile_schedule(schedule, runtime).execute_dataflow(
+        lookahead=lookahead, mode=mode
+    )
 
 
 def refine_schedule_order(
@@ -452,16 +233,22 @@ def refine_schedule_order(
     *slower* than the original (greedy list scheduling carries no
     optimality guarantee), the original order is kept, so refinement
     is monotone.
+
+    Under the compiled engine the schedule is lowered **once** and the
+    zero-bubble pre-pass, the dataflow run, and both sides of the
+    before/after check all share that one compiled graph (callers that
+    also need the in-order result should use
+    :meth:`repro.sim.compiled.CompiledGraph.refine` directly).
     """
-    result = execute_schedule_dataflow(
-        schedule, runtime, lookahead=lookahead, mode=mode
+    if simulation_engine() == "reference":
+        from repro.sim.reference_executor import reference_refine_schedule_order
+
+        return reference_refine_schedule_order(
+            schedule, runtime, lookahead=lookahead, mode=mode
+        )
+    from repro.sim.compiled import compile_schedule
+
+    refined, _, _ = compile_schedule(schedule, runtime).refine(
+        lookahead=lookahead, mode=mode
     )
-    new_orders = [
-        [p for p, _, _ in result.passes_on(device)]
-        for device in range(schedule.num_devices)
-    ]
-    refined = dataclasses.replace(schedule, device_orders=new_orders)
-    refined.validate()
-    before = execute_schedule(schedule, runtime).iteration_time
-    after = execute_schedule(refined, runtime).iteration_time
-    return refined if after <= before else schedule
+    return refined

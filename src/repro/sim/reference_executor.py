@@ -1,0 +1,360 @@
+"""The original dict-based executor, kept as the correctness oracle.
+
+This is the pre-compiled-graph execution path, verbatim: the full
+dependency DAG is rebuilt on every call as dicts keyed by tuples and
+:class:`Pass` dataclasses, and refinement re-executes the schedule
+from scratch for each of its checks.  It is *slow* — that is the
+point: the fast path (:mod:`repro.sim.compiled`) must produce
+bit-identical results, and the equivalence suite
+(``tests/sim/test_compiled_equivalence.py``) plus the perf trajectory
+benchmark (``tools/bench_trajectory.py``) both need the original
+behaviour to compare against.  Select it at runtime with
+``REPRO_SIM_ENGINE=reference`` (see :mod:`repro.sim.executor`).
+
+Do not add features here; evolve :mod:`repro.sim.compiled` and keep
+this module frozen so the oracle stays meaningful.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from collections import defaultdict, deque
+
+from repro.scheduling.passes import CollectiveKind, Pass, PassType
+from repro.scheduling.schedule import Schedule
+from repro.sim.executor import (
+    FLEXIBLE_TYPES,
+    DeadlockError,
+    ExecutionResult,
+    NodeKey,
+    _live_f_caps,
+)
+
+
+class _Graph:
+    """Nodes, durations and lagged edges of the schedule DAG."""
+
+    def __init__(self) -> None:
+        self.durations: dict[NodeKey, float] = {}
+        self.edges: dict[NodeKey, list[tuple[NodeKey, float]]] = defaultdict(list)
+        self.indegree: dict[NodeKey, int] = defaultdict(int)
+
+    def add_node(self, key: NodeKey, duration: float) -> None:
+        """Register a node; duplicate keys are a schedule bug."""
+        if key in self.durations:
+            raise ValueError(f"duplicate node {key}")
+        self.durations[key] = duration
+        self.indegree.setdefault(key, 0)
+
+    def add_edge(self, src: NodeKey, dst: NodeKey, lag: float = 0.0) -> None:
+        """Add a dependency edge; ``lag`` models transfer latency."""
+        if src not in self.durations or dst not in self.durations:
+            raise KeyError(f"edge references unknown node: {src} -> {dst}")
+        self.edges[src].append((dst, lag))
+        self.indegree[dst] += 1
+
+
+def _build_graph(
+    schedule: Schedule,
+    runtime,
+    include_device_chains: bool,
+) -> tuple[_Graph, dict[Pass, NodeKey]]:
+    layout = schedule.layout
+    m = schedule.num_microbatches
+    graph = _Graph()
+
+    pass_node: dict[Pass, NodeKey] = {}
+    for device, order in enumerate(schedule.device_orders):
+        prev: NodeKey | None = None
+        for index, p in enumerate(order):
+            key: NodeKey = ("pass", device, index)
+            graph.add_node(key, runtime.pass_duration(p))
+            pass_node[p] = key
+            if include_device_chains and prev is not None:
+                graph.add_edge(prev, key)
+            prev = key
+
+    def node_of(type_: PassType, mb: int, device: int, chunk: int = 0) -> NodeKey:
+        return pass_node[Pass(type_, mb, device, chunk)]
+
+    # Transformer stage chains (P2P activation/gradient transfers).
+    stages = layout.num_stages
+    holders = [layout.holder_of_stage(s) for s in range(stages)]
+    for mb in range(m):
+        for s in range(1, stages):
+            src_dev, src_chunk = holders[s - 1]
+            dst_dev, dst_chunk = holders[s]
+            lag = runtime.p2p_duration(src_dev, dst_dev)
+            graph.add_edge(
+                node_of(PassType.F, mb, src_dev, src_chunk),
+                node_of(PassType.F, mb, dst_dev, dst_chunk),
+                lag,
+            )
+            graph.add_edge(
+                node_of(PassType.B, mb, dst_dev, dst_chunk),
+                node_of(PassType.B, mb, src_dev, src_chunk),
+                lag,
+            )
+        for s in range(stages):
+            dev, chunk = holders[s]
+            graph.add_edge(
+                node_of(PassType.F, mb, dev, chunk),
+                node_of(PassType.B, mb, dev, chunk),
+            )
+            if schedule.has_weight_passes:
+                graph.add_edge(
+                    node_of(PassType.B, mb, dev, chunk),
+                    node_of(PassType.W, mb, dev, chunk),
+                )
+
+    last_dev, last_chunk = holders[-1]
+    first_dev, first_chunk = holders[0]
+    devices = range(layout.num_devices)
+
+    def add_collective_chain(
+        kind: CollectiveKind, duration: float | None = None
+    ) -> None:
+        if duration is None:
+            duration = runtime.collective_duration(kind)
+        for mb in range(m):
+            graph.add_node(("coll", kind.value, mb), duration)
+            if mb > 0:
+                graph.add_edge(
+                    ("coll", kind.value, mb - 1), ("coll", kind.value, mb)
+                )
+
+    # Collectives for the partitioned vocabulary layers.
+    if schedule.vocab_algorithm is not None:
+        add_collective_chain(CollectiveKind.C0_BROADCAST)
+        add_collective_chain(CollectiveKind.C1_STATS)
+        if schedule.vocab_algorithm == 1:
+            add_collective_chain(CollectiveKind.C2_GRAD_REDUCE)
+        for mb in range(m):
+            c0 = ("coll", CollectiveKind.C0_BROADCAST.value, mb)
+            c1 = ("coll", CollectiveKind.C1_STATS.value, mb)
+            graph.add_edge(node_of(PassType.F, mb, last_dev, last_chunk), c0)
+            for d in devices:
+                graph.add_edge(c0, node_of(PassType.S, mb, d))
+                graph.add_edge(node_of(PassType.S, mb, d), c1)
+                graph.add_edge(c1, node_of(PassType.T, mb, d))
+            last_b = node_of(PassType.B, mb, last_dev, last_chunk)
+            if schedule.vocab_algorithm == 1:
+                c2 = ("coll", CollectiveKind.C2_GRAD_REDUCE.value, mb)
+                for d in devices:
+                    graph.add_edge(node_of(PassType.T, mb, d), c2)
+                graph.add_edge(c2, last_b)
+            else:
+                graph.add_edge(c1, last_b)
+
+    # Input-layer passes (Appendix C).
+    if schedule.has_input_passes:
+        add_collective_chain(CollectiveKind.INPUT_ALLREDUCE)
+        add_collective_chain(CollectiveKind.INPUT_BROADCAST)
+        for mb in range(m):
+            iar = ("coll", CollectiveKind.INPUT_ALLREDUCE.value, mb)
+            ibc = ("coll", CollectiveKind.INPUT_BROADCAST.value, mb)
+            for d in devices:
+                graph.add_edge(node_of(PassType.IF, mb, d), iar)
+                graph.add_edge(ibc, node_of(PassType.IB, mb, d))
+            graph.add_edge(iar, node_of(PassType.F, mb, first_dev, first_chunk))
+            graph.add_edge(node_of(PassType.B, mb, first_dev, first_chunk), ibc)
+
+    # Interlaced synchronous segments.  The VF/VB pass durations already
+    # include the blocking all-reduce time (the cost Appendix B.2
+    # ablates); barrier ordering is enforced by zero-duration
+    # collectives.
+    if schedule.interlaced:
+        add_collective_chain(CollectiveKind.C0_BROADCAST)
+        add_collective_chain(CollectiveKind.C1_STATS, duration=0.0)
+        add_collective_chain(CollectiveKind.C2_GRAD_REDUCE, duration=0.0)
+        for mb in range(m):
+            c0 = ("coll", CollectiveKind.C0_BROADCAST.value, mb)
+            c1 = ("coll", CollectiveKind.C1_STATS.value, mb)
+            c2 = ("coll", CollectiveKind.C2_GRAD_REDUCE.value, mb)
+            graph.add_edge(node_of(PassType.F, mb, last_dev, last_chunk), c0)
+            for d in devices:
+                graph.add_edge(c0, node_of(PassType.VF, mb, d))
+                graph.add_edge(node_of(PassType.VF, mb, d), c1)
+                graph.add_edge(c1, node_of(PassType.VB, mb, d))
+                graph.add_edge(node_of(PassType.VB, mb, d), c2)
+            graph.add_edge(c2, node_of(PassType.B, mb, last_dev, last_chunk))
+
+    return graph, pass_node
+
+
+def _collect_result(
+    schedule: Schedule,
+    pass_node: dict[Pass, NodeKey],
+    times: dict[NodeKey, tuple[float, float]],
+) -> ExecutionResult:
+    pass_times = {p: times[node] for p, node in pass_node.items()}
+    collective_times = {
+        (CollectiveKind(key[1]), key[2]): span
+        for key, span in times.items()
+        if key[0] == "coll"
+    }
+    iteration_time = max(end for _, end in times.values()) - min(
+        start for start, _ in times.values()
+    )
+    busy = [0.0] * schedule.num_devices
+    for p, (start, end) in pass_times.items():
+        busy[p.device] += end - start
+    return ExecutionResult(
+        schedule=schedule,
+        pass_times=pass_times,
+        collective_times=collective_times,
+        iteration_time=iteration_time,
+        device_busy=busy,
+    )
+
+
+def reference_execute_schedule(schedule: Schedule, runtime) -> ExecutionResult:
+    """Simulate one iteration with strict in-order device streams."""
+    graph, pass_node = _build_graph(schedule, runtime, include_device_chains=True)
+    ready: dict[NodeKey, float] = defaultdict(float)
+    indegree = dict(graph.indegree)
+    queue = deque(key for key, deg in indegree.items() if deg == 0)
+    times: dict[NodeKey, tuple[float, float]] = {}
+    while queue:
+        key = queue.popleft()
+        start = ready[key]
+        end = start + graph.durations[key]
+        times[key] = (start, end)
+        for succ, lag in graph.edges[key]:
+            ready[succ] = max(ready[succ], end + lag)
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                queue.append(succ)
+    if len(times) != len(graph.durations):
+        blocked = [k for k in graph.durations if k not in times]
+        raise DeadlockError(
+            f"schedule '{schedule.name}' deadlocked; "
+            f"{len(blocked)} nodes blocked, e.g. {blocked[:5]}"
+        )
+    return _collect_result(schedule, pass_node, times)
+
+
+def reference_execute_schedule_dataflow(
+    schedule: Schedule,
+    runtime,
+    lookahead: int = 4,
+    mode: str = "strict",
+) -> ExecutionResult:
+    """Work-conserving simulation with bounded in-order lookahead."""
+    if lookahead < 1:
+        raise ValueError(f"lookahead must be ≥ 1, got {lookahead}")
+    if mode not in ("strict", "zero-bubble"):
+        raise ValueError(f"mode must be 'strict' or 'zero-bubble', got {mode!r}")
+    f_caps: list[dict[int, int]] | None = None
+    release_type = PassType.W if schedule.has_weight_passes else PassType.B
+    if mode == "zero-bubble":
+        f_caps = _live_f_caps(schedule, reference_execute_schedule(schedule, runtime))
+    live_f: list[dict[int, int]] = [defaultdict(int) for _ in range(schedule.num_devices)]
+    graph, pass_node = _build_graph(schedule, runtime, include_device_chains=False)
+    num_deps = dict(graph.indegree)
+    dep_ready: dict[NodeKey, float] = defaultdict(float)
+    times: dict[NodeKey, tuple[float, float]] = {}
+
+    node_pass: dict[NodeKey, Pass] = {n: p for p, n in pass_node.items()}
+    pending: list[deque[NodeKey]] = []
+    for device, order in enumerate(schedule.device_orders):
+        pending.append(deque(pass_node[p] for p in order))
+    device_free = [0.0] * schedule.num_devices
+    comm_free: dict[str, float] = defaultdict(float)
+
+    # Event queue of completions; counter breaks ties deterministically.
+    events: list[tuple[float, int, NodeKey]] = []
+    counter = 0
+
+    def finish_at(key: NodeKey, start: float) -> None:
+        nonlocal counter
+        end = start + graph.durations[key]
+        times[key] = (start, end)
+        counter += 1
+        heapq.heappush(events, (end, counter, key))
+
+    def launch_collective(key: NodeKey, now: float) -> None:
+        kind = key[1]
+        start = max(dep_ready[key], comm_free[kind], now)
+        comm_free[kind] = start + graph.durations[key]
+        finish_at(key, start)
+
+    def try_dispatch(device: int, now: float) -> None:
+        if device_free[device] > now:
+            return
+        queue = pending[device]
+        window = min(lookahead, len(queue))
+        for offset in range(window):
+            key = queue[offset]
+            p = node_pass[key]
+            if mode == "strict":
+                if offset > 0 and p.type not in FLEXIBLE_TYPES:
+                    continue
+            else:
+                if p.type is PassType.F and f_caps is not None:
+                    cap = f_caps[device].get(p.chunk, 0)
+                    if live_f[device][p.chunk] >= cap:
+                        continue
+            if num_deps[key] == 0:
+                start = max(now, dep_ready[key], device_free[device])
+                device_free[device] = start + graph.durations[key]
+                del queue[offset]
+                if mode == "zero-bubble":
+                    if p.type is PassType.F:
+                        live_f[device][p.chunk] += 1
+                    elif p.type is release_type:
+                        live_f[device][p.chunk] -= 1
+                finish_at(key, start)
+                return
+
+    # Seed: collectives with no deps (none in practice) and device scans.
+    for key, deg in list(num_deps.items()):
+        if deg == 0 and key[0] == "coll":
+            launch_collective(key, 0.0)
+    for device in range(schedule.num_devices):
+        try_dispatch(device, 0.0)
+
+    executed = 0
+    total = len(graph.durations)
+    while events:
+        now, _, key = heapq.heappop(events)
+        executed += 1
+        for succ, lag in graph.edges[key]:
+            end = times[key][1]
+            dep_ready[succ] = max(dep_ready[succ], end + lag)
+            num_deps[succ] -= 1
+            if num_deps[succ] == 0 and succ[0] == "coll":
+                launch_collective(succ, now)
+        for device in range(schedule.num_devices):
+            try_dispatch(device, now)
+        if key[0] == "pass":
+            try_dispatch(node_pass[key].device, now)
+    if executed != total:
+        blocked = [k for k in graph.durations if k not in times]
+        raise DeadlockError(
+            f"schedule '{schedule.name}' deadlocked in dataflow mode; "
+            f"{len(blocked)} nodes blocked, e.g. {blocked[:5]}"
+        )
+    return _collect_result(schedule, pass_node, times)
+
+
+def reference_refine_schedule_order(
+    schedule: Schedule,
+    runtime,
+    lookahead: int = 64,
+    mode: str = "strict",
+) -> Schedule:
+    """Freeze the dataflow execution's realized order into the schedule."""
+    result = reference_execute_schedule_dataflow(
+        schedule, runtime, lookahead=lookahead, mode=mode
+    )
+    new_orders = [
+        [p for p, _, _ in result.passes_on(device)]
+        for device in range(schedule.num_devices)
+    ]
+    refined = dataclasses.replace(schedule, device_orders=new_orders)
+    refined.validate()
+    before = reference_execute_schedule(schedule, runtime).iteration_time
+    after = reference_execute_schedule(refined, runtime).iteration_time
+    return refined if after <= before else schedule

@@ -7,9 +7,11 @@ from repro.planner import (
     PlannerConstraints,
     SweepPoint,
     best_method_table,
+    default_chunk_size,
     grid,
     model_for_devices,
     plan_point,
+    plan_points,
     sweep,
 )
 
@@ -74,6 +76,38 @@ class TestSweep:
     def test_invalid_executor(self):
         with pytest.raises(ValueError, match="executor"):
             sweep([SweepPoint(4, 32 * 1024)], executor="mpi")
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            sweep([SweepPoint(4, 32 * 1024)], executor="serial", chunk_size=0)
+
+    def test_chunked_sweep_matches_serial(self):
+        points = grid(devices=(4,), vocab_sizes=(32 * 1024, 128 * 1024),
+                      microbatches=(8,), memory_budgets_gib=(None, 80.0))
+        serial = sweep(points, FAST, executor="serial")
+        for chunk_size in (1, 3, 16):
+            chunked = sweep(points, FAST, executor="thread",
+                            max_workers=2, chunk_size=chunk_size)
+            assert [o.point for o in chunked] == points
+            assert [o.best_method for o in chunked] == [
+                o.best_method for o in serial
+            ]
+
+    def test_plan_points_chunk_worker(self):
+        points = grid(devices=(4,), vocab_sizes=(32 * 1024,), microbatches=(8,))
+        outcomes = plan_points(points, FAST)
+        assert [o.point for o in outcomes] == points
+
+
+class TestDefaultChunkSize:
+    def test_targets_about_four_chunks_per_worker(self):
+        assert default_chunk_size(64, 4) == 4
+        assert default_chunk_size(65, 4) == 5
+
+    def test_small_sweeps_never_round_to_zero(self):
+        assert default_chunk_size(1, 8) == 1
+        assert default_chunk_size(0, 8) == 1
+        assert default_chunk_size(5, 0) == 2
 
     def test_best_method_table_renders(self):
         points = grid(devices=(4,), vocab_sizes=(32 * 1024,), microbatches=(8,))

@@ -1,0 +1,190 @@
+"""Compiled executor ⇔ reference executor equivalence suite.
+
+The compiled engine (:mod:`repro.sim.compiled`) is a pure performance
+refactor: for every schedule family and both execution modes it must
+return **bit-identical** results to the frozen pre-refactor path
+(:mod:`repro.sim.reference_executor`) — same pass times, collective
+times, iteration time and busy fractions, float for float.  These
+tests hold the two implementations together; any intentional semantic
+change must land in both (and is probably wrong — the reference is
+frozen by design).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import ModelConfig, ParallelConfig
+from repro.harness.experiments import KNOWN_METHODS, build_schedule
+from repro.scheduling import Pass, PassType, generate_1f1b
+from repro.sim import (
+    DeadlockError,
+    RuntimeModel,
+    SimulationSetup,
+    compile_schedule,
+    execute_schedule,
+    simulation_engine,
+)
+from repro.sim.reference_executor import (
+    reference_execute_schedule,
+    reference_execute_schedule_dataflow,
+    reference_refine_schedule_order,
+)
+
+#: Small enough to keep the suite fast, big enough that every family
+#: (incl. V-Half's 2p-divisibility) instantiates and the dataflow mode
+#: actually reorders passes.
+MODEL = ModelConfig(
+    num_layers=16,
+    hidden_size=512,
+    num_attention_heads=8,
+    seq_length=512,
+    vocab_size=32 * 1024,
+)
+PARALLEL = ParallelConfig(pipeline_size=4, num_microbatches=6, microbatch_size=1)
+
+
+@pytest.fixture(scope="module")
+def setup() -> SimulationSetup:
+    return SimulationSetup(MODEL, PARALLEL)
+
+
+def _schedule_and_runtime(method, setup):
+    schedule = build_schedule(method, setup, refine=False)
+    return schedule, RuntimeModel(setup, schedule)
+
+
+def assert_results_identical(compiled, reference):
+    """Every observable of ExecutionResult, compared exactly (==)."""
+    assert compiled.pass_times == reference.pass_times
+    assert compiled.collective_times == reference.collective_times
+    assert compiled.iteration_time == reference.iteration_time
+    assert compiled.device_busy == reference.device_busy
+    for device in range(len(reference.device_busy)):
+        assert compiled.bubble_fraction(device) == reference.bubble_fraction(device)
+        assert compiled.passes_on(device) == reference.passes_on(device)
+
+
+@pytest.mark.parametrize("method", KNOWN_METHODS)
+class TestEquivalence:
+    def test_in_order_bit_identical(self, method, setup):
+        schedule, runtime = _schedule_and_runtime(method, setup)
+        compiled = compile_schedule(schedule, runtime).execute()
+        reference = reference_execute_schedule(schedule, runtime)
+        assert_results_identical(compiled, reference)
+
+    @pytest.mark.parametrize("lookahead", [1, 4, 16])
+    def test_dataflow_bit_identical(self, method, lookahead, setup):
+        schedule, runtime = _schedule_and_runtime(method, setup)
+        mode = "zero-bubble" if schedule.has_weight_passes else "strict"
+        compiled = compile_schedule(schedule, runtime).execute_dataflow(
+            lookahead=lookahead, mode=mode
+        )
+        reference = reference_execute_schedule_dataflow(
+            schedule, runtime, lookahead=lookahead, mode=mode
+        )
+        assert_results_identical(compiled, reference)
+
+    def test_refinement_chooses_identical_orders(self, method, setup):
+        schedule, runtime = _schedule_and_runtime(method, setup)
+        mode = "zero-bubble" if schedule.has_weight_passes else "strict"
+        reference = reference_refine_schedule_order(schedule, runtime, mode=mode)
+        refined, result, graph = compile_schedule(schedule, runtime).refine(
+            mode=mode
+        )
+        assert refined.device_orders == reference.device_orders
+        # The returned result is the in-order execution of the returned
+        # schedule — what run_method previously recomputed from scratch.
+        assert_results_identical(
+            result, reference_execute_schedule(reference, runtime)
+        )
+        assert graph.schedule.device_orders == refined.device_orders
+
+
+class TestDeadlockParity:
+    @staticmethod
+    def _corrupted():
+        schedule = generate_1f1b(2, 4, num_layers=2)
+        order = schedule.device_orders[1]
+        f0 = order.index(Pass(PassType.F, 0, 1))
+        b0 = order.index(Pass(PassType.B, 0, 1))
+        order[f0], order[b0] = order[b0], order[f0]
+        return dataclasses.replace(schedule, device_orders=schedule.device_orders)
+
+    def test_both_engines_deadlock(self, setup):
+        corrupted = self._corrupted()
+        runtime = RuntimeModel(setup, corrupted)
+        with pytest.raises(DeadlockError):
+            reference_execute_schedule(corrupted, runtime)
+        with pytest.raises(DeadlockError):
+            compile_schedule(corrupted, runtime).execute()
+
+    def test_both_engines_deadlock_dataflow(self, setup):
+        corrupted = self._corrupted()
+        runtime = RuntimeModel(setup, corrupted)
+        with pytest.raises(DeadlockError):
+            reference_execute_schedule_dataflow(corrupted, runtime, lookahead=1)
+        with pytest.raises(DeadlockError):
+            compile_schedule(corrupted, runtime).execute_dataflow(lookahead=1)
+
+    def test_both_engines_reject_missing_pass(self, setup):
+        """A hole in a stream (pass deleted) raises, never mis-simulates."""
+        schedule = build_schedule("vhalf-vocab-1", setup, refine=False)
+        schedule.device_orders[2] = [
+            p for p in schedule.device_orders[2] if p != Pass(PassType.W, 3, 2)
+        ]
+        runtime = RuntimeModel(setup, schedule)
+        with pytest.raises(KeyError):
+            reference_execute_schedule(schedule, runtime)
+        with pytest.raises(KeyError):
+            compile_schedule(schedule, runtime)
+
+
+class TestCompiledGraphReuse:
+    def test_rebind_matches_fresh_compile(self, setup):
+        """Durations re-bound without re-lowering equal a fresh lowering."""
+
+        class Doubled:
+            def __init__(self, inner):
+                self.inner = inner
+
+            def pass_duration(self, p):
+                return 2.0 * self.inner.pass_duration(p)
+
+            def collective_duration(self, kind):
+                return 2.0 * self.inner.collective_duration(kind)
+
+            def p2p_duration(self, src, dst):
+                return 2.0 * self.inner.p2p_duration(src, dst)
+
+        schedule, runtime = _schedule_and_runtime("vocab-1", setup)
+        graph = compile_schedule(schedule, runtime)
+        graph.execute()  # populate the topo/result caches first
+        doubled = Doubled(runtime)
+        rebound = graph.rebind(doubled)
+        fresh = compile_schedule(schedule, doubled)
+        assert_results_identical(rebound.execute(), fresh.execute())
+        # The original binding is untouched by the rebind.
+        assert_results_identical(
+            graph.execute(), reference_execute_schedule(schedule, runtime)
+        )
+
+    def test_execute_result_is_cached(self, setup):
+        schedule, runtime = _schedule_and_runtime("vhalf-vocab-1", setup)
+        graph = compile_schedule(schedule, runtime)
+        assert graph.execute() is graph.execute()
+        assert graph.replay() is not graph.replay()
+
+
+class TestEngineSwitch:
+    def test_reference_engine_selectable(self, setup, monkeypatch):
+        schedule, runtime = _schedule_and_runtime("vocab-2", setup)
+        compiled = execute_schedule(schedule, runtime)
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "reference")
+        assert simulation_engine() == "reference"
+        assert_results_identical(compiled, execute_schedule(schedule, runtime))
+
+    def test_unknown_engine_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "warp-drive")
+        with pytest.raises(ValueError, match="REPRO_SIM_ENGINE"):
+            simulation_engine()

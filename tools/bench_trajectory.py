@@ -1,0 +1,270 @@
+#!/usr/bin/env python
+"""Measure the simulator/planner perf trajectory and emit ``BENCH_sim.json``.
+
+Times the hot paths of the reproduction on the paper's Table 5/6
+config classes, comparing the frozen **reference** engine (the
+pre-compiled-graph executor, ``REPRO_SIM_ENGINE=reference``) against
+the **compiled** engine (:mod:`repro.sim.compiled`):
+
+* ``execute_*`` — one in-order `execute_schedule` (reference rebuilds
+  the DAG from dicts; compiled replays the precompiled graph, the
+  steady state of every planner/sweep loop);
+* ``dataflow_*`` — one work-conserving execution;
+* ``plan_*`` — one end-to-end :func:`repro.planner.planner.plan` call
+  (enumerate → price → simulate top-k → rank) with a cold cache.
+
+Every entry records reference seconds, compiled seconds and the
+speedup.  A ``calibration_s`` scalar (a fixed pure-Python workload)
+makes the numbers comparable across machines: regression checks use
+times *normalized by calibration*, so a slower CI box does not fail
+the perf-smoke job.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_trajectory.py             # full + quick, write BENCH_sim.json
+    PYTHONPATH=src python tools/bench_trajectory.py --quick     # quick classes only, no write
+    PYTHONPATH=src python tools/bench_trajectory.py --quick --check BENCH_sim.json
+
+``--check`` exits non-zero when any current quick entry is more than
+``--threshold`` (default 2×) slower than the committed baseline after
+calibration normalization — the CI perf-smoke gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.harness.settings import (  # noqa: E402
+    ONE_F_ONE_B_METHODS,
+    VHALF_METHODS,
+    model_for_1f1b,
+    model_for_vhalf,
+    parallel_for,
+)
+
+#: (name suffix, gpus, method or method tuple, model factory)
+PANELS = [
+    ("tab5_8gpu", 8, "vocab-1", ONE_F_ONE_B_METHODS, model_for_1f1b),
+    ("tab6_16gpu", 16, "vhalf-vocab-1", VHALF_METHODS, model_for_vhalf),
+]
+
+#: Microbatch counts per trajectory class.
+MICROBATCHES = {"full": 128, "quick": 32}
+#: Best-of rounds: the quick class gates CI on millisecond timings, so
+#: it takes more rounds to suppress shared-runner noise.
+ROUNDS = {"full": 3, "quick": 5}
+
+
+def best_of(fn, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def calibration() -> float:
+    """Seconds for a fixed pure-Python workload (machine-speed proxy)."""
+
+    def workload() -> int:
+        total = 0
+        for i in range(200_000):
+            total += i % 7
+        return total
+
+    return best_of(workload, rounds=3)
+
+
+def engine(name: str):
+    """Context manager pinning ``REPRO_SIM_ENGINE``."""
+
+    class _Engine:
+        def __enter__(self):
+            self._old = os.environ.get("REPRO_SIM_ENGINE")
+            os.environ["REPRO_SIM_ENGINE"] = name
+
+        def __exit__(self, *exc):
+            if self._old is None:
+                os.environ.pop("REPRO_SIM_ENGINE", None)
+            else:
+                os.environ["REPRO_SIM_ENGINE"] = self._old
+
+    return _Engine()
+
+
+def measure_class(
+    klass: str, with_reference: bool = True
+) -> dict[str, dict[str, float]]:
+    """All trajectory entries for one class ('full' or 'quick').
+
+    ``with_reference=False`` (the ``--check`` gate) times only the
+    compiled engine — the regression check never reads the reference
+    numbers, and the reference runs dominate wall-clock.
+    """
+    from repro.harness.experiments import generate_method_schedule
+    from repro.planner import PlanCache, PlannerConstraints, plan
+    from repro.sim import RuntimeModel, SimulationSetup, compile_schedule
+    from repro.sim.reference_executor import (
+        reference_execute_schedule,
+        reference_execute_schedule_dataflow,
+    )
+
+    m = MICROBATCHES[klass]
+    rounds = ROUNDS[klass]
+    entries: dict[str, dict[str, float]] = {}
+
+    def add(name: str, reference_s: float | None, compiled_s: float, **extra) -> None:
+        entries[name] = {"compiled_s": compiled_s, **extra}
+        if reference_s is None:
+            print(f"  {name:22s} compiled {compiled_s * 1e3:9.2f} ms")
+            return
+        entries[name]["reference_s"] = reference_s
+        entries[name]["speedup"] = (
+            reference_s / compiled_s if compiled_s > 0 else 0.0
+        )
+        print(
+            f"  {name:22s} reference {reference_s * 1e3:9.2f} ms   "
+            f"compiled {compiled_s * 1e3:9.2f} ms   "
+            f"{entries[name]['speedup']:5.1f}x"
+        )
+
+    for tag, gpus, method, methods, model_for in PANELS:
+        model = model_for(gpus, 2048, 256 * 1024)
+        parallel = parallel_for(gpus, num_microbatches=m)
+        setup = SimulationSetup(model, parallel)
+        schedule = generate_method_schedule(method, setup)
+        runtime = RuntimeModel(setup, schedule)
+        t0 = time.perf_counter()
+        graph = compile_schedule(schedule, runtime)
+        compile_s = time.perf_counter() - t0
+        mode = "zero-bubble" if schedule.has_weight_passes else "strict"
+
+        add(
+            f"execute_{tag}",
+            best_of(lambda: reference_execute_schedule(schedule, runtime), rounds)
+            if with_reference
+            else None,
+            best_of(graph.replay, rounds),
+            compile_s=compile_s,
+        )
+        add(
+            f"dataflow_{tag}",
+            best_of(
+                lambda: reference_execute_schedule_dataflow(
+                    schedule, runtime, lookahead=64, mode=mode
+                ),
+                rounds,
+            )
+            if with_reference
+            else None,
+            best_of(
+                lambda: graph.execute_dataflow(lookahead=64, mode=mode), rounds
+            ),
+        )
+
+        constraints = PlannerConstraints(methods=methods)
+
+        def run_plan() -> None:
+            plan(model, parallel, constraints, cache=PlanCache())
+
+        plan_reference = None
+        if with_reference:
+            with engine("reference"):
+                plan_reference = best_of(run_plan, rounds)
+        with engine("compiled"):
+            plan_compiled = best_of(run_plan, rounds)
+        add(f"plan_{tag}", plan_reference, plan_compiled)
+
+    return entries
+
+
+def check(current: dict, baseline: dict, threshold: float) -> list[str]:
+    """Normalized-regression failures of ``current`` vs ``baseline``."""
+    problems = []
+    base_cal = baseline.get("calibration_s")
+    base_entries = baseline.get("quick", {})
+    cur_cal = current["calibration_s"]
+    if not base_cal or not base_entries:
+        return ["baseline has no quick entries/calibration to check against"]
+    for name, entry in current["quick"].items():
+        base = base_entries.get(name)
+        if base is None:
+            continue
+        cur_norm = entry["compiled_s"] / cur_cal
+        base_norm = base["compiled_s"] / base_cal
+        ratio = cur_norm / base_norm if base_norm > 0 else float("inf")
+        status = "OK" if ratio <= threshold else "REGRESSION"
+        print(
+            f"  {name:22s} normalized {cur_norm:8.2f} vs baseline "
+            f"{base_norm:8.2f}  ({ratio:4.2f}x)  {status}"
+        )
+        if ratio > threshold:
+            problems.append(
+                f"{name}: compiled path {ratio:.2f}x slower than baseline "
+                f"(threshold {threshold:.1f}x)"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="measure only the quick class (smaller m); skip writing output",
+    )
+    parser.add_argument(
+        "--check", metavar="BASELINE", default=None,
+        help="compare against a committed BENCH_sim.json; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=2.0,
+        help="allowed normalized slowdown vs baseline (default 2.0x)",
+    )
+    parser.add_argument(
+        "--output", default=str(REPO / "BENCH_sim.json"),
+        help="where to write the trajectory JSON (full runs only)",
+    )
+    args = parser.parse_args(argv)
+
+    result: dict = {
+        "schema": 1,
+        "python": platform.python_version(),
+        "microbatches": MICROBATCHES,
+        "calibration_s": calibration(),
+    }
+    with_reference = args.check is None
+    print(f"calibration: {result['calibration_s'] * 1e3:.2f} ms")
+    print(f"quick class (m={MICROBATCHES['quick']}):")
+    result["quick"] = measure_class("quick", with_reference=with_reference)
+    if not args.quick:
+        print(f"full class (m={MICROBATCHES['full']}):")
+        result["full"] = measure_class("full", with_reference=with_reference)
+
+    if args.check is not None:
+        baseline = json.loads(Path(args.check).read_text())
+        print(f"checking against {args.check} (threshold {args.threshold}x):")
+        problems = check(result, baseline, args.threshold)
+        if problems:
+            print("\n".join(problems))
+            return 1
+        print("perf-smoke OK: no regression beyond threshold")
+        return 0
+
+    if not args.quick:
+        Path(args.output).write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
