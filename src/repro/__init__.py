@@ -24,13 +24,21 @@ The package provides:
   results and parallel grid sweeps — :mod:`repro.planner`.
 """
 
+from repro._lazy import lazy_exports
 from repro.config import ModelConfig, ParallelConfig, layers_per_stage
-from repro.vocab import (
-    NaiveOutputLayer,
-    OutputLayerAlg1,
-    OutputLayerAlg2,
-    VocabParallelEmbedding,
-    VocabPartition,
+from repro.vocab import VocabPartition
+
+#: NumPy-backed vocabulary layers are exported lazily (PEP 562) so the
+#: scheduling/simulation/planner stack imports without NumPy.
+__getattr__, __dir__ = lazy_exports(
+    "repro",
+    {
+        "NaiveOutputLayer": "repro.vocab",
+        "OutputLayerAlg1": "repro.vocab",
+        "OutputLayerAlg2": "repro.vocab",
+        "VocabParallelEmbedding": "repro.vocab",
+    },
+    globals(),
 )
 
 __version__ = "1.0.0"

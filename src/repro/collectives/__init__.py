@@ -12,15 +12,24 @@ Two halves, deliberately separate:
   and pipeline sends.
 """
 
-from repro.collectives.ops import (
-    all_gather,
-    all_reduce_max,
-    all_reduce_sum,
-    broadcast,
-    reduce_scatter_sum,
-    reduce_sum,
-)
+from repro._lazy import lazy_exports
 from repro.collectives.timing import CommunicationModel
+
+#: The numeric collectives need NumPy; the α–β timing model does not.
+#: Lazy exports (PEP 562) keep the simulator/planner import chain free
+#: of a hard NumPy dependency.
+__getattr__, __dir__ = lazy_exports(
+    "repro.collectives",
+    {
+        "all_gather": "repro.collectives.ops",
+        "all_reduce_max": "repro.collectives.ops",
+        "all_reduce_sum": "repro.collectives.ops",
+        "broadcast": "repro.collectives.ops",
+        "reduce_scatter_sum": "repro.collectives.ops",
+        "reduce_sum": "repro.collectives.ops",
+    },
+    globals(),
+)
 
 __all__ = [
     "all_reduce_sum",

@@ -177,6 +177,7 @@ def _cmd_plan(args: argparse.Namespace) -> None:
             seq_lengths=[args.seq],
             microbatches=[args.microbatches],
             memory_budgets_gib=[args.memory_budget],
+            pass_overheads=args.pass_overhead,
         )
         if len(points) == 1:
             print(
@@ -282,6 +283,11 @@ def main(argv: list[str] | None = None) -> int:
     pl.add_argument(
         "--methods", nargs="+", default=None, metavar="METHOD",
         help="restrict the search to these schedule families",
+    )
+    pl.add_argument(
+        "--pass-overhead", type=float, nargs="+", default=[None], metavar="S",
+        help="per-pass host overhead bindings in seconds (several values "
+        "sweep the §7 overhead ablation over shared schedule structures)",
     )
     pl.add_argument(
         "--top-k", type=_parse_top_k, default=3, metavar="K",

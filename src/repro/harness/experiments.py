@@ -12,6 +12,8 @@ mark them the way the paper's figures do.
 from __future__ import annotations
 
 import dataclasses
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.config import ModelConfig, ParallelConfig, layers_per_stage
@@ -69,8 +71,140 @@ class MethodMetrics:
         return 100.0 * self.mfu
 
 
+# ---------------------------------------------------------------------------
+# Structural caches: schedule generation and compiled-graph lowering are
+# pure functions of a small structural key, so both are memoized
+# process-wide.  A sweep whose grid points share a schedule structure
+# (same family/model/parallel shape, different memory budgets or
+# pass-overhead bindings) then builds each structure once and re-prices
+# it per binding via CompiledGraph.rebind / execute_many.
+# ---------------------------------------------------------------------------
+
+_CACHE_LOCK = threading.Lock()
+_SCHEDULE_CACHE: OrderedDict[tuple, Schedule] = OrderedDict()
+_GRAPH_CACHE: OrderedDict[tuple, object] = OrderedDict()
+_SCHEDULE_CACHE_LIMIT = 256
+_GRAPH_CACHE_LIMIT = 64
+_CACHE_STATS = {
+    "schedule_hits": 0,
+    "schedule_misses": 0,
+    "graph_hits": 0,
+    "graph_misses": 0,
+}
+
+
+def structural_cache_stats() -> dict[str, int]:
+    """Hit/miss counters of the process-wide structural caches (a copy)."""
+    with _CACHE_LOCK:
+        return dict(_CACHE_STATS)
+
+
+def clear_structural_caches() -> None:
+    """Drop all cached schedules and compiled graphs; reset counters."""
+    with _CACHE_LOCK:
+        _SCHEDULE_CACHE.clear()
+        _GRAPH_CACHE.clear()
+        for key in _CACHE_STATS:
+            _CACHE_STATS[key] = 0
+
+
+def _generation_timings(method: str, setup: SimulationSetup) -> tuple[float, ...]:
+    """The timing scalars ``method``'s generator consumes, in order.
+
+    These are the *only* hardware-dependent inputs of schedule
+    generation — the generators place passes from a handful of nominal
+    durations — so (method, model, parallel shape, these scalars) is an
+    exact cache key: two setups mapping to the same scalars generate
+    identical schedules, whatever hardware produced them.
+
+    KEEP IN SYNC with :func:`_generate_method_schedule_uncached`: if a
+    generator starts consuming another setup-dependent input, it must
+    be added here too, or the cache will conflate setups that differ in
+    that input and silently return the wrong schedule.
+    """
+    model = setup.model
+    parallel = setup.parallel
+    p = parallel.pipeline_size
+    timings = PassTimings(setup)
+    if method in ("baseline", "redis", "vocab-1", "vocab-2", "interlaced"):
+        per_stage = layers_per_stage(model, parallel)
+        scalars = [
+            timings.transformer_forward_time(per_stage),
+            timings.transformer_backward_time(per_stage, split_weight=False),
+        ]
+        if method in ("vocab-1", "vocab-2"):
+            algorithm = 1 if method == "vocab-1" else 2
+            scalars += [timings.s_pass_time(algorithm), timings.t_pass_time(algorithm)]
+        elif method == "interlaced":
+            scalars += [timings.interlaced_vf_time(), timings.interlaced_vb_time()]
+    elif method in ("vhalf-baseline", "vhalf-vocab-1", "vhalf-vocab-2"):
+        if model.num_layers % (2 * p) != 0:
+            raise ValueError(
+                f"V-Half needs layers divisible by 2p; got {model.num_layers}, p={p}"
+            )
+        per_chunk = model.num_layers // (2 * p)
+        scalars = [
+            timings.transformer_forward_time(per_chunk),
+            timings.transformer_backward_time(per_chunk, split_weight=True),
+            timings.transformer_weight_time(per_chunk),
+        ]
+        if method != "vhalf-baseline":
+            algorithm = 1 if method == "vhalf-vocab-1" else 2
+            scalars += [timings.s_pass_time(algorithm), timings.t_pass_time(algorithm)]
+    else:
+        raise ValueError(f"unknown method {method!r}; expected one of {KNOWN_METHODS}")
+    return tuple(scalars)
+
+
+def _clone_schedule(schedule: Schedule) -> Schedule:
+    """Defensive copy: shared structure, private orders and metadata.
+
+    Cached schedules must never leak mutable state — callers reorder
+    ``device_orders`` in place (refinement, tests) and stash entries in
+    ``metadata``.
+    """
+    return dataclasses.replace(
+        schedule,
+        device_orders=[list(order) for order in schedule.device_orders],
+        metadata=dict(schedule.metadata),
+    )
+
+
 def generate_method_schedule(method: str, setup: SimulationSetup) -> Schedule:
-    """Generate the nominal (unrefined) schedule for a method."""
+    """Generate the nominal (unrefined) schedule for a method.
+
+    Memoized process-wide on the structural generation key (method,
+    model, parallel shape, generator timing scalars); hits return a
+    defensive copy of the cached schedule, so repeated planner/sweep
+    calls over the same structure skip generation entirely.
+    """
+    key = (
+        method,
+        setup.model,
+        setup.parallel.pipeline_size,
+        setup.parallel.num_microbatches,
+        setup.parallel.microbatch_size,
+        _generation_timings(method, setup),
+    )
+    with _CACHE_LOCK:
+        cached = _SCHEDULE_CACHE.get(key)
+        if cached is not None:
+            _CACHE_STATS["schedule_hits"] += 1
+            _SCHEDULE_CACHE.move_to_end(key)
+            return _clone_schedule(cached)
+    schedule = _generate_method_schedule_uncached(method, setup)
+    with _CACHE_LOCK:
+        _CACHE_STATS["schedule_misses"] += 1
+        _SCHEDULE_CACHE[key] = _clone_schedule(schedule)
+        while len(_SCHEDULE_CACHE) > _SCHEDULE_CACHE_LIMIT:
+            _SCHEDULE_CACHE.popitem(last=False)
+    return schedule
+
+
+def _generate_method_schedule_uncached(
+    method: str, setup: SimulationSetup
+) -> Schedule:
+    """The actual schedule construction (one per structural key)."""
     model = setup.model
     parallel = setup.parallel
     p = parallel.pipeline_size
@@ -166,6 +300,31 @@ def _refine_mode(schedule: Schedule) -> str:
     return "zero-bubble" if schedule.has_weight_passes else "strict"
 
 
+def _compile_cached(schedule: Schedule, runtime: RuntimeModel):
+    """Compiled graph for ``schedule``, re-bound from the structural cache.
+
+    Keyed on :meth:`~repro.scheduling.schedule.Schedule.structure_key`:
+    the first request lowers the graph, later requests for the same
+    structure (any runtime binding) reuse the lowering — and its cached
+    topological order — via :meth:`~repro.sim.compiled.CompiledGraph.rebind`.
+    """
+    key = schedule.structure_key()
+    with _CACHE_LOCK:
+        cached = _GRAPH_CACHE.get(key)
+        if cached is not None:
+            _CACHE_STATS["graph_hits"] += 1
+            _GRAPH_CACHE.move_to_end(key)
+    if cached is not None:
+        return cached.rebind(runtime, schedule=schedule)
+    graph = compile_schedule(schedule, runtime)
+    with _CACHE_LOCK:
+        _CACHE_STATS["graph_misses"] += 1
+        _GRAPH_CACHE[key] = graph
+        while len(_GRAPH_CACHE) > _GRAPH_CACHE_LIMIT:
+            _GRAPH_CACHE.popitem(last=False)
+    return graph
+
+
 def build_schedule(
     method: str, setup: SimulationSetup, refine: bool = True
 ) -> Schedule:
@@ -173,9 +332,14 @@ def build_schedule(
     schedule = generate_method_schedule(method, setup)
     if refine and _wants_refinement(schedule):
         runtime = RuntimeModel(setup, schedule)
-        schedule = refine_schedule_order(
-            schedule, runtime, mode=_refine_mode(schedule)
-        )
+        if simulation_engine() == "reference":
+            schedule = refine_schedule_order(
+                schedule, runtime, mode=_refine_mode(schedule)
+            )
+        else:
+            schedule, _, _ = _compile_cached(schedule, runtime).refine(
+                mode=_refine_mode(schedule)
+            )
     return schedule
 
 
@@ -199,11 +363,89 @@ def _simulate(
             )
             runtime = RuntimeModel(setup, schedule)
         return schedule, execute_schedule(schedule, runtime)
-    graph = compile_schedule(schedule, runtime)
+    graph = _compile_cached(schedule, runtime)
     if wants_refine:
         schedule, result, _ = graph.refine(mode=_refine_mode(schedule))
         return schedule, result
     return schedule, graph.execute()
+
+
+def _metrics_from(
+    method: str,
+    model: ModelConfig,
+    parallel: ParallelConfig,
+    setup: SimulationSetup,
+    memory_model: MemoryModel | None,
+    result: ExecutionResult,
+) -> MethodMetrics:
+    """Assemble :class:`MethodMetrics` from one execution result."""
+    report = memory_report(result, setup, memory_model)
+    return MethodMetrics(
+        method=method,
+        mfu=mfu(model, parallel, setup.hardware, result.iteration_time),
+        iteration_time=result.iteration_time,
+        peak_memory_gb=report.peak / GiB,
+        per_device_peak_gb=[b / GiB for b in report.per_device_peak],
+        memory_spread_gb=report.spread / GiB,
+        mean_bubble=result.mean_bubble_fraction(),
+        oom=not report.fits(setup.hardware.memory_bytes),
+    )
+
+
+def run_method_bindings(
+    method: str,
+    model: ModelConfig,
+    parallel: ParallelConfig,
+    setups: list[SimulationSetup],
+    memory_model: MemoryModel | None = None,
+    refine: bool = True,
+) -> list[MethodMetrics]:
+    """Simulate one method under many runtime bindings in one batch.
+
+    All ``setups`` must share ``model`` and ``parallel`` and differ only
+    in their runtime binding (hardware, efficiency, ``pass_overhead``).
+    Bindings whose generated schedules share a
+    :meth:`~repro.scheduling.schedule.Schedule.structure_key` are priced
+    through one compiled graph and executed together with
+    :meth:`~repro.sim.compiled.CompiledGraph.execute_many`.  Bindings
+    that want order refinement fall back to :func:`run_method` — the
+    refinement's work-conserving run is a stateful per-binding
+    simulation that cannot be batched — as does the reference engine.
+    """
+    for setup in setups:
+        if setup.model != model or setup.parallel != parallel:
+            raise ValueError(
+                "run_method_bindings requires every setup to share the "
+                "model and parallel configuration; only the runtime "
+                "binding may differ"
+            )
+    metrics: list[MethodMetrics | None] = [None] * len(setups)
+    schedules = [generate_method_schedule(method, setup) for setup in setups]
+    batchable: dict[tuple, list[int]] = {}
+    for index, (setup, schedule) in enumerate(zip(setups, schedules)):
+        if (refine and _wants_refinement(schedule)) or (
+            simulation_engine() == "reference"
+        ):
+            metrics[index] = run_method(
+                method,
+                model,
+                parallel,
+                setup=setup,
+                memory_model=memory_model,
+                refine=refine,
+            )
+        else:
+            batchable.setdefault(schedule.structure_key(), []).append(index)
+    for indices in batchable.values():
+        first = indices[0]
+        runtimes = [RuntimeModel(setups[i], schedules[i]) for i in indices]
+        graph = _compile_cached(schedules[first], runtimes[0])
+        results = graph.execute_bindings(runtimes)
+        for i, result in zip(indices, results):
+            metrics[i] = _metrics_from(
+                method, model, parallel, setups[i], memory_model, result
+            )
+    return metrics  # type: ignore[return-value]
 
 
 def run_method(
@@ -237,17 +479,7 @@ def run_method(
                 per_device_peak_gb=list(cached.per_device_peak_gb),
             )
     schedule, result = _simulate(schedule, setup, refine)
-    report = memory_report(result, setup, memory_model)
-    metrics = MethodMetrics(
-        method=method,
-        mfu=mfu(model, parallel, setup.hardware, result.iteration_time),
-        iteration_time=result.iteration_time,
-        peak_memory_gb=report.peak / GiB,
-        per_device_peak_gb=[b / GiB for b in report.per_device_peak],
-        memory_spread_gb=report.spread / GiB,
-        mean_bubble=result.mean_bubble_fraction(),
-        oom=not report.fits(setup.hardware.memory_bytes),
-    )
+    metrics = _metrics_from(method, model, parallel, setup, memory_model, result)
     if sim_cache is not None:
         # Store a clone, not the returned object: a caller mutating its
         # result (per_device_peak_gb is a plain list) must not poison

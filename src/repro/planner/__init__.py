@@ -25,6 +25,7 @@ CLI: ``repro-experiments plan --devices 8 --vocab 128k``.
 from repro.planner.cache import PlanCache, config_digest
 from repro.planner.estimate import (
     CandidateEstimate,
+    clear_probe_cache,
     estimate_method,
     infeasibility_reason,
 )
@@ -45,6 +46,7 @@ from repro.planner.sweep import (
     model_for_devices,
     plan_point,
     plan_points,
+    shutdown_pools,
     sweep,
 )
 
@@ -58,6 +60,7 @@ __all__ = [
     "SweepPoint",
     "best_method_table",
     "clear_plan_cache",
+    "clear_probe_cache",
     "config_digest",
     "default_chunk_size",
     "default_plan_cache",
@@ -68,5 +71,6 @@ __all__ = [
     "plan",
     "plan_point",
     "plan_points",
+    "shutdown_pools",
     "sweep",
 ]

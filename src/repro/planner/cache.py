@@ -10,6 +10,14 @@ The default cache is in-memory and process-local.  Passing a
 ``directory`` additionally persists entries as pickle files named by
 digest, so repeated CLI invocations and sweep workers can share
 results across processes.
+
+Besides whole-plan entries the cache stores *auxiliary* namespaced
+entries (:meth:`PlanCache.get_aux` / :meth:`PlanCache.put_aux`): the
+planner keys per-method analytic estimates and simulated metrics on a
+**budget-independent** digest that includes the schedule's structural
+signature, so neighbouring sweep grid points — same structure,
+different memory budget or runtime binding — skip analytic pricing and
+simulation entirely and only re-rank.
 """
 
 from __future__ import annotations
@@ -70,26 +78,31 @@ class PlanCache:
 
     def __init__(self, directory: str | Path | None = None):
         self._store: dict[str, Any] = {}
+        self._aux_store: dict[str, Any] = {}
         self.directory = Path(directory) if directory is not None else None
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.aux_hits = 0
+        self.aux_misses = 0
 
     def __len__(self) -> int:
+        """Number of whole-plan entries (aux entries are not counted)."""
         return len(self._store)
 
-    def _path(self, key: str) -> Path:
+    def _path(self, key: str, kind: str = "plan") -> Path:
         assert self.directory is not None
-        return self.directory / f"{key}.plan.pkl"
+        return self.directory / f"{key}.{kind}.pkl"
 
-    def get(self, key: str) -> Any | None:
-        """Stored plans for ``key``, or ``None`` (counts hit/miss)."""
-        if key in self._store:
-            self.hits += 1
-            return self._store[key]
+    def _fetch(
+        self, store: dict[str, Any], store_key: str, key: str, kind: str
+    ) -> Any | None:
+        """Shared lookup: in-memory first, then the disk file (if any)."""
+        if store_key in store:
+            return store[store_key]
         if self.directory is not None:
-            path = self._path(key)
+            path = self._path(key, kind)
             try:
                 with path.open("rb") as handle:
                     value = pickle.load(handle)
@@ -98,29 +111,65 @@ class PlanCache:
                 # either way, a miss — never a crash.
                 pass
             else:
-                self._store[key] = value
-                self.hits += 1
+                store[store_key] = value
                 return value
-        self.misses += 1
         return None
 
-    def put(self, key: str, value: Any) -> None:
-        """Store ``value`` under ``key`` (and on disk when configured).
+    def _write(
+        self, store: dict[str, Any], store_key: str, key: str, kind: str,
+        value: Any,
+    ) -> None:
+        """Shared store: in-memory plus an atomic disk write (if any).
 
         Disk writes go to a temp file first and are renamed into place,
         so concurrent readers of a shared directory never observe a
         half-written pickle.
         """
-        self._store[key] = value
+        store[store_key] = value
         if self.directory is not None:
-            path = self._path(key)
+            path = self._path(key, kind)
             temp = path.with_suffix(f".tmp.{os.getpid()}")
             with temp.open("wb") as handle:
                 pickle.dump(value, handle)
             os.replace(temp, path)
 
+    def get(self, key: str) -> Any | None:
+        """Stored plans for ``key``, or ``None`` (counts hit/miss)."""
+        value = self._fetch(self._store, key, key, "plan")
+        if value is not None:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` (and on disk when configured)."""
+        self._write(self._store, key, key, "plan", value)
+
+    def get_aux(self, kind: str, key: str) -> Any | None:
+        """Namespaced auxiliary entry (estimate, metrics, …) or ``None``.
+
+        Auxiliary entries share the digest/disk machinery of whole-plan
+        entries but live in their own ``kind`` namespace (disk files are
+        suffixed ``.{kind}.pkl``), with separate ``aux_hits`` /
+        ``aux_misses`` counters, and do not count towards ``len()``.
+        """
+        value = self._fetch(self._aux_store, f"{kind}:{key}", key, kind)
+        if value is not None:
+            self.aux_hits += 1
+        else:
+            self.aux_misses += 1
+        return value
+
+    def put_aux(self, kind: str, key: str, value: Any) -> None:
+        """Store an auxiliary entry under (kind, key)."""
+        self._write(self._aux_store, f"{kind}:{key}", key, kind, value)
+
     def clear(self) -> None:
         """Drop all in-memory entries (disk files are left alone)."""
         self._store.clear()
+        self._aux_store.clear()
         self.hits = 0
         self.misses = 0
+        self.aux_hits = 0
+        self.aux_misses = 0

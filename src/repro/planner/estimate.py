@@ -28,13 +28,64 @@ the simulator before committing (see :mod:`repro.planner.planner`).
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.config import ModelConfig, ParallelConfig
 from repro.costmodel.memory import MemoryModel
 from repro.harness.experiments import KNOWN_METHODS, build_schedule
+from repro.scheduling.schedule import Schedule
 from repro.sim.memory import device_param_bytes
 from repro.sim.runtime import BF16, FP32, RuntimeModel, SimulationSetup
+
+#: Default memory model shared by every estimate (frozen, so safe); a
+#: fresh ``MemoryModel()`` per call defeated the probe memoization key.
+_DEFAULT_MEMORY_MODEL = MemoryModel()
+
+#: Memoized m=1 probes: (method, setup) -> (probe schedule, per-device
+#: compute).  Probes are structural — the planner prices the same
+#: (method, config) pair once per process instead of rebuilding the
+#: probe schedule and re-summing pass durations on every call.
+_PROBE_LOCK = threading.Lock()
+_PROBE_CACHE: OrderedDict[
+    tuple[str, SimulationSetup], tuple[Schedule, tuple[float, ...]]
+] = OrderedDict()
+_PROBE_CACHE_LIMIT = 512
+
+
+def clear_probe_cache() -> None:
+    """Drop all memoized m=1 probe schedules (tests, benchmarks)."""
+    with _PROBE_LOCK:
+        _PROBE_CACHE.clear()
+
+
+def _probe(
+    method: str, probe_setup: SimulationSetup
+) -> tuple[Schedule, tuple[float, ...]]:
+    """The m=1 probe schedule and its per-device compute sums, memoized.
+
+    ``SimulationSetup`` is a frozen dataclass, so (method, setup) is an
+    exact key: every input of probe construction and pass pricing is a
+    field of it.
+    """
+    key = (method, probe_setup)
+    with _PROBE_LOCK:
+        cached = _PROBE_CACHE.get(key)
+        if cached is not None:
+            _PROBE_CACHE.move_to_end(key)
+            return cached
+    probe = build_schedule(method, probe_setup, refine=False)
+    runtime = RuntimeModel(probe_setup, probe)
+    compute = tuple(
+        sum(runtime.pass_duration(pass_) for pass_ in order)
+        for order in probe.device_orders
+    )
+    with _PROBE_LOCK:
+        _PROBE_CACHE[key] = (probe, compute)
+        while len(_PROBE_CACHE) > _PROBE_CACHE_LIMIT:
+            _PROBE_CACHE.popitem(last=False)
+    return probe, compute
 
 
 @dataclass(frozen=True)
@@ -105,10 +156,10 @@ def estimate_method(
     """Price one method with the analytic cost model only.
 
     Builds a single-microbatch instance of the schedule (cheap — a few
-    passes per device) to obtain the exact stage layout and pass
-    durations, then extrapolates to ``m`` microbatches.
+    passes per device, memoized process-wide) to obtain the exact stage
+    layout and pass durations, then extrapolates to ``m`` microbatches.
     """
-    memory_model = memory_model or MemoryModel()
+    memory_model = memory_model or _DEFAULT_MEMORY_MODEL
     model = setup.model
     parallel = setup.parallel
     p = parallel.pipeline_size
@@ -122,12 +173,7 @@ def estimate_method(
         interlaced_sync_allreduce=setup.interlaced_sync_allreduce,
         pass_overhead=setup.pass_overhead,
     )
-    probe = build_schedule(method, probe_setup, refine=False)
-    runtime = RuntimeModel(probe_setup, probe)
-    compute = tuple(
-        sum(runtime.pass_duration(pass_) for pass_ in order)
-        for order in probe.device_orders
-    )
+    probe, compute = _probe(method, probe_setup)
     bottleneck = max(compute)
     # Steady state is bound by the slowest device; warmup/cooldown ramps
     # add roughly one traversal of the average stage.

@@ -21,20 +21,28 @@ simulator, never by the estimate.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from repro.config import ModelConfig, ParallelConfig
 from repro.costmodel.hardware import A100_SXM_80G, HardwareModel
 from repro.costmodel.memory import GiB, MemoryModel
 from repro.costmodel.mfu import mfu
-from repro.harness.experiments import KNOWN_METHODS, build_schedule, run_method
+from repro.harness.experiments import (
+    KNOWN_METHODS,
+    build_schedule,
+    generate_method_schedule,
+    run_method,
+)
 from repro.planner.cache import PlanCache, config_digest
 from repro.planner.estimate import estimate_method, infeasibility_reason
 from repro.scheduling import Schedule
 from repro.sim import SimulationSetup
 
 #: Bumped whenever ranking semantics change, to invalidate stale caches.
-PLANNER_VERSION = 1
+#: 2: per-method estimate/metrics entries (budget-independent, keyed on
+#: the structural signature) and the ``pass_overhead`` binding knob.
+PLANNER_VERSION = 2
 
 #: Module-level default cache used when ``plan(..., cache=None)``.
 _DEFAULT_CACHE = PlanCache()
@@ -154,6 +162,9 @@ class RankedPlans:
     ranked: tuple[PlanCandidate, ...] = ()
     rejected: tuple[PlanCandidate, ...] = ()
     cache_key: str = ""
+    #: The pass-overhead binding the plan was priced under (``None`` =
+    #: the SimulationSetup default).
+    pass_overhead: float | None = None
 
     @property
     def best(self) -> PlanCandidate:
@@ -180,7 +191,12 @@ class RankedPlans:
         self, hardware: HardwareModel = A100_SXM_80G
     ) -> Schedule:
         """Materialize the winning schedule (for execution or tracing)."""
-        setup = SimulationSetup(self.model, self.parallel, hardware=hardware)
+        kwargs = {}
+        if self.pass_overhead is not None:
+            kwargs["pass_overhead"] = self.pass_overhead
+        setup = SimulationSetup(
+            self.model, self.parallel, hardware=hardware, **kwargs
+        )
         return build_schedule(
             self.best.method, setup, refine=self.constraints.refine
         )
@@ -249,6 +265,51 @@ def _rejected_on_estimate(
     )
 
 
+def _estimate_digest(
+    method: str,
+    model: ModelConfig,
+    parallel: ParallelConfig,
+    hardware: HardwareModel,
+    memory_model: MemoryModel,
+    pass_overhead: float | None,
+) -> str:
+    """Budget-independent key of one method's analytic estimate.
+
+    Excludes the planner constraints on purpose: grid points that share
+    a schedule structure and runtime binding but differ in memory
+    budget (or top-k effort) resolve to the same entry, so a budget
+    sweep prices each method exactly once.
+    """
+    return config_digest(
+        "estimate", method, model, parallel, hardware, memory_model,
+        pass_overhead, PLANNER_VERSION,
+    )
+
+
+def _metrics_digest(
+    method: str,
+    structure_signature: tuple,
+    model: ModelConfig,
+    parallel: ParallelConfig,
+    hardware: HardwareModel,
+    memory_model: MemoryModel,
+    pass_overhead: float | None,
+    refine: bool,
+) -> str:
+    """Budget-independent key of one method's simulated metrics.
+
+    Keyed on the generated schedule's runtime-independent
+    :meth:`~repro.scheduling.schedule.Schedule.structure_signature`
+    plus the runtime binding — everything the simulation depends on,
+    and nothing the ranking-only knobs (budget, top-k) touch.
+    """
+    return config_digest(
+        "metrics", method, list(map(repr, structure_signature)), model,
+        parallel, hardware, memory_model, pass_overhead, refine,
+        PLANNER_VERSION,
+    )
+
+
 def plan(
     model: ModelConfig,
     parallel: ParallelConfig,
@@ -257,6 +318,7 @@ def plan(
     hardware: HardwareModel = A100_SXM_80G,
     memory_model: MemoryModel | None = None,
     cache: PlanCache | None = None,
+    pass_overhead: float | None = None,
 ) -> RankedPlans:
     """Choose a pipeline schedule for ``model`` on ``parallel`` devices.
 
@@ -266,12 +328,24 @@ def plan(
     are cached in ``cache`` (default: a process-wide
     :class:`~repro.planner.cache.PlanCache`) keyed on a digest of every
     input, so a repeated call returns the stored object unchanged.
+
+    Besides the whole-plan entry, per-method analytic estimates and
+    simulated metrics are cached under **budget-independent** auxiliary
+    keys (see :meth:`~repro.planner.cache.PlanCache.get_aux`): planning
+    the same structure under a different memory budget re-ranks cached
+    prices instead of re-estimating and re-simulating.
+
+    ``pass_overhead`` overrides the fixed per-pass host overhead of the
+    :class:`~repro.sim.SimulationSetup` binding (``None`` keeps the
+    default), which is how sweeps explore overhead ablations without
+    rebuilding schedule structures.
     """
     constraints = constraints or PlannerConstraints()
     memory_model = memory_model or MemoryModel()
     cache = cache if cache is not None else _DEFAULT_CACHE
     key = config_digest(
-        model, parallel, constraints, hardware, memory_model, PLANNER_VERSION
+        model, parallel, constraints, hardware, memory_model,
+        pass_overhead, PLANNER_VERSION,
     )
     cached = cache.get(key)
     if cached is not None:
@@ -280,7 +354,8 @@ def plan(
     budget_gib = _budget_gib(constraints, hardware)
     budget_bytes = budget_gib * GiB
     methods = constraints.methods or KNOWN_METHODS
-    setup = SimulationSetup(model, parallel, hardware=hardware)
+    setup_kwargs = {} if pass_overhead is None else {"pass_overhead": pass_overhead}
+    setup = SimulationSetup(model, parallel, hardware=hardware, **setup_kwargs)
 
     rejected: list[PlanCandidate] = []
     priced: list[tuple[PlanCandidate, object]] = []
@@ -293,7 +368,13 @@ def plan(
                 )
             )
             continue
-        est = estimate_method(method, setup, memory_model)
+        est_key = _estimate_digest(
+            method, model, parallel, hardware, memory_model, pass_overhead
+        )
+        est = cache.get_aux("estimate", est_key)
+        if est is None:
+            est = estimate_method(method, setup, memory_model)
+            cache.put_aux("estimate", est_key, est)
         candidate = PlanCandidate(
             method=method,
             feasible=True,
@@ -340,15 +421,33 @@ def plan(
     sim_cache: dict = {}
     for index, (candidate, _) in enumerate(priced):
         if needs_simulation(index, candidate):
-            metrics = run_method(
-                candidate.method,
-                model,
-                parallel,
-                setup=setup,
-                memory_model=memory_model,
-                refine=constraints.refine,
-                sim_cache=sim_cache,
+            signature = generate_method_schedule(
+                candidate.method, setup
+            ).structure_signature()
+            sim_key = _metrics_digest(
+                candidate.method, signature, model, parallel, hardware,
+                memory_model, pass_overhead, constraints.refine,
             )
+            metrics = cache.get_aux("metrics", sim_key)
+            if metrics is None:
+                metrics = run_method(
+                    candidate.method,
+                    model,
+                    parallel,
+                    setup=setup,
+                    memory_model=memory_model,
+                    refine=constraints.refine,
+                    sim_cache=sim_cache,
+                )
+                # Store a clone: MethodMetrics carries a mutable list.
+                cache.put_aux(
+                    "metrics",
+                    sim_key,
+                    dataclasses.replace(
+                        metrics,
+                        per_device_peak_gb=list(metrics.per_device_peak_gb),
+                    ),
+                )
             verified = PlanCandidate(
                 method=candidate.method,
                 feasible=metrics.peak_memory_gb <= budget_gib,
@@ -391,6 +490,7 @@ def plan(
         ranked=tuple(simulated + estimated),
         rejected=tuple(rejected),
         cache_key=key,
+        pass_overhead=pass_overhead,
     )
     cache.put(key, plans)
     return plans

@@ -6,8 +6,12 @@ Each grid point is planned independently, so the sweep parallelizes
 with :mod:`concurrent.futures` — ``executor="process"`` for real
 multi-core speedup (the planner is pure Python), ``"thread"`` when
 worker processes are unavailable (sandboxes, pytest-cov), or
-``"serial"`` for debugging.  Worker failures fall back to serial
-execution rather than failing the sweep.
+``"serial"`` for debugging.  Pools are created once per
+(executor, max_workers) pairing and kept alive across :func:`sweep`
+calls, so repeated sweeps stop paying worker spawn + interpreter
+warmup.  If a pool dies mid-sweep the missing points are re-planned
+serially; the failure is logged (``warnings`` + module logger) and
+surfaced on the affected outcomes' ``fallback_reason``.
 
 Grid points are submitted to the pool in *chunks* rather than one
 future per point: every process-pool task pays a fixed cost (pickling
@@ -15,36 +19,94 @@ the constraints and the worker closure, queue round-trips), which for
 small per-point work dominated the sweep.  ``chunk_size`` controls the
 batching; the default targets a few chunks per worker so load still
 balances.
+
+Before chunking, points are grouped by their **structural signature**
+(devices, vocabulary, sequence length, microbatches — everything that
+shapes the generated schedules, as opposed to the memory budget and
+``pass_overhead`` bindings that only re-price or re-rank them).  Points
+sharing a structure land in the same chunk, so one worker builds each
+schedule structure once and every sibling point re-uses it through the
+process-wide structural caches and the planner's budget-independent
+estimate/metrics entries.  Groups that span several ``pass_overhead``
+bindings are additionally pre-priced as one batch: one compiled graph
+per method, executed for all bindings in a single
+:meth:`~repro.sim.compiled.CompiledGraph.execute_many` pass.
 """
 
 from __future__ import annotations
 
+import atexit
+import dataclasses
 import functools
 import itertools
+import logging
 import os
+import warnings
 from collections.abc import Iterable, Sequence
 from concurrent.futures import (
     BrokenExecutor,
+    Executor,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
 )
 from dataclasses import dataclass
 
 from repro.config import ModelConfig, ParallelConfig
+from repro.costmodel.memory import MemoryModel
+from repro.harness.experiments import (
+    KNOWN_METHODS,
+    generate_method_schedule,
+    run_method_bindings,
+)
 from repro.harness.settings import TABLE1_SHAPES, TABLE2_SHAPES
 from repro.planner.cache import PlanCache
-from repro.planner.planner import PlannerConstraints, RankedPlans, plan
+from repro.planner.estimate import estimate_method, infeasibility_reason
+from repro.planner.planner import (
+    PlannerConstraints,
+    RankedPlans,
+    _estimate_digest,
+    _metrics_digest,
+    default_plan_cache,
+    plan,
+)
+from repro.sim import SimulationSetup
+
+logger = logging.getLogger(__name__)
+
+#: Default memory model matching plan()'s (frozen dataclass → equal
+#: digests for equal field values).
+_DEFAULT_MEMORY_MODEL = MemoryModel()
 
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One grid point of a planning sweep."""
+    """One grid point of a planning sweep.
+
+    ``devices``, ``vocab_size``, ``seq_length`` and
+    ``num_microbatches`` shape the schedule *structures*;
+    ``memory_budget_gib`` and ``pass_overhead`` are pure re-pricing /
+    re-ranking knobs — points differing only in those share every
+    generated schedule and compiled graph.
+    """
 
     devices: int
     vocab_size: int
     seq_length: int = 2048
     num_microbatches: int = 128
     memory_budget_gib: float | None = None
+    #: Per-pass host overhead binding (``None`` = the setup default);
+    #: sweeping it explores the §7 overhead ablation without rebuilding
+    #: schedule structures.
+    pass_overhead: float | None = None
+
+    def structure_axes(self) -> tuple[int, int, int, int]:
+        """The axes that determine schedule structure (not bindings)."""
+        return (
+            self.devices,
+            self.vocab_size,
+            self.seq_length,
+            self.num_microbatches,
+        )
 
 
 @dataclass
@@ -53,6 +115,9 @@ class SweepOutcome:
 
     point: SweepPoint
     plans: RankedPlans
+    #: Why this point was re-planned serially in-process (a worker-pool
+    #: failure), or ``None`` when it was planned as submitted.
+    fallback_reason: str | None = None
 
     @property
     def best_method(self) -> str | None:
@@ -92,14 +157,31 @@ def grid(
     seq_lengths: Sequence[int] = (2048,),
     microbatches: Sequence[int] = (128,),
     memory_budgets_gib: Sequence[float | None] = (None,),
+    pass_overheads: Sequence[float | None] = (None,),
 ) -> list[SweepPoint]:
     """Cartesian product of the sweep axes, in deterministic order."""
     return [
-        SweepPoint(d, v, s, m, b)
-        for d, v, s, m, b in itertools.product(
-            devices, vocab_sizes, seq_lengths, microbatches, memory_budgets_gib
+        SweepPoint(d, v, s, m, b, o)
+        for d, v, s, m, b, o in itertools.product(
+            devices,
+            vocab_sizes,
+            seq_lengths,
+            microbatches,
+            memory_budgets_gib,
+            pass_overheads,
         )
     ]
+
+
+def _point_configs(point: SweepPoint) -> tuple[ModelConfig, ParallelConfig]:
+    """Model/parallel configuration of one grid point."""
+    model = model_for_devices(point.devices, point.seq_length, point.vocab_size)
+    parallel = ParallelConfig(
+        pipeline_size=point.devices,
+        num_microbatches=point.num_microbatches,
+        microbatch_size=1,
+    )
+    return model, parallel
 
 
 def plan_point(
@@ -114,20 +196,110 @@ def plan_point(
     results across processes.
     """
     base = constraints or PlannerConstraints()
-    model = model_for_devices(point.devices, point.seq_length, point.vocab_size)
-    parallel = ParallelConfig(
-        pipeline_size=point.devices,
-        num_microbatches=point.num_microbatches,
-        microbatch_size=1,
-    )
+    model, parallel = _point_configs(point)
     if point.memory_budget_gib is not None:
-        import dataclasses
-
         base = dataclasses.replace(
             base, memory_budget_gib=point.memory_budget_gib
         )
     cache = PlanCache(cache_dir) if cache_dir is not None else None
-    return SweepOutcome(point=point, plans=plan(model, parallel, base, cache=cache))
+    return SweepOutcome(
+        point=point,
+        plans=plan(
+            model,
+            parallel,
+            base,
+            cache=cache,
+            pass_overhead=point.pass_overhead,
+        ),
+    )
+
+
+def _warm_binding_groups(
+    points: Sequence[SweepPoint],
+    constraints: PlannerConstraints | None,
+    cache_dir: str | None,
+) -> None:
+    """Batch-price structure groups that span several runtime bindings.
+
+    Points sharing :meth:`SweepPoint.structure_axes` but carrying
+    different ``pass_overhead`` bindings need the *same* schedule
+    structures simulated under K different duration vectors.  For each
+    such group this pre-seeds the planner's budget-independent
+    estimate/metrics cache entries: per likely-top-k method, one
+    compiled graph priced for all K bindings in a single
+    :meth:`~repro.sim.compiled.CompiledGraph.execute_many` batch
+    (methods that want order refinement fall back to per-binding
+    simulation inside :func:`~repro.harness.experiments.run_method_bindings`).
+
+    Purely an optimization: a method this pass misses (e.g. a
+    borderline-memory candidate beyond top-k) is simulated on demand by
+    :func:`~repro.planner.planner.plan`, with identical results.
+    """
+    base = constraints or PlannerConstraints()
+    if base.simulate_top_k == 0:
+        return
+    cache = PlanCache(cache_dir) if cache_dir is not None else default_plan_cache()
+    groups: dict[tuple, list[SweepPoint]] = {}
+    for point in points:
+        groups.setdefault(point.structure_axes(), []).append(point)
+    for group in groups.values():
+        overheads = list(dict.fromkeys(p.pass_overhead for p in group))
+        if len(overheads) < 2:
+            continue
+        model, parallel = _point_configs(group[0])
+        setups = [
+            SimulationSetup(
+                model,
+                parallel,
+                **({} if overhead is None else {"pass_overhead": overhead}),
+            )
+            for overhead in overheads
+        ]
+        methods = base.methods or KNOWN_METHODS
+        feasible = [
+            m for m in methods
+            if infeasibility_reason(m, model, parallel) is None
+        ]
+        warm: set[str] = set()
+        for setup, overhead in zip(setups, overheads):
+            ranked = []
+            for method in feasible:
+                est_key = _estimate_digest(
+                    method, model, parallel, setup.hardware,
+                    _DEFAULT_MEMORY_MODEL, overhead,
+                )
+                est = cache.get_aux("estimate", est_key)
+                if est is None:
+                    est = estimate_method(method, setup, _DEFAULT_MEMORY_MODEL)
+                    cache.put_aux("estimate", est_key, est)
+                ranked.append((est.iteration_time, method))
+            ranked.sort()
+            top_k = (
+                len(ranked)
+                if base.simulate_top_k is None
+                else min(base.simulate_top_k, len(ranked))
+            )
+            warm.update(method for _, method in ranked[:top_k])
+        for method in sorted(warm):
+            metrics_rows = run_method_bindings(
+                method, model, parallel, setups, refine=base.refine
+            )
+            for setup, overhead, metrics in zip(setups, overheads, metrics_rows):
+                signature = generate_method_schedule(
+                    method, setup
+                ).structure_signature()
+                sim_key = _metrics_digest(
+                    method, signature, model, parallel, setup.hardware,
+                    _DEFAULT_MEMORY_MODEL, overhead, base.refine,
+                )
+                cache.put_aux(
+                    "metrics",
+                    sim_key,
+                    dataclasses.replace(
+                        metrics,
+                        per_device_peak_gb=list(metrics.per_device_peak_gb),
+                    ),
+                )
 
 
 def plan_points(
@@ -139,8 +311,12 @@ def plan_points(
 
     Top-level so process pools can pickle it; the per-task fixed cost
     (constraint pickling, queue round-trips) is paid once per chunk
-    instead of once per point.
+    instead of once per point.  Structure groups spanning several
+    runtime bindings inside the chunk are batch-priced first
+    (:func:`_warm_binding_groups`), then every point is planned against
+    the warmed caches.
     """
+    _warm_binding_groups(points, constraints, cache_dir)
     return [plan_point(point, constraints, cache_dir) for point in points]
 
 
@@ -152,6 +328,53 @@ def default_chunk_size(num_points: int, workers: int) -> int:
     pool.
     """
     return max(1, -(-num_points // (4 * max(1, workers))))
+
+
+# ---------------------------------------------------------------------------
+# Persistent worker pools (shared across sweep() calls).
+# ---------------------------------------------------------------------------
+
+_POOLS: dict[tuple[str, int | None], Executor] = {}
+
+
+def _get_pool(executor: str, max_workers: int | None) -> Executor | None:
+    """The persistent pool for this configuration, or ``None``.
+
+    Pools are created lazily, kept across :func:`sweep` calls (worker
+    spawn + module import is the dominant fixed cost of small process
+    sweeps) and torn down at interpreter exit.  ``None`` means the pool
+    could not be created (restricted sandboxes).
+    """
+    key = (executor, max_workers)
+    pool = _POOLS.get(key)
+    if pool is not None:
+        return pool
+    pool_cls = ProcessPoolExecutor if executor == "process" else ThreadPoolExecutor
+    try:
+        pool = pool_cls(max_workers=max_workers)
+    except (OSError, RuntimeError):
+        return None
+    _POOLS[key] = pool
+    return pool
+
+
+def _discard_pool(executor: str, max_workers: int | None) -> None:
+    """Forget (and best-effort shut down) a broken persistent pool."""
+    pool = _POOLS.pop((executor, max_workers), None)
+    if pool is not None:
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - defensive
+            pass
+
+
+def shutdown_pools() -> None:
+    """Shut down every persistent sweep pool (atexit; also for tests)."""
+    for key in list(_POOLS):
+        _discard_pool(*key)
+
+
+atexit.register(shutdown_pools)
 
 
 def sweep(
@@ -166,14 +389,24 @@ def sweep(
     """Plan every grid point, in parallel, preserving input order.
 
     ``executor`` selects the :mod:`concurrent.futures` backend:
-    ``"process"`` (default), ``"thread"`` or ``"serial"``.  If the
+    ``"process"`` (default), ``"thread"`` or ``"serial"``.  Worker
+    pools persist across calls (see :func:`shutdown_pools`).  If the
     chosen pool cannot be started or dies mid-sweep (restricted
     environments), results gathered so far are kept and only the
-    missing points are re-planned serially in-process.  ``cache_dir``
-    enables a shared disk-backed plan cache across workers and runs.
+    missing points are re-planned serially in-process — the cause is
+    logged via :mod:`warnings`/:mod:`logging` and recorded on the
+    affected outcomes' ``fallback_reason``.  ``cache_dir`` enables a
+    shared disk-backed plan cache across workers and runs.
     ``chunk_size`` batches grid points per pool task
     (:func:`default_chunk_size` when ``None``); ``1`` restores the old
     one-future-per-point submission.
+
+    Grid points are grouped by :meth:`SweepPoint.structure_axes` before
+    chunking, so points sharing a schedule structure (differing only in
+    memory budget or ``pass_overhead``) are planned by one worker and
+    amortize schedule construction, compilation and simulation through
+    the structural caches; the output order is the input order
+    regardless.
     """
     points = list(points)
     if executor not in ("process", "thread", "serial"):
@@ -182,11 +415,21 @@ def sweep(
         )
     if chunk_size is not None and chunk_size < 1:
         raise ValueError(f"chunk_size must be ≥ 1, got {chunk_size}")
-    worker = functools.partial(
-        plan_point, constraints=constraints, cache_dir=cache_dir
+    # Stable structural grouping; the (i,) suffix keeps equal-structure
+    # points in input order and makes the sort total.
+    order = sorted(
+        range(len(points)), key=lambda i: points[i].structure_axes() + (i,)
     )
+    grouped = [points[i] for i in order]
+
+    def restore(outcomes: list[SweepOutcome]) -> list[SweepOutcome]:
+        by_input: list[SweepOutcome | None] = [None] * len(points)
+        for position, outcome in zip(order, outcomes):
+            by_input[position] = outcome
+        return by_input  # type: ignore[return-value]
+
     if executor == "serial" or len(points) <= 1:
-        return [worker(point) for point in points]
+        return restore(plan_points(grouped, constraints, cache_dir))
     if chunk_size is None:
         cpus = os.cpu_count() or 1
         # Match each pool's actual default sizing so chunks balance:
@@ -194,41 +437,63 @@ def sweep(
         pool_default = min(32, cpus + 4) if executor == "thread" else cpus
         workers = max_workers or pool_default
         chunk_size = default_chunk_size(len(points), workers)
-    chunks = [points[i : i + chunk_size] for i in range(0, len(points), chunk_size)]
+    chunks = [
+        grouped[i : i + chunk_size] for i in range(0, len(grouped), chunk_size)
+    ]
     chunk_worker = functools.partial(
         plan_points, constraints=constraints, cache_dir=cache_dir
     )
-    pool_cls = ProcessPoolExecutor if executor == "process" else ThreadPoolExecutor
-    try:
-        pool = pool_cls(max_workers=max_workers)
-    except (OSError, RuntimeError):
-        # Pools are unavailable in some sandboxes; degrade gracefully.
-        return [worker(point) for point in points]
+    pool = _get_pool(executor, max_workers)
+    failure: BaseException | None = None
     completed: dict[int, list[SweepOutcome]] = {}
-    with pool:
+    if pool is None:
+        failure = RuntimeError(
+            f"could not start a {executor!r} worker pool in this environment"
+        )
+    else:
         futures = []
         try:
             for chunk in chunks:
                 futures.append(pool.submit(chunk_worker, chunk))
-        except BrokenExecutor:
-            pass
+        except BrokenExecutor as exc:
+            failure = exc
         for index, future in enumerate(futures):
             try:
                 completed[index] = future.result()
-            except BrokenExecutor:
+            except BrokenExecutor as exc:
                 # The pool died mid-sweep; keep every future that did
                 # finish and plan the rest serially below.  Genuine
                 # worker exceptions (a planner bug) propagate with
                 # their original traceback instead.
+                failure = exc
                 continue
+        if failure is not None:
+            _discard_pool(executor, max_workers)
+    fallback_reason: str | None = None
+    if failure is not None:
+        fallback_reason = (
+            f"{executor} pool failed ({type(failure).__name__}: {failure}); "
+            "re-planned serially in-process"
+        )
+        logger.warning("sweep worker pool failure: %s", fallback_reason)
+        warnings.warn(
+            f"sweep fell back to serial planning: {fallback_reason}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     for index, chunk in enumerate(chunks):
         if index not in completed:
-            completed[index] = [worker(point) for point in chunk]
-    return [
-        outcome
-        for index in range(len(chunks))
-        for outcome in completed[index]
-    ]
+            outcomes = plan_points(chunk, constraints, cache_dir)
+            for outcome in outcomes:
+                outcome.fallback_reason = fallback_reason
+            completed[index] = outcomes
+    return restore(
+        [
+            outcome
+            for index in range(len(chunks))
+            for outcome in completed[index]
+        ]
+    )
 
 
 def best_method_table(outcomes: Sequence[SweepOutcome]) -> str:

@@ -67,6 +67,17 @@ class Pass:
             raise ValueError(f"chunk must be non-negative, got {self.chunk}")
         if self.chunk != 0 and self.type in REPLICATED_TYPES:
             raise ValueError(f"{self.type} passes must use chunk 0, got {self.chunk}")
+        # Passes key every executor-side dict (pass_times, node maps);
+        # the generated dataclass __hash__ rebuilds the field tuple per
+        # call, which dominated result collection on large schedules.
+        object.__setattr__(
+            self,
+            "_hash",
+            hash((self.type, self.microbatch, self.device, self.chunk)),
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         chunk = f".{self.chunk}" if self.chunk else ""

@@ -116,6 +116,22 @@ class StageLayout:
         device, chunk = self.holder_of_stage(stage)
         return self.transformer_layers[device][chunk]
 
+    def signature(self) -> tuple:
+        """Hashable, runtime-independent identity of the spatial layout.
+
+        Contains only structural integers (device/chunk counts, layer
+        assignment, vocab placement) — no durations and no hardware
+        numbers — so it can key caches that are shared across
+        hardware/efficiency bindings.
+        """
+        return (
+            self.num_devices,
+            self.transformer_layers,
+            self.vocab_parallel,
+            self.input_holder,
+            self.output_holder,
+        )
+
     def hosts_input(self, device: int, chunk: int) -> bool:
         """Whether this (device, chunk) holds the full input layer."""
         return not self.vocab_parallel and self.input_holder == (device, chunk)
@@ -193,6 +209,28 @@ class Schedule:
             self.has_input_passes,
             self.interlaced,
             tuple(tuple(order) for order in self.device_orders),
+        )
+
+    def structure_signature(self) -> tuple:
+        """Runtime-independent family identity (no orders, no durations).
+
+        Coarser than :meth:`structure_key`: two schedules share a
+        signature when they describe the same *family instance* —
+        schedule family (via the executor-relevant flags), device/chunk
+        layout, microbatch count and vocabulary algorithm — even if
+        their device orders differ because they were generated under
+        different hardware timings.  Sweeps group grid points on this
+        signature so one worker prices a whole structure group; the
+        per-order identity (for compiled-graph and simulation reuse)
+        remains :meth:`structure_key`.
+        """
+        return (
+            self.num_microbatches,
+            self.layout.signature(),
+            self.vocab_algorithm,
+            self.has_weight_passes,
+            self.has_input_passes,
+            self.interlaced,
         )
 
     def last_stage_holder(self) -> tuple[int, int]:

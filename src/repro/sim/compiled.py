@@ -43,6 +43,11 @@ import dataclasses
 import heapq
 from collections import defaultdict, deque
 
+try:  # NumPy accelerates execute_many; the pure-Python path is exact too.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the fallback tests
+    _np = None
+
 from repro.scheduling.passes import CollectiveKind, Pass, PassType
 from repro.scheduling.schedule import Schedule
 from repro.sim.executor import (
@@ -89,6 +94,9 @@ class CompiledGraph:
         "_chain_next",
         "_topo",
         "_inorder",
+        "_batch",
+        "_pricing",
+        "_cplan",
     )
 
     def __init__(self) -> None:
@@ -96,14 +104,22 @@ class CompiledGraph:
         self._chain_next: list[int] | None = None
         self._topo: list[int] | None = None
         self._inorder: ExecutionResult | None = None
+        self._batch: list | None = None
+        self._pricing: tuple | None = None
+        self._cplan: tuple | None = None
 
     # ------------------------------------------------------------------
     # Binding (runtime-dependent arrays)
     # ------------------------------------------------------------------
 
-    def _bind(self, runtime) -> None:
-        """(Re)compute durations and transfer lags from ``runtime``."""
-        self.runtime = runtime
+    def binding_rows(self, runtime) -> tuple[list[float], list[float]]:
+        """Durations and edge lags this graph would carry under ``runtime``.
+
+        Pure pricing — ``self`` is not mutated.  The returned
+        ``(durations, lags)`` pair is one row of the matrices
+        :meth:`execute_many` consumes, which is how one compiled graph
+        prices many hardware/efficiency bindings in a single batch.
+        """
         durations = [0.0] * self.num_nodes
         for i, p in enumerate(self.node_pass):
             durations[i] = runtime.pass_duration(p)
@@ -124,22 +140,160 @@ class CompiledGraph:
                 if pair not in p2p:
                     p2p[pair] = runtime.p2p_duration(*pair)
                 lags[k] = p2p[pair]
-        self.durations = durations
-        self.succ_lag = lags
+        return durations, lags
+
+    def _pricing_plan(self) -> tuple:
+        """Stream-level pricing plan: durations are per *stream*, not
+        per node, so K bindings price ``O(streams)`` Python calls and a
+        vectorized gather instead of ``O(nodes)`` calls each.
+
+        Returns ``(stream_reps, node_value_idx, comm_first_kind,
+        pair_list, edge_value_idx)``:
+
+        * ``stream_reps`` — one representative :class:`Pass` per
+          distinct ``(type, device, chunk)`` stream;
+        * ``node_value_idx`` — for every node, the index into the
+          per-binding value list ``stream values + collective values``;
+        * ``comm_first_kind`` — per communicator, the kind its duration
+          is priced from (matching :meth:`binding_rows`' first-seen
+          memoization exactly);
+        * ``pair_list`` / ``edge_value_idx`` — distinct P2P pairs and,
+          per edge, the index into ``[0.0] + pair durations``.
+        """
+        if self._pricing is not None:
+            return self._pricing
+        stream_index: dict[tuple, int] = {}
+        stream_reps: list[Pass] = []
+        node_value_idx: list[int] = []
+        for p in self.node_pass:
+            key = (p.type, p.device, p.chunk)
+            idx = stream_index.get(key)
+            if idx is None:
+                idx = len(stream_reps)
+                stream_index[key] = idx
+                stream_reps.append(p)
+            node_value_idx.append(idx)
+        num_streams = len(stream_reps)
+        comm_first_kind: list[CollectiveKind | None] = [None] * self.num_comms
+        for j, (kind, _mb) in enumerate(self.coll_keys):
+            comm = self.coll_comm[j]
+            if comm_first_kind[comm] is None:
+                comm_first_kind[comm] = kind
+            node_value_idx.append(num_streams + j)
+        pair_index: dict[tuple[int, int], int] = {}
+        pair_list: list[tuple[int, int]] = []
+        edge_value_idx: list[int] = []
+        for pair in self.succ_p2p:
+            if pair is None:
+                edge_value_idx.append(0)
+            else:
+                idx = pair_index.get(pair)
+                if idx is None:
+                    idx = len(pair_list)
+                    pair_index[pair] = idx
+                    pair_list.append(pair)
+                edge_value_idx.append(1 + idx)
+        node_idx = None
+        edge_idx = None
+        if _np is not None:
+            node_idx = _np.asarray(node_value_idx, dtype=_np.intp)
+            edge_idx = _np.asarray(edge_value_idx, dtype=_np.intp)
+        self._pricing = (
+            stream_reps, node_value_idx, comm_first_kind, pair_list,
+            edge_value_idx, node_idx, edge_idx,
+        )
+        return self._pricing
+
+    def _stream_values(self, runtime) -> tuple[list[float], list[float]]:
+        """Per-slot value lists (node values, ``[0.0]`` + pair lags).
+
+        One ``pass_duration`` call per distinct stream instead of per
+        node — valid because runtimes price passes by ``(type, device,
+        chunk)`` (the :class:`~repro.sim.runtime.RuntimeModel` contract;
+        its memo key is exactly that stream).
+        """
+        stream_reps, _, comm_first_kind, pair_list, _, _, _ = (
+            self._pricing_plan()
+        )
+        values = [runtime.pass_duration(p) for p in stream_reps]
+        comm_values = [
+            0.0 if kind is None else runtime.collective_duration(kind)
+            for kind in comm_first_kind
+        ]
+        for j in range(len(self.coll_keys)):
+            override = self.coll_override[j]
+            values.append(
+                override if override is not None
+                else comm_values[self.coll_comm[j]]
+            )
+        pair_values = [0.0] + [
+            runtime.p2p_duration(*pair) for pair in pair_list
+        ]
+        return values, pair_values
+
+    def binding_matrix(self, runtimes) -> tuple[list, list]:
+        """K duration rows and K lag rows, priced stream-wise.
+
+        Bit-identical to ``[self.binding_rows(r) for r in runtimes]``
+        (the same ``pass_duration``/``collective_duration``/
+        ``p2p_duration`` values land in the same slots); the per-stream
+        dedup plus vectorized gather is what makes pricing K bindings
+        cheap enough for :meth:`execute_bindings` to amortize.
+        """
+        plan = self._pricing_plan()
+        node_list, edge_list = plan[1], plan[4]
+        node_idx, edge_idx = plan[5], plan[6]
+        duration_rows: list = []
+        lag_rows: list = []
+        for runtime in runtimes:
+            values, pair_values = self._stream_values(runtime)
+            if _np is not None:
+                duration_rows.append(
+                    _np.take(_np.asarray(values, dtype=_np.float64), node_idx)
+                )
+                lag_rows.append(
+                    _np.take(
+                        _np.asarray(pair_values, dtype=_np.float64), edge_idx
+                    )
+                )
+            else:
+                duration_rows.append([values[i] for i in node_list])
+                lag_rows.append([pair_values[i] for i in edge_list])
+        return duration_rows, lag_rows
+
+    def _bind(self, runtime) -> None:
+        """(Re)compute durations and transfer lags from ``runtime``.
+
+        Stream-level pricing: the same values :meth:`binding_rows`
+        computes per node, gathered from one ``pass_duration`` call per
+        distinct stream (see :meth:`_stream_values`).
+        """
+        self.runtime = runtime
+        plan = self._pricing_plan()
+        values, pair_values = self._stream_values(runtime)
+        self.durations = [values[i] for i in plan[1]]
+        self.succ_lag = [pair_values[i] for i in plan[4]]
         # Topology (and its cached topological order) is unaffected by a
         # rebind; only the cached execution result must be dropped.
         self._inorder = None
 
-    def rebind(self, runtime) -> CompiledGraph:
+    def rebind(self, runtime, schedule: Schedule | None = None) -> CompiledGraph:
         """A graph sharing this topology with durations from ``runtime``.
 
         The expensive lowering (node numbering, edge CSR, device
         streams) is reused; only the duration and lag arrays are
         recomputed.  The cached topological order survives, so a
         rebound graph replays at full speed immediately.
+
+        ``schedule`` optionally re-attaches the clone (and therefore its
+        execution results) to a structurally identical
+        :class:`~repro.scheduling.schedule.Schedule` instance — equal
+        :meth:`~repro.scheduling.schedule.Schedule.structure_key`, e.g.
+        the caller's own copy of a cached schedule.  Passing a
+        structurally different schedule is undefined behaviour.
         """
         clone = CompiledGraph()
-        clone.schedule = self.schedule
+        clone.schedule = self.schedule if schedule is None else schedule
         for name in (
             "num_passes", "num_nodes", "node_pass", "node_device",
             "node_type", "node_chunk", "node_flexible", "coll_keys",
@@ -150,6 +304,9 @@ class CompiledGraph:
             setattr(clone, name, getattr(self, name))
         clone._chain_next = self._chain_next
         clone._topo = self._topo
+        clone._batch = self._batch
+        clone._pricing = self._pricing
+        clone._cplan = self._cplan
         clone._bind(runtime)
         return clone
 
@@ -179,6 +336,9 @@ class CompiledGraph:
             setattr(clone, name, getattr(self, name))
         pass_id = self._pass_id
         clone.device_nodes = [[pass_id[p] for p in order] for order in device_orders]
+        # Pricing is order-independent and can be shared; the batch and
+        # collect plans depend on the device chains and must rebuild.
+        clone._pricing = self._pricing
         return clone
 
     # ------------------------------------------------------------------
@@ -230,17 +390,16 @@ class CompiledGraph:
         self._topo = topo
         return topo, chain_next
 
-    def replay(self) -> ExecutionResult:
-        """One in-order execution over the flat arrays (uncached).
+    def _sweep(self, dur: list[float], lag: list[float]) -> tuple[list[float], list[float]]:
+        """One longest-path forward sweep; returns (start, end) arrays.
 
-        Longest-path evaluation in precompiled topological order: a
-        single forward sweep with ``max`` relaxations, no dict lookups
-        and no queue management.
+        A node's ready time is final when the sweep reaches it (all
+        predecessors precede it in topological order), so the ready
+        array doubles as the start-time array.
         """
         topo, chain_next = self._topology()
         num_passes = self.num_passes
-        dur = self.durations
-        off, nxt, lag = self.succ_off, self.succ_node, self.succ_lag
+        off, nxt = self.succ_off, self.succ_node
         ready = [0.0] * self.num_nodes
         end = [0.0] * self.num_nodes
         for i in topo:
@@ -254,9 +413,307 @@ class CompiledGraph:
             j = chain_next[i] if i < num_passes else -1
             if j >= 0 and e > ready[j]:
                 ready[j] = e
+        return ready, end
+
+    def replay(self) -> ExecutionResult:
+        """One in-order execution over the flat arrays (uncached).
+
+        Longest-path evaluation in precompiled topological order: a
+        single forward sweep with ``max`` relaxations, no dict lookups
+        and no queue management.
+        """
+        ready, end = self._sweep(self.durations, self.succ_lag)
         result = self._collect(ready, end)
         self._inorder = result
         return result
+
+    def _batch_plan(self) -> tuple:
+        """Level-parallel relaxation plan for the vectorized kernel.
+
+        The topological order is grouped into *depth levels* (every
+        edge, including the implicit device-chain edges, crosses from a
+        lower to a strictly higher level), so all K bindings of a whole
+        level relax in a handful of NumPy calls instead of per-node
+        Python steps.  Nodes are renumbered level-contiguously (the
+        ``perm`` / ``inverse`` arrays translate), which turns the
+        per-level gathers into slices.  Per level the plan precomputes:
+
+        * the ``(start, stop)`` slice of the level in permuted space;
+        * ``src_pos`` — for each outgoing edge, the source's position
+          within the level slice (``None`` when that's the identity);
+        * ``edge_idx`` — the lag column of each edge (chain edges map
+          to a sentinel zero-lag column ``num_edges``), or ``None``
+          when every edge of the level is lag-free;
+        * ``seg_starts`` — the edges sorted by destination and
+          segmented, so ``np.maximum.reduceat`` collapses barrier
+          fan-in (several edges, one destination) to a per-destination
+          max before the scatter (``None`` when destinations are
+          already unique) — max-relaxations commute, keeping results
+          bit-identical to the scalar sweep;
+        * ``dst_unique`` — the distinct destinations, in permuted ids.
+        """
+        if self._batch is not None:
+            return self._batch
+        topo, chain_next = self._topology()
+        off, nxt = self.succ_off, self.succ_node
+        num_edges = len(nxt)
+        level = [0] * self.num_nodes
+        for i in topo:
+            nxt_level = level[i] + 1
+            for k in range(off[i], off[i + 1]):
+                j = nxt[k]
+                if nxt_level > level[j]:
+                    level[j] = nxt_level
+            j = chain_next[i] if i < self.num_passes else -1
+            if j >= 0 and nxt_level > level[j]:
+                level[j] = nxt_level
+        buckets: dict[int, list[int]] = {}
+        for i in topo:
+            buckets.setdefault(level[i], []).append(i)
+        perm: list[int] = []
+        for depth in sorted(buckets):
+            perm.extend(buckets[depth])
+        inverse = [0] * self.num_nodes
+        for position, node in enumerate(perm):
+            inverse[node] = position
+        levels: list[tuple] = []
+        start = 0
+        lag_free = [pair is None for pair in self.succ_p2p]
+        for depth in sorted(buckets):
+            nodes = buckets[depth]
+            stop = start + len(nodes)
+            edges: list[tuple[int, int, int]] = []  # (dst_perm, edge_idx, src_pos)
+            for q, node in enumerate(nodes):
+                for k in range(off[node], off[node + 1]):
+                    edges.append((inverse[nxt[k]], k, q))
+                j = chain_next[node] if node < self.num_passes else -1
+                if j >= 0:
+                    edges.append((inverse[j], num_edges, q))
+            edges.sort(key=lambda e: e[0])
+            src_pos = [e[2] for e in edges]
+            seg_starts = [
+                k for k, edge in enumerate(edges)
+                if k == 0 or edge[0] != edges[k - 1][0]
+            ]
+            structurally_lag_free = all(
+                e[1] == num_edges or lag_free[e[1]] for e in edges
+            )
+            levels.append(
+                (
+                    start,
+                    stop,
+                    None
+                    if (
+                        len(edges) == stop - start
+                        and src_pos == list(range(len(edges)))
+                    )
+                    else _np.asarray(src_pos, dtype=_np.intp),
+                    _np.asarray([e[1] for e in edges], dtype=_np.intp)
+                    if edges else _np.asarray([], dtype=_np.intp),
+                    structurally_lag_free,
+                    None if len(seg_starts) == len(edges)
+                    else _np.asarray(seg_starts, dtype=_np.intp),
+                    _np.asarray(
+                        [edges[k][0] for k in seg_starts], dtype=_np.intp
+                    ),
+                )
+            )
+            start = stop
+        self._batch = (
+            _np.asarray(perm, dtype=_np.intp),
+            _np.asarray(inverse, dtype=_np.intp),
+            # Edges whose structural lag is always zero (non-P2P): the
+            # lag-free level skip is only valid when the bound lag rows
+            # are actually zero there (binding_rows always is; explicit
+            # caller lags are checked per execute_many call).
+            _np.asarray(
+                [k for k, free in enumerate(lag_free) if free],
+                dtype=_np.intp,
+            ),
+            levels,
+        )
+        return self._batch
+
+    def execute_many(
+        self,
+        durations,
+        lags=None,
+    ) -> list[ExecutionResult]:
+        """In-order execution of K bindings over one shared topology.
+
+        ``durations`` is a K×num_nodes matrix (any sequence-of-rows or
+        NumPy array); row k holds the node durations of binding k, as
+        produced by :meth:`binding_rows`.  ``lags`` is an optional
+        K×num_edges matrix of per-edge transfer lags; when omitted,
+        every binding reuses this graph's currently bound lags.
+
+        With NumPy available the longest-path relaxation runs once over
+        the shared precomputed topological order with all K bindings
+        relaxed per vectorized step; otherwise a pure-Python loop sweeps
+        each row.  Both paths are bit-identical to calling
+        :meth:`replay` per binding — max-relaxations commute and the
+        per-element float operations are the same IEEE ops in the same
+        order.
+        """
+        rows = durations if isinstance(durations, list) else list(durations)
+        k_rows = len(rows)
+        if lags is not None:
+            lag_rows = lags if isinstance(lags, list) else list(lags)
+            if len(lag_rows) != k_rows:
+                raise ValueError(
+                    f"{k_rows} duration rows but {len(lag_rows)} lag rows"
+                )
+        if k_rows == 0:
+            return []
+        num_edges = len(self.succ_node)
+        if _np is None or k_rows == 1:
+            results = []
+            for k in range(k_rows):
+                dur = list(rows[k])
+                if len(dur) != self.num_nodes:
+                    raise ValueError(
+                        f"duration row {k} has {len(dur)} entries, "
+                        f"expected {self.num_nodes}"
+                    )
+                lag = self.succ_lag if lags is None else list(lag_rows[k])
+                if len(lag) != num_edges:
+                    raise ValueError(
+                        f"lag row {k} has {len(lag)} entries, "
+                        f"expected {num_edges}"
+                    )
+                ready, end = self._sweep(dur, lag)
+                results.append(self._collect(ready, end))
+            return results
+
+        dur = _np.asarray(rows, dtype=_np.float64)
+        if dur.shape != (k_rows, self.num_nodes):
+            raise ValueError(
+                f"durations must be K×{self.num_nodes}, got {dur.shape}"
+            )
+        dur = _np.ascontiguousarray(dur.T)  # (nodes, K): level rows contiguous
+        # One extra all-zero row holds the device-chain edges' lag.
+        lag_cols = _np.zeros((num_edges + 1, k_rows), dtype=_np.float64)
+        if lags is None:
+            lag_cols[:num_edges, :] = _np.asarray(
+                self.succ_lag, dtype=_np.float64
+            )[:, None]
+        else:
+            lag_block = _np.asarray(lag_rows, dtype=_np.float64)
+            if lag_block.shape != (k_rows, num_edges):
+                raise ValueError(
+                    f"lags must be K×{num_edges}, got {lag_block.shape}"
+                )
+            lag_cols[:num_edges, :] = lag_block.T
+        perm, inverse_perm, structural_zero_edges, levels = self._batch_plan()
+        # Zero-lag level skips are structural; verify the bound lags
+        # honour them (binding_rows/binding_matrix always do — only
+        # hand-built lag matrices can put weight on a non-P2P edge).
+        lag_skip_valid = (
+            structural_zero_edges.size == 0
+            or not lag_cols[structural_zero_edges].any()
+        )
+        dur = dur[perm]
+        ready = _np.zeros((self.num_nodes, k_rows), dtype=_np.float64)
+        end = _np.empty((self.num_nodes, k_rows), dtype=_np.float64)
+        maximum = _np.maximum
+        reduceat = _np.maximum.reduceat
+        for start, stop, src_pos, edge_idx, lag_free, seg_starts, dst_unique in levels:
+            finished = ready[start:stop] + dur[start:stop]
+            end[start:stop] = finished
+            if edge_idx.size == 0:
+                continue
+            candidate = finished if src_pos is None else finished[src_pos]
+            if not (lag_free and lag_skip_valid):
+                candidate = candidate + lag_cols[edge_idx]
+            if seg_starts is not None:
+                candidate = reduceat(candidate, seg_starts, axis=0)
+            ready[dst_unique] = maximum(ready[dst_unique], candidate)
+        # Back to node-id space (one gather for all K bindings), then
+        # row-contiguous per binding so the collect gathers are slices.
+        ready = _np.ascontiguousarray(ready[inverse_perm].T)
+        end = _np.ascontiguousarray(end[inverse_perm].T)
+        return [
+            self._collect_column(ready[k], end[k]) for k in range(k_rows)
+        ]
+
+    def _collect_plan(self) -> tuple:
+        """Gather plan for :meth:`_collect_column`: the flattened stream
+        order (``None`` when it is the identity over pass node ids, the
+        straight-from-compile case), its :class:`Pass` objects, and
+        per-device stream lengths."""
+        if self._cplan is not None:
+            return self._cplan
+        flat_order: list[int] = []
+        counts: list[int] = []
+        for nodes in self.device_nodes:
+            flat_order.extend(nodes)
+            counts.append(len(nodes))
+        node_pass = self.node_pass
+        flat_passes = [node_pass[i] for i in flat_order]
+        identity = flat_order == list(range(self.num_passes))
+        self._cplan = (
+            None if identity
+            else (
+                _np.asarray(flat_order, dtype=_np.intp)
+                if _np is not None else flat_order
+            ),
+            flat_passes,
+            counts,
+        )
+        return self._cplan
+
+    def _collect_column(self, start_col, end_col) -> ExecutionResult:
+        """:meth:`_collect` for one NumPy column of the batched sweep.
+
+        Same observables, bit for bit: the per-device busy sums
+        accumulate in the same stream order with the same float adds,
+        and the gathered start/end values are exactly the sweep's.
+        """
+        flat_order, flat_passes, counts = self._collect_plan()
+        if flat_order is None:
+            starts = start_col[: self.num_passes].tolist()
+            ends = end_col[: self.num_passes].tolist()
+        else:
+            starts = start_col.take(flat_order).tolist()
+            ends = end_col.take(flat_order).tolist()
+        pass_times = dict(zip(flat_passes, zip(starts, ends)))
+        busy: list[float] = []
+        position = 0
+        for count in counts:
+            total = 0.0
+            stop = position + count
+            for s, e in zip(starts[position:stop], ends[position:stop]):
+                total += e - s
+            busy.append(total)
+            position = stop
+        num_passes = self.num_passes
+        coll_starts = start_col[num_passes:].tolist()
+        coll_ends = end_col[num_passes:].tolist()
+        collective_times = {
+            key: (coll_starts[j], coll_ends[j])
+            for j, key in enumerate(self.coll_keys)
+        }
+        iteration_time = float(end_col.max() - start_col.min())
+        return ExecutionResult(
+            schedule=self.schedule,
+            pass_times=pass_times,
+            collective_times=collective_times,
+            iteration_time=iteration_time,
+            device_busy=busy,
+        )
+
+    def execute_bindings(self, runtimes) -> list[ExecutionResult]:
+        """Price and execute this topology under each runtime in one batch.
+
+        Convenience wrapper: :meth:`binding_matrix` (stream-level
+        pricing), then one :meth:`execute_many` call.  Equivalent to
+        (but much faster than) ``[self.rebind(r).execute() for r in
+        runtimes]``.  Runtimes must price passes per stream — i.e.
+        ``pass_duration`` may not depend on the microbatch index, the
+        contract :class:`~repro.sim.runtime.RuntimeModel` follows.
+        """
+        duration_rows, lag_rows = self.binding_matrix(runtimes)
+        return self.execute_many(duration_rows, lag_rows)
 
     def execute(self) -> ExecutionResult:
         """In-order execution result; cached across calls.
@@ -482,6 +939,13 @@ def compile_schedule(schedule: Schedule, runtime) -> CompiledGraph:
     graphs.  Device-chain edges are *implicit* (consecutive entries of
     ``device_nodes``), which is what lets :meth:`CompiledGraph.with_orders`
     reorder a schedule without touching the CSR.
+
+    ``runtime`` must price passes per ``(type, device, chunk)`` stream —
+    ``pass_duration`` may not depend on the microbatch index.  This is
+    the :class:`~repro.sim.runtime.RuntimeModel` contract (its memo key
+    is exactly that stream); binding calls ``pass_duration`` once per
+    distinct stream and broadcasts the value to every microbatch.  A
+    microbatch-dependent runtime should use the reference engine.
     """
     layout = schedule.layout
     m = schedule.num_microbatches

@@ -21,19 +21,29 @@ The input embedding layer (Appendix C) is in
 :class:`~repro.vocab.input_layer.VocabParallelEmbedding`.
 """
 
+from repro._lazy import lazy_exports
 from repro.vocab.partition import VocabPartition
-from repro.vocab.reference import (
-    log_softmax,
-    reference_embedding,
-    reference_output_layer,
-    softmax,
+
+#: The numerical layers need NumPy; the scheduling/planner stack only
+#: needs VocabPartition's scalar sharding math.  Everything NumPy-backed
+#: is imported lazily (PEP 562) so ``import repro.planner`` works on
+#: NumPy-less installs.
+__getattr__, __dir__ = lazy_exports(
+    "repro.vocab",
+    {
+        "softmax": "repro.vocab.reference",
+        "log_softmax": "repro.vocab.reference",
+        "reference_output_layer": "repro.vocab.reference",
+        "reference_embedding": "repro.vocab.reference",
+        "OutputLayerResult": "repro.vocab.output_base",
+        "NaiveOutputLayer": "repro.vocab.output_naive",
+        "OutputLayerAlg1": "repro.vocab.output_alg1",
+        "OutputLayerAlg2": "repro.vocab.output_alg2",
+        "FusedOutputLayer": "repro.vocab.output_fused",
+        "VocabParallelEmbedding": "repro.vocab.input_layer",
+    },
+    globals(),
 )
-from repro.vocab.output_base import OutputLayerResult
-from repro.vocab.output_naive import NaiveOutputLayer
-from repro.vocab.output_alg1 import OutputLayerAlg1
-from repro.vocab.output_alg2 import OutputLayerAlg2
-from repro.vocab.output_fused import FusedOutputLayer
-from repro.vocab.input_layer import VocabParallelEmbedding
 
 __all__ = [
     "VocabPartition",

@@ -15,7 +15,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
+try:  # The scalar sharding math (shard_size, bounds) is numpy-free;
+    # only the weight/label array helpers need numpy.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised in numpy-less installs
+    np = None
+
+
+def _require_numpy():
+    if np is None:
+        raise ImportError(
+            "NumPy is required for VocabPartition's array helpers; "
+            "install the 'numpy' extra (pip install repro-vocab-pp[numpy])"
+        )
 
 
 @dataclass(frozen=True)
@@ -80,6 +92,7 @@ class VocabPartition:
 
     def pad_weight(self, weight: np.ndarray) -> np.ndarray:
         """Zero-pad a ``[V, h]`` weight matrix to ``[V_pad, h]``."""
+        _require_numpy()
         if weight.shape[0] != self.vocab_size:
             raise ValueError(
                 f"weight has {weight.shape[0]} rows, expected vocab_size={self.vocab_size}"
@@ -96,6 +109,7 @@ class VocabPartition:
 
     def merge_shards(self, shards: list[np.ndarray]) -> np.ndarray:
         """Concatenate shards and strip padding back to ``[V, h]``."""
+        _require_numpy()
         if len(shards) != self.num_shards:
             raise ValueError(
                 f"expected {self.num_shards} shards, got {len(shards)}"
@@ -109,6 +123,7 @@ class VocabPartition:
 
     def local_label_mask(self, labels: np.ndarray, rank: int) -> np.ndarray:
         """Boolean mask of tokens whose label row lives on ``rank``."""
+        _require_numpy()
         start, end = self.shard_range(rank)
         return (labels >= start) & (labels < end)
 

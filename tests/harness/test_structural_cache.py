@@ -1,0 +1,141 @@
+"""Process-wide structural caches: hit/cold identity and isolation.
+
+The schedule-generation and compiled-graph caches are pure performance
+features — a cache hit must be observationally identical to a cold
+build: equal schedules (but never shared mutable state) and
+bit-identical simulation metrics.
+"""
+
+import pytest
+
+from repro.config import ModelConfig, ParallelConfig
+from repro.harness.experiments import (
+    KNOWN_METHODS,
+    clear_structural_caches,
+    generate_method_schedule,
+    run_method,
+    run_method_bindings,
+    structural_cache_stats,
+)
+from repro.sim import SimulationSetup
+
+MODEL = ModelConfig(
+    num_layers=16,
+    hidden_size=512,
+    num_attention_heads=8,
+    seq_length=512,
+    vocab_size=32 * 1024,
+)
+PARALLEL = ParallelConfig(pipeline_size=4, num_microbatches=6, microbatch_size=1)
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_structural_caches()
+    yield
+    clear_structural_caches()
+
+
+@pytest.fixture
+def setup() -> SimulationSetup:
+    return SimulationSetup(MODEL, PARALLEL)
+
+
+class TestScheduleGenerationCache:
+    @pytest.mark.parametrize("method", KNOWN_METHODS)
+    def test_hit_equals_cold_build(self, method, setup):
+        cold = generate_method_schedule(method, setup)
+        assert structural_cache_stats()["schedule_misses"] == 1
+        hit = generate_method_schedule(method, setup)
+        assert structural_cache_stats()["schedule_hits"] == 1
+        assert hit == cold
+        assert hit is not cold
+
+    def test_hits_never_share_mutable_state(self, setup):
+        first = generate_method_schedule("vocab-1", setup)
+        first.device_orders[0].reverse()
+        first.metadata["poisoned"] = True
+        second = generate_method_schedule("vocab-1", setup)
+        assert second.device_orders[0] == list(reversed(first.device_orders[0]))
+        assert "poisoned" not in second.metadata
+
+    def test_different_bindings_miss(self, setup):
+        generate_method_schedule("baseline", setup)
+        slower = SimulationSetup(MODEL, PARALLEL, pass_overhead=1e-2)
+        generate_method_schedule("baseline", slower)
+        stats = structural_cache_stats()
+        # A changed overhead changes the generator's timing scalars, so
+        # the second build is a miss (orders could legitimately differ).
+        assert stats["schedule_misses"] == 2
+
+    def test_infeasible_config_still_raises(self, setup):
+        bad = SimulationSetup(
+            MODEL.replace(num_layers=15), PARALLEL
+        )
+        with pytest.raises(ValueError):
+            generate_method_schedule("baseline", bad)
+        with pytest.raises(ValueError):
+            generate_method_schedule("vhalf-baseline", bad)
+
+
+class TestCompiledGraphCache:
+    @pytest.mark.parametrize("method", KNOWN_METHODS)
+    def test_graph_cache_hit_metrics_identical(self, method, setup):
+        cold = run_method(method, MODEL, PARALLEL, setup=setup)
+        stats = structural_cache_stats()
+        assert stats["graph_misses"] >= 1
+        clear_after_first = stats["graph_hits"]
+        warm = run_method(method, MODEL, PARALLEL, setup=setup)
+        assert structural_cache_stats()["graph_hits"] > clear_after_first
+        assert warm.iteration_time == cold.iteration_time
+        assert warm.peak_memory_gb == cold.peak_memory_gb
+        assert warm.per_device_peak_gb == cold.per_device_peak_gb
+        assert warm.mean_bubble == cold.mean_bubble
+
+    def test_rebind_across_bindings_matches_cold_compile(self, setup):
+        """A second binding re-uses the lowering; results must match a
+        from-scratch build of that binding."""
+        run_method("vocab-2", MODEL, PARALLEL, setup=setup)
+        slower = SimulationSetup(MODEL, PARALLEL, pass_overhead=1e-3)
+        warm = run_method("vocab-2", MODEL, PARALLEL, setup=slower)
+        clear_structural_caches()
+        cold = run_method("vocab-2", MODEL, PARALLEL, setup=slower)
+        assert warm.iteration_time == cold.iteration_time
+        assert warm.per_device_peak_gb == cold.per_device_peak_gb
+
+
+class TestRunMethodBindings:
+    def _setups(self):
+        return [
+            SimulationSetup(MODEL, PARALLEL),
+            SimulationSetup(MODEL, PARALLEL, pass_overhead=1e-3),
+            SimulationSetup(MODEL, PARALLEL, pass_overhead=5e-4),
+        ]
+
+    @pytest.mark.parametrize("refine", [False, True])
+    @pytest.mark.parametrize("method", KNOWN_METHODS)
+    def test_batched_equals_per_binding(self, method, refine):
+        setups = self._setups()
+        batched = run_method_bindings(
+            method, MODEL, PARALLEL, setups, refine=refine
+        )
+        singles = [
+            run_method(method, MODEL, PARALLEL, setup=s, refine=refine)
+            for s in setups
+        ]
+        for a, b in zip(batched, singles):
+            assert a.iteration_time == b.iteration_time
+            assert a.peak_memory_gb == b.peak_memory_gb
+            assert a.per_device_peak_gb == b.per_device_peak_gb
+            assert a.mean_bubble == b.mean_bubble
+            assert a.oom == b.oom
+
+    def test_mismatched_configs_rejected(self):
+        other = SimulationSetup(
+            MODEL.replace(vocab_size=64 * 1024), PARALLEL
+        )
+        with pytest.raises(ValueError, match="share"):
+            run_method_bindings(
+                "baseline", MODEL, PARALLEL,
+                [SimulationSetup(MODEL, PARALLEL), other],
+            )

@@ -275,3 +275,128 @@ class TestCache:
         assert key != config_digest(
             model.replace(vocab_size=64 * 1024), parallel, constraints, memory
         )
+
+
+class TestBudgetIndependentAuxCache:
+    """Estimates and metrics are keyed without the budget: a budget
+    sweep over one structure re-ranks cached prices instead of
+    re-estimating and re-simulating."""
+
+    def test_second_budget_reuses_estimates_and_metrics(self, model, parallel):
+        cache = PlanCache()
+        a = plan(
+            model, parallel,
+            PlannerConstraints(memory_budget_gib=80.0), cache=cache,
+        )
+        aux_misses_after_first = cache.aux_misses
+        b = plan(
+            model, parallel,
+            PlannerConstraints(memory_budget_gib=60.0), cache=cache,
+        )
+        # The second budget is a whole-plan miss but every estimate and
+        # every simulated-metrics entry is an aux hit: no new misses.
+        assert cache.misses == 2
+        assert cache.aux_misses == aux_misses_after_first
+        assert cache.aux_hits > 0
+        assert a.cache_key != b.cache_key
+
+    def test_budgets_rank_identically_to_cold_plans(self, model, parallel):
+        shared = PlanCache()
+        budgets = (80.0, 40.0, 20.0)
+        warm = [
+            plan(model, parallel,
+                 PlannerConstraints(memory_budget_gib=budget), cache=shared)
+            for budget in budgets
+        ]
+        for budget, warm_plans in zip(budgets, warm):
+            cold = plan(
+                model, parallel,
+                PlannerConstraints(memory_budget_gib=budget),
+                cache=PlanCache(),
+            )
+            assert ranking_of(cold) == ranking_of(warm_plans)
+            for method in cold.methods_considered:
+                c, w = cold.candidate(method), warm_plans.candidate(method)
+                assert c.iteration_time == w.iteration_time
+                assert c.peak_memory_gb == w.peak_memory_gb
+
+    def test_aux_entries_persist_to_disk(self, model, parallel, tmp_path):
+        plan(
+            model, parallel,
+            PlannerConstraints(memory_budget_gib=80.0),
+            cache=PlanCache(tmp_path),
+        )
+        fresh = PlanCache(tmp_path)
+        plan(
+            model, parallel,
+            PlannerConstraints(memory_budget_gib=60.0), cache=fresh,
+        )
+        # A different budget in a new process(-like) cache: the plan
+        # entry misses but pricing comes entirely off disk.
+        assert fresh.misses == 1 and fresh.aux_misses == 0
+        assert fresh.aux_hits > 0
+
+
+class TestPassOverheadBinding:
+    def test_overhead_changes_prices_not_structure(self, model, parallel):
+        cache = PlanCache()
+        base = plan(model, parallel, cache=cache)
+        slow = plan(model, parallel, cache=cache, pass_overhead=5e-3)
+        assert slow.cache_key != base.cache_key
+        assert slow.pass_overhead == 5e-3
+        best = slow.best.method
+        assert slow.candidate(best).iteration_time > base.candidate(
+            best
+        ).iteration_time or best != base.best.method
+
+    def test_overhead_is_part_of_aux_keys(self, model, parallel):
+        cache = PlanCache()
+        plan(model, parallel, cache=cache)
+        misses = cache.aux_misses
+        plan(model, parallel, cache=cache, pass_overhead=5e-3)
+        # New binding => fresh estimates/metrics, not stale reuse.
+        assert cache.aux_misses > misses
+
+
+class TestNumpyOptional:
+    def test_planner_stack_imports_and_plans_without_numpy(self):
+        """The scheduling/sim/planner chain must not require NumPy
+        (pyproject lists it as an optional extra)."""
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        script = """
+import sys
+class Hider:
+    # find_spec, not the pre-3.12 find_module: the import system no
+    # longer consults find_module, which would make this hider inert.
+    def find_spec(self, name, path=None, target=None):
+        if name == "numpy" or name.startswith("numpy."):
+            raise ImportError(name + " hidden")
+sys.meta_path.insert(0, Hider())
+try:
+    import numpy
+except ImportError:
+    pass
+else:
+    raise SystemExit("hider inert: numpy imported")
+from repro.config import ModelConfig, ParallelConfig
+from repro.planner import PlannerConstraints, plan
+model = ModelConfig(num_layers=8, hidden_size=256, num_attention_heads=4,
+                    seq_length=256, vocab_size=8 * 1024)
+parallel = ParallelConfig(pipeline_size=4, num_microbatches=4)
+plans = plan(model, parallel, PlannerConstraints(simulate_top_k=1))
+assert plans.ranked
+print("OK", plans.best.method)
+"""
+        src = Path(__file__).resolve().parents[2] / "src"
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(src), "PATH": ""},
+            cwd=str(src.parent),
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.startswith("OK")

@@ -121,3 +121,106 @@ class TestDefaultChunkSize:
         outcomes = sweep(points, FAST, executor="serial")
         assert outcomes[0].best_method is None
         assert "(none fits)" in best_method_table(outcomes)
+
+
+class TestStructuralGrouping:
+    def test_interleaved_structures_preserve_input_order(self):
+        # Interleave two structures so grouping must reorder for
+        # chunking and restore the input order afterwards.
+        a = SweepPoint(4, 32 * 1024, num_microbatches=8, memory_budget_gib=80.0)
+        b = SweepPoint(4, 128 * 1024, num_microbatches=8, memory_budget_gib=80.0)
+        a2 = SweepPoint(4, 32 * 1024, num_microbatches=8, memory_budget_gib=40.0)
+        b2 = SweepPoint(4, 128 * 1024, num_microbatches=8, memory_budget_gib=40.0)
+        points = [a, b, a2, b2]
+        outcomes = sweep(points, FAST, executor="serial")
+        assert [o.point for o in outcomes] == points
+        threaded = sweep(points, FAST, executor="thread", max_workers=2,
+                         chunk_size=2)
+        assert [o.point for o in threaded] == points
+        assert [o.best_method for o in threaded] == [
+            o.best_method for o in outcomes
+        ]
+
+    def test_structure_axes_exclude_bindings(self):
+        base = SweepPoint(8, 32 * 1024)
+        assert base.structure_axes() == SweepPoint(
+            8, 32 * 1024, memory_budget_gib=13.0, pass_overhead=1e-3
+        ).structure_axes()
+        assert base.structure_axes() != SweepPoint(16, 32 * 1024).structure_axes()
+
+
+class TestPassOverheadAxis:
+    def test_grid_overhead_axis(self):
+        points = grid(devices=(4,), vocab_sizes=(32 * 1024,),
+                      pass_overheads=(None, 1e-3))
+        assert [p.pass_overhead for p in points] == [None, 1e-3]
+
+    def test_overhead_sweep_matches_individual_plans(self):
+        from repro.planner import clear_plan_cache
+
+        constraints = PlannerConstraints(simulate_top_k=2, refine=False)
+        points = grid(devices=(4,), vocab_sizes=(64 * 1024,),
+                      microbatches=(8,), pass_overheads=(1e-4, 4e-4, 8e-4))
+        clear_plan_cache()
+        swept = sweep(points, constraints, executor="serial")
+        for point, outcome in zip(points, swept):
+            clear_plan_cache()
+            alone = plan_point(point, constraints)
+            assert alone.best_method == outcome.best_method
+            if alone.best_method is not None:
+                a = alone.plans.best
+                s = outcome.plans.best
+                assert a.iteration_time == s.iteration_time
+                assert a.peak_memory_gb == s.peak_memory_gb
+
+    def test_overhead_sweep_matches_with_refinement(self):
+        from repro.planner import clear_plan_cache
+
+        constraints = PlannerConstraints(simulate_top_k=2, refine=True)
+        points = grid(devices=(4,), vocab_sizes=(64 * 1024,),
+                      microbatches=(8,), pass_overheads=(1e-4, 8e-4))
+        clear_plan_cache()
+        swept = sweep(points, constraints, executor="serial")
+        for point, outcome in zip(points, swept):
+            clear_plan_cache()
+            alone = plan_point(point, constraints)
+            assert alone.best_method == outcome.best_method
+
+
+class TestPoolFallback:
+    def test_unavailable_pool_surfaces_reason(self, monkeypatch):
+        import importlib
+
+        sweep_mod = importlib.import_module("repro.planner.sweep")
+        monkeypatch.setattr(sweep_mod, "_get_pool", lambda *a: None)
+        points = grid(devices=(4,), vocab_sizes=(32 * 1024, 128 * 1024),
+                      microbatches=(8,))
+        with pytest.warns(RuntimeWarning, match="fell back to serial"):
+            outcomes = sweep(points, FAST, executor="thread", chunk_size=1)
+        assert [o.point for o in outcomes] == points
+        for outcome in outcomes:
+            assert outcome.fallback_reason is not None
+            assert "pool failed" in outcome.fallback_reason
+
+    def test_healthy_sweep_has_no_fallback_reason(self):
+        points = grid(devices=(4,), vocab_sizes=(32 * 1024,), microbatches=(8,),
+                      memory_budgets_gib=(None, 80.0))
+        for outcome in sweep(points, FAST, executor="thread", max_workers=2):
+            assert outcome.fallback_reason is None
+
+
+class TestPersistentPools:
+    def test_pool_is_reused_across_sweeps(self):
+        import importlib
+
+        sweep_mod = importlib.import_module("repro.planner.sweep")
+        sweep_mod.shutdown_pools()
+        points = grid(devices=(4,), vocab_sizes=(32 * 1024, 128 * 1024),
+                      microbatches=(8,))
+        sweep(points, FAST, executor="thread", max_workers=2)
+        first = sweep_mod._POOLS.get(("thread", 2))
+        assert first is not None
+        sweep(points, FAST, executor="thread", max_workers=2)
+        assert sweep_mod._POOLS.get(("thread", 2)) is first
+        sweep_mod.shutdown_pools()
+        assert ("thread", 2) not in sweep_mod._POOLS

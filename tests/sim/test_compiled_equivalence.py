@@ -176,6 +176,86 @@ class TestCompiledGraphReuse:
         assert graph.replay() is not graph.replay()
 
 
+class _ScaledRuntime:
+    """A runtime whose every duration is the inner one times a factor."""
+
+    def __init__(self, inner, factor):
+        self.inner = inner
+        self.factor = factor
+
+    def pass_duration(self, p):
+        return self.factor * self.inner.pass_duration(p)
+
+    def collective_duration(self, kind):
+        return self.factor * self.inner.collective_duration(kind)
+
+    def p2p_duration(self, src, dst):
+        return self.factor * self.inner.p2p_duration(src, dst)
+
+
+@pytest.mark.parametrize("method", KNOWN_METHODS)
+class TestExecuteMany:
+    """One compiled graph pricing K bindings must equal K fresh compiles."""
+
+    FACTORS = (1.0, 1.7, 0.3, 2.5)
+
+    def _graph_and_runtimes(self, method, setup):
+        schedule, runtime = _schedule_and_runtime(method, setup)
+        graph = compile_schedule(schedule, runtime)
+        runtimes = [_ScaledRuntime(runtime, f) for f in self.FACTORS]
+        return schedule, graph, runtimes
+
+    def test_execute_bindings_bit_identical(self, method, setup):
+        schedule, graph, runtimes = self._graph_and_runtimes(method, setup)
+        batched = graph.execute_bindings(runtimes)
+        for result, runtime in zip(batched, runtimes):
+            fresh = compile_schedule(schedule, runtime).execute()
+            assert_results_identical(result, fresh)
+
+    def test_execute_many_reuses_bound_lags(self, method, setup):
+        """durations-only rows against the graph's own lags == replay."""
+        _, graph, _ = self._graph_and_runtimes(method, setup)
+        rows = [list(graph.durations), list(graph.durations)]
+        for result in graph.execute_many(rows):
+            assert_results_identical(result, graph.execute())
+
+    def test_pure_python_fallback_matches_numpy(self, method, setup, monkeypatch):
+        import repro.sim.compiled as compiled_mod
+
+        schedule, graph, runtimes = self._graph_and_runtimes(method, setup)
+        vectorized = graph.execute_bindings(runtimes)
+        monkeypatch.setattr(compiled_mod, "_np", None)
+        fallback = graph.execute_bindings(runtimes)
+        for a, b in zip(vectorized, fallback):
+            assert_results_identical(a, b)
+
+
+class TestExecuteManyValidation:
+    def _graph(self, setup):
+        schedule, runtime = _schedule_and_runtime("vocab-1", setup)
+        return compile_schedule(schedule, runtime)
+
+    def test_empty_batch(self, setup):
+        assert self._graph(setup).execute_many([]) == []
+
+    def test_bad_row_length(self, setup):
+        graph = self._graph(setup)
+        with pytest.raises(ValueError):
+            graph.execute_many([[1.0, 2.0]])
+
+    def test_mismatched_lag_rows(self, setup):
+        graph = self._graph(setup)
+        rows = [list(graph.durations)] * 2
+        with pytest.raises(ValueError, match="lag rows"):
+            graph.execute_many(rows, lags=[list(graph.succ_lag)])
+
+    def test_bad_lag_row_length(self, setup):
+        graph = self._graph(setup)
+        rows = [list(graph.durations)] * 2
+        with pytest.raises(ValueError):
+            graph.execute_many(rows, lags=[[0.0], [0.0]])
+
+
 class TestEngineSwitch:
     def test_reference_engine_selectable(self, setup, monkeypatch):
         schedule, runtime = _schedule_and_runtime("vocab-2", setup)

@@ -11,10 +11,19 @@ the **compiled** engine (:mod:`repro.sim.compiled`):
   steady state of every planner/sweep loop);
 * ``dataflow_*`` — one work-conserving execution;
 * ``plan_*`` — one end-to-end :func:`repro.planner.planner.plan` call
-  (enumerate → price → simulate top-k → rank) with a cold cache.
+  (enumerate → price → simulate top-k → rank) with a cold cache;
+* ``execute_many_*`` — pricing one compiled structure under 16 runtime
+  bindings: the "reference" side loops ``rebind().replay()`` per
+  binding, the "compiled" side is one batched
+  :meth:`~repro.sim.compiled.CompiledGraph.execute_many` pass;
+* ``sweep_grid_*`` — an 8-point memory-budget grid sharing one
+  schedule structure: the "reference" side plans each point with all
+  process-wide caches cleared (the pre-structural-cache behaviour),
+  the "compiled" side is one structure-grouped ``sweep()``.
 
 Every entry records reference seconds, compiled seconds and the
-speedup.  A ``calibration_s`` scalar (a fixed pure-Python workload)
+speedup (for the two sweep-era classes, "reference" means the
+unbatched/uncached equivalent path, not the reference *engine*).  A ``calibration_s`` scalar (a fixed pure-Python workload)
 makes the numbers comparable across machines: regression checks use
 times *normalized by calibration*, so a slower CI box does not fail
 the perf-smoke job.
@@ -59,6 +68,11 @@ PANELS = [
 
 #: Microbatch counts per trajectory class.
 MICROBATCHES = {"full": 128, "quick": 32}
+#: Runtime bindings per execute_many batch.
+BINDINGS = 16
+#: Memory-budget grid (GiB) of the sweep-throughput classes — one
+#: schedule structure, eight re-rankings.
+SWEEP_BUDGETS = (24.0, 32.0, 40.0, 48.0, 56.0, 64.0, 72.0, 80.0)
 #: Best-of rounds: the quick class gates CI on millisecond timings, so
 #: it takes more rounds to suppress shared-runner noise.
 ROUNDS = {"full": 3, "quick": 5}
@@ -83,6 +97,33 @@ def calibration() -> float:
         return total
 
     return best_of(workload, rounds=3)
+
+
+class _ScaledRuntime:
+    """Deterministic runtime variations for the execute_many batch."""
+
+    def __init__(self, inner, factor: float):
+        self.inner = inner
+        self.factor = factor
+
+    def pass_duration(self, p):
+        return self.factor * self.inner.pass_duration(p)
+
+    def collective_duration(self, kind):
+        return self.factor * self.inner.collective_duration(kind)
+
+    def p2p_duration(self, src, dst):
+        return self.factor * self.inner.p2p_duration(src, dst)
+
+
+def clear_all_planner_caches() -> None:
+    """Reset every process-wide cache the planner stack keeps."""
+    from repro.harness.experiments import clear_structural_caches
+    from repro.planner import clear_plan_cache, clear_probe_cache
+
+    clear_plan_cache()
+    clear_probe_cache()
+    clear_structural_caches()
 
 
 def engine(name: str):
@@ -184,6 +225,69 @@ def measure_class(
         with engine("compiled"):
             plan_compiled = best_of(run_plan, rounds)
         add(f"plan_{tag}", plan_reference, plan_compiled)
+
+        # Batched replay: one structure, BINDINGS runtime bindings.  The
+        # reference side loops the pre-batch planner behaviour (a fresh
+        # compile + execute per binding); rebind_loop_s additionally
+        # records the strongest manual alternative (compile once, rebind
+        # + replay per binding) for transparency.
+        runtimes = [
+            _ScaledRuntime(runtime, 0.5 + 0.1 * i) for i in range(BINDINGS)
+        ]
+
+        def compile_loop_bindings() -> None:
+            for scaled in runtimes:
+                compile_schedule(schedule, scaled).execute()
+
+        def rebind_loop_bindings() -> None:
+            for scaled in runtimes:
+                graph.rebind(scaled).replay()
+
+        def batch_bindings() -> None:
+            graph.execute_bindings(runtimes)
+
+        add(
+            f"execute_many_{tag}",
+            best_of(compile_loop_bindings, rounds) if with_reference else None,
+            best_of(batch_bindings, rounds),
+            bindings=BINDINGS,
+            rebind_loop_s=best_of(rebind_loop_bindings, rounds),
+        )
+
+        # Sweep throughput: an 8-budget grid over one schedule structure.
+        from repro.planner import grid as make_grid
+        from repro.planner import plan_point, sweep as run_sweep
+
+        points = make_grid(
+            devices=(gpus,),
+            vocab_sizes=(256 * 1024,),
+            microbatches=(m,),
+            memory_budgets_gib=SWEEP_BUDGETS,
+        )
+        # The sweep plans model_for_devices shapes (not the per-panel
+        # Table 1/2 models), so search the full family space and let
+        # structural rejection filter per device count.
+        sweep_constraints = PlannerConstraints()
+
+        def pointwise() -> None:
+            # The pre-structural-cache equivalent: every point pays
+            # schedule generation, probing, compilation and simulation
+            # from scratch.
+            for point in points:
+                clear_all_planner_caches()
+                plan_point(point, sweep_constraints)
+
+        def structured_sweep() -> None:
+            clear_all_planner_caches()
+            run_sweep(points, sweep_constraints, executor="serial")
+
+        add(
+            f"sweep_grid_{tag}",
+            best_of(pointwise, rounds) if with_reference else None,
+            best_of(structured_sweep, rounds),
+            points=len(points),
+        )
+        clear_all_planner_caches()
 
     return entries
 
