@@ -56,7 +56,24 @@ def step3_sweep() -> None:
     print(best_method_table(outcomes))
 
 
+def step4_scenario() -> None:
+    print("=" * 72)
+    print("4. Robust planning on a straggler cluster (p95 under jitter)")
+    model = ModelConfig(num_layers=32, hidden_size=3072,
+                        num_attention_heads=24, seq_length=2048,
+                        vocab_size=256 * 1024)
+    # Two nodes of four devices: slow-node throttles the *second* node
+    # only, a genuine straggler (on a single-node pipeline it would
+    # just slow everything uniformly).
+    parallel = ParallelConfig(pipeline_size=8, num_microbatches=32,
+                              devices_per_node=4)
+    plans = plan(model, parallel, PlannerConstraints(simulate_top_k=3),
+                 scenario="slow-node", robustness="p95")
+    print(plans.render())
+
+
 if __name__ == "__main__":
     step1_rank_families()
     step2_memory_budget()
     step3_sweep()
+    step4_scenario()

@@ -21,7 +21,11 @@ The package provides:
   :mod:`repro.harness`;
 * a schedule planner that ranks all schedule families for an arbitrary
   model/hardware description under a memory budget, with cached
-  results and parallel grid sweeps — :mod:`repro.planner`.
+  results and parallel grid sweeps — :mod:`repro.planner`;
+* cluster scenarios beyond the paper's idealized testbed —
+  heterogeneous SKUs, straggler nodes, two-tier interconnects, seeded
+  jitter Monte Carlo, and robust (quantile-ranked) planning —
+  :mod:`repro.scenarios`.
 """
 
 from repro._lazy import lazy_exports

@@ -45,8 +45,19 @@ class CommunicationModel:
         return self.hardware.intra_node_bandwidth
 
     def _ring_latency(self) -> float:
-        """Total α cost of one ring traversal."""
-        return self.hardware.link_latency * max(1, self.parallel.pipeline_size - 1)
+        """Total α cost of one ring traversal.
+
+        A ring spanning several nodes is gated by the slowest hop, so
+        the per-step α is the inter-node latency whenever the pipeline
+        group crosses a node boundary (they are equal unless a cluster
+        scenario sets :attr:`~repro.costmodel.hardware.HardwareModel.inter_node_latency`).
+        """
+        alpha = (
+            self.hardware.inter_link_latency
+            if self.parallel.is_multi_node
+            else self.hardware.link_latency
+        )
+        return alpha * max(1, self.parallel.pipeline_size - 1)
 
     def all_reduce_time(self, payload_bytes: float) -> float:
         """Ring all-reduce over the full pipeline group."""
@@ -80,9 +91,10 @@ class CommunicationModel:
             return 0.0
         per_node = self.parallel.devices_per_node
         same_node = (src // per_node) == (dst // per_node)
-        bandwidth = (
-            self.hardware.intra_node_bandwidth
-            if same_node
-            else self.hardware.inter_node_bandwidth
-        )
-        return self.hardware.link_latency + payload_bytes / bandwidth
+        if same_node:
+            bandwidth = self.hardware.intra_node_bandwidth
+            latency = self.hardware.link_latency
+        else:
+            bandwidth = self.hardware.inter_node_bandwidth
+            latency = self.hardware.inter_link_latency
+        return latency + payload_bytes / bandwidth

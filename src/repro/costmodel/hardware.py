@@ -28,7 +28,13 @@ class HardwareModel:
     inter_node_bandwidth:
         Per-device RDMA bandwidth, bytes/s.
     link_latency:
-        Fixed per-message latency (the α of the α–β model), seconds.
+        Fixed per-message latency (the α of the α–β model) on
+        intra-node links, seconds.
+    inter_node_latency:
+        α for messages crossing a node boundary; ``None`` (the
+        default, and the paper's homogeneous testbed) reuses
+        ``link_latency``, so the two-tier model only activates when a
+        cluster scenario sets it explicitly.
     kernel_launch_overhead:
         Fixed cost added to every pass (kernel launches, Python-side
         scheduling); seconds.
@@ -41,6 +47,14 @@ class HardwareModel:
     inter_node_bandwidth: float = 22e9
     link_latency: float = 10e-6
     kernel_launch_overhead: float = 10e-6
+    inter_node_latency: float | None = None
+
+    @property
+    def inter_link_latency(self) -> float:
+        """α for inter-node messages (``link_latency`` unless overridden)."""
+        if self.inter_node_latency is None:
+            return self.link_latency
+        return self.inter_node_latency
 
     def fits(self, required_bytes: float) -> bool:
         """Whether ``required_bytes`` fits in one device's HBM."""

@@ -12,6 +12,9 @@ Subcommands:
 * ``plan`` — rank all schedule families for a configuration
   (:mod:`repro.planner`); accepts multiple ``--devices``/``--vocab``
   values and sweeps the grid in parallel;
+* ``scenarios`` — cluster scenarios (:mod:`repro.scenarios`): list and
+  describe the registry, and price schedule robustness on non-ideal
+  clusters with seeded Monte Carlo jitter;
 * ``all`` — every table and figure (several minutes).
 
 Examples::
@@ -25,6 +28,11 @@ Examples::
     repro-experiments schedules --devices 4
     repro-experiments plan --devices 8 --vocab 128k
     repro-experiments plan --devices 8 16 --vocab 64k 256k --memory-budget 40
+    repro-experiments plan --devices 8 --scenario slow-node
+    repro-experiments scenarios list
+    repro-experiments scenarios describe --scenario slow-node
+    repro-experiments scenarios run --scenario high-jitter --method vocab-1
+    repro-experiments scenarios compare --scenario slow-node
     repro-experiments all
 """
 
@@ -43,6 +51,7 @@ SUBCOMMANDS = {
     "appendix-b": "Appendix B: interlaced ablation",
     "schedules": "ASCII schedule timelines (Figures 1/10)",
     "plan": "rank schedule families for a config (planner)",
+    "scenarios": "cluster scenarios: robustness on non-ideal clusters",
     "all": "everything (several minutes)",
 }
 
@@ -178,6 +187,7 @@ def _cmd_plan(args: argparse.Namespace) -> None:
             microbatches=[args.microbatches],
             memory_budgets_gib=[args.memory_budget],
             pass_overheads=args.pass_overhead,
+            scenarios=[args.scenario],
         )
         if len(points) == 1:
             print(
@@ -194,15 +204,190 @@ def _cmd_plan(args: argparse.Namespace) -> None:
             cache_dir=args.cache_dir,
             chunk_size=args.chunk_size,
         )
-    except ValueError as error:
-        # Config validation (vocab/seq/devices bounds, unknown methods,
-        # bad budgets) surfaces as an argparse-style message, not a
-        # traceback.
-        raise SystemExit(f"repro-experiments plan: error: {error}") from None
+    except (ValueError, KeyError) as error:
+        # Config validation (vocab/seq/devices bounds, unknown methods
+        # or scenarios, bad budgets) surfaces as an argparse-style
+        # message, not a traceback.  KeyError.__str__ would re-quote
+        # the message; unwrap its payload instead.
+        message = (
+            error.args[0]
+            if isinstance(error, KeyError) and error.args
+            else error
+        )
+        raise SystemExit(f"repro-experiments plan: error: {message}") from None
     for outcome in outcomes:
         print(outcome.plans.render())
         print()
     print(best_method_table(outcomes))
+
+
+def _scenario_model(args: argparse.Namespace):
+    """Model/parallel configuration of one ``scenarios`` invocation."""
+    from repro.config import ParallelConfig
+    from repro.planner import model_for_devices
+
+    model = model_for_devices(args.devices, args.seq, args.vocab)
+    parallel = ParallelConfig(
+        pipeline_size=args.devices,
+        num_microbatches=args.microbatches,
+        microbatch_size=1,
+    )
+    return model, parallel
+
+
+def _scenario_rows(stats) -> list[object]:
+    """Shared stats columns of the ``run``/``compare`` tables.
+
+    Times are pre-formatted to 4 decimals (format_table's default 2
+    would hide single-digit-percent jitter spreads).
+    """
+    return [
+        f"{stats.nominal_time:.4f}",
+        f"{stats.p50_time:.4f}",
+        f"{stats.p95_time:.4f}",
+        f"{stats.worst_time:.4f}",
+        round(100.0 * stats.p95_inflation, 2),
+        round(100.0 * stats.p95_bubble, 2),
+    ]
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> None:
+    import json
+
+    from repro.harness.tables import format_table
+    from repro.scenarios import get_scenario, list_scenarios, method_robustness
+
+    def require_scenario():
+        if args.scenario is None:
+            raise SystemExit(
+                f"repro-experiments scenarios {args.action}: error: "
+                "--scenario is required"
+            )
+        try:
+            return get_scenario(args.scenario)
+        except KeyError as error:
+            raise SystemExit(
+                f"repro-experiments scenarios: error: {error.args[0]}"
+            ) from None
+
+    if args.action == "list":
+        scenarios = list_scenarios()
+        if args.json:
+            print(
+                json.dumps(
+                    [
+                        {"name": s.name, "description": s.description}
+                        for s in scenarios
+                    ],
+                    indent=2,
+                )
+            )
+            return
+        rows = [
+            [
+                s.name,
+                "yes" if s.has_heterogeneity else "-",
+                "yes" if s.has_interconnect_scaling else "-",
+                f"{s.pass_jitter:.0%}/{s.comm_jitter:.0%}" if s.has_jitter else "-",
+                s.description,
+            ]
+            for s in scenarios
+        ]
+        print(
+            format_table(
+                ["name", "hetero", "interconnect", "jitter", "description"],
+                rows,
+                title="Registered cluster scenarios",
+            )
+        )
+        return
+
+    if args.action == "describe":
+        scenario = require_scenario()
+        _, parallel = _scenario_model(args)
+        print(scenario.describe(parallel))
+        return
+
+    scenario = require_scenario()
+    model, parallel = _scenario_model(args)
+    from repro.harness.experiments import KNOWN_METHODS
+    from repro.planner import infeasibility_reason
+
+    if args.action == "run":
+        methods = [args.method]
+        if args.method not in KNOWN_METHODS:
+            raise SystemExit(
+                f"repro-experiments scenarios run: error: unknown method "
+                f"{args.method!r}; expected one of {KNOWN_METHODS}"
+            )
+    else:  # compare
+        methods = list(KNOWN_METHODS)
+
+    results = []
+    skipped = []
+    for method in methods:
+        reason = infeasibility_reason(method, model, parallel)
+        if reason is not None:
+            skipped.append((method, reason))
+            continue
+        stats = method_robustness(
+            method,
+            model,
+            parallel,
+            scenario,
+            samples=args.samples,
+            seed=args.seed,
+        )
+        results.append((method, stats))
+    # Robust ranking: the objective quantile, method name as tie-break.
+    results.sort(key=lambda item: (item[1].p95_time, item[0]))
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "scenario": scenario.name,
+                    "devices": args.devices,
+                    "vocab_size": args.vocab,
+                    "seq_length": args.seq,
+                    "microbatches": args.microbatches,
+                    "samples": args.samples,
+                    "seed": args.seed,
+                    "ranked": [
+                        {"method": method, **stats.as_dict()}
+                        for method, stats in results
+                    ],
+                    "skipped": [
+                        {"method": method, "reason": reason}
+                        for method, reason in skipped
+                    ],
+                },
+                indent=2,
+            )
+        )
+        return
+    rows = [
+        [rank, method] + _scenario_rows(stats)
+        for rank, (method, stats) in enumerate(results, start=1)
+    ]
+    title = (
+        f"Scenario {scenario.name} — {args.devices} devices, "
+        f"vocab {args.vocab // 1024}k, seq {args.seq}, "
+        f"m={args.microbatches}, K={args.samples}, seed {args.seed} "
+        "(ranked by p95)"
+    )
+    print(
+        format_table(
+            [
+                "rank", "method", "nominal(s)", "p50(s)", "p95(s)",
+                "worst(s)", "infl%", "bubble95%",
+            ],
+            rows,
+            title=title,
+        )
+    )
+    for method, reason in skipped:
+        print(f"  skipped {method:15s} {reason}")
 
 
 def _cmd_all(args: argparse.Namespace) -> None:
@@ -229,7 +414,12 @@ def _cmd_all(args: argparse.Namespace) -> None:
     print(run_interlaced_ablation(num_microbatches=args.microbatches).render())
 
 
-def main(argv: list[str] | None = None) -> int:
+def build_parser() -> argparse.ArgumentParser:
+    """The full ``repro-experiments`` argument parser.
+
+    Public so tooling (``tools/check_docs_links.py``) can introspect
+    every subcommand and option instead of pattern-matching source.
+    """
     epilog = "subcommands:\n" + "\n".join(
         f"  {name:12s} {help_}" for name, help_ in SUBCOMMANDS.items()
     )
@@ -309,12 +499,63 @@ def main(argv: list[str] | None = None) -> int:
         "--cache-dir", default=None, metavar="DIR",
         help="disk-backed plan cache shared across invocations and workers",
     )
+    pl.add_argument(
+        "--scenario", default=None, metavar="NAME",
+        help="price the plan under a registered cluster scenario "
+        "(see 'repro-experiments scenarios list')",
+    )
     _add_common(pl)
+
+    sn = sub.add_parser("scenarios", help=SUBCOMMANDS["scenarios"])
+    sn.add_argument(
+        "action", choices=["list", "describe", "run", "compare"],
+        help="list/describe the registry, or price one method ('run') / "
+        "all schedule families ('compare') under a scenario",
+    )
+    sn.add_argument(
+        "--scenario", default=None, metavar="NAME",
+        help="registered scenario name (required for describe/run/compare)",
+    )
+    sn.add_argument(
+        "--method", default="vocab-1", metavar="METHOD",
+        help="schedule family for 'run' (default vocab-1)",
+    )
+    sn.add_argument(
+        "--devices", type=int, default=12,
+        help="pipeline device count (default 12 — two nodes of 8+4, so "
+        "node-level scenarios like slow-node and bandwidth-asymmetric "
+        "have a real inter-node boundary to act on)",
+    )
+    sn.add_argument(
+        "--vocab", type=_parse_vocab, default=128 * 1024, metavar="SIZE",
+        help="vocabulary size, e.g. 128k or 131072",
+    )
+    sn.add_argument("--seq", type=int, default=2048, help="sequence length")
+    sn.add_argument(
+        "--microbatches", type=int, default=32,
+        help="microbatches per iteration (default 32 — smaller than the "
+        "paper's 128 to keep Monte Carlo interactive)",
+    )
+    sn.add_argument(
+        "--samples", type=int, default=256, metavar="K",
+        help="Monte Carlo jitter samples per method (default 256)",
+    )
+    sn.add_argument(
+        "--seed", type=int, default=0,
+        help="sample seed combined with the scenario's base seed",
+    )
+    sn.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of the ASCII table",
+    )
 
     al = sub.add_parser("all", help=SUBCOMMANDS["all"])
     _add_common(al)
+    return parser
 
-    args = parser.parse_args(argv)
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
     handlers = {
         "fig2": _cmd_fig2,
         "fig3": _cmd_fig3,
@@ -324,6 +565,7 @@ def main(argv: list[str] | None = None) -> int:
         "appendix-b": _cmd_appendix_b,
         "schedules": _cmd_schedules,
         "plan": _cmd_plan,
+        "scenarios": _cmd_scenarios,
         "all": _cmd_all,
     }
     try:

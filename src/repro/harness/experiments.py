@@ -287,6 +287,35 @@ def _generate_method_schedule_uncached(
     return schedule
 
 
+def _scenario_setup(setup: SimulationSetup, scenario) -> SimulationSetup:
+    """Apply a cluster scenario's interconnect transform exactly once.
+
+    ``scenario`` is duck-typed (a
+    :class:`~repro.scenarios.cluster.ClusterScenario` or anything with
+    the same ``setup_for``/``wrap_runtime``/``signature`` surface), so
+    this module never imports :mod:`repro.scenarios` — the dependency
+    points the other way.
+    """
+    return setup if scenario is None else scenario.setup_for(setup)
+
+
+def _scenario_runtime(
+    setup: SimulationSetup, schedule: Schedule, scenario
+) -> RuntimeModel:
+    """Runtime binding for ``schedule``, scenario speeds applied on top.
+
+    ``setup`` must already be the scenario setup
+    (:func:`_scenario_setup`) so interconnect tiers are priced in.
+    """
+    runtime = RuntimeModel(setup, schedule)
+    return runtime if scenario is None else scenario.wrap_runtime(runtime)
+
+
+def _scenario_signature(scenario) -> tuple | None:
+    """Cache-key component for a scenario (``None`` = nominal)."""
+    return None if scenario is None else scenario.signature()
+
+
 def _wants_refinement(schedule: Schedule) -> bool:
     # Baseline/Redis orders are the canonical 1F1B already; the
     # interlaced schedule is a rigid synchronous design (Figure 15b)
@@ -325,13 +354,38 @@ def _compile_cached(schedule: Schedule, runtime: RuntimeModel):
     return graph
 
 
+def compiled_graph_for(schedule: Schedule, runtime):
+    """Public handle on the structural compiled-graph cache.
+
+    Returns a :class:`~repro.sim.compiled.CompiledGraph` for
+    ``schedule`` bound to ``runtime`` — re-lowering only on the first
+    request per :meth:`~repro.scheduling.schedule.Schedule.structure_key`.
+    The binding is always the caller's: a hit is re-priced through
+    :meth:`~repro.sim.compiled.CompiledGraph.rebind`, so a graph cached
+    under one runtime (a homogeneous binding, say) is never served
+    with its old durations to a different one (a cluster scenario).
+    """
+    return _compile_cached(schedule, runtime)
+
+
 def build_schedule(
-    method: str, setup: SimulationSetup, refine: bool = True
+    method: str,
+    setup: SimulationSetup,
+    refine: bool = True,
+    scenario=None,
 ) -> Schedule:
-    """Generate (and optionally order-refine) the schedule for a method."""
+    """Generate (and optionally order-refine) the schedule for a method.
+
+    ``scenario`` (a :class:`~repro.scenarios.cluster.ClusterScenario`)
+    perturbs the runtime the refinement pass prices against — a
+    straggler-aware refinement can legitimately choose a different
+    order.  ``setup`` is the nominal setup; the scenario transform is
+    applied here.
+    """
+    setup = _scenario_setup(setup, scenario)
     schedule = generate_method_schedule(method, setup)
     if refine and _wants_refinement(schedule):
-        runtime = RuntimeModel(setup, schedule)
+        runtime = _scenario_runtime(setup, schedule, scenario)
         if simulation_engine() == "reference":
             schedule = refine_schedule_order(
                 schedule, runtime, mode=_refine_mode(schedule)
@@ -344,7 +398,7 @@ def build_schedule(
 
 
 def _simulate(
-    schedule: Schedule, setup: SimulationSetup, refine: bool
+    schedule: Schedule, setup: SimulationSetup, refine: bool, scenario=None
 ) -> tuple[Schedule, ExecutionResult]:
     """Refine (optionally) and execute in-order, sharing one compiled graph.
 
@@ -353,15 +407,17 @@ def _simulate(
     all replay that graph — where the pre-compiled flow executed the
     schedule up to five times from scratch.  The reference engine keeps
     the original execute-from-scratch behaviour for oracle comparisons.
+    ``setup`` must already be the scenario setup when ``scenario`` is
+    given (callers go through :func:`_scenario_setup`).
     """
-    runtime = RuntimeModel(setup, schedule)
+    runtime = _scenario_runtime(setup, schedule, scenario)
     wants_refine = refine and _wants_refinement(schedule)
     if simulation_engine() == "reference":
         if wants_refine:
             schedule = refine_schedule_order(
                 schedule, runtime, mode=_refine_mode(schedule)
             )
-            runtime = RuntimeModel(setup, schedule)
+            runtime = _scenario_runtime(setup, schedule, scenario)
         return schedule, execute_schedule(schedule, runtime)
     graph = _compile_cached(schedule, runtime)
     if wants_refine:
@@ -399,6 +455,7 @@ def run_method_bindings(
     setups: list[SimulationSetup],
     memory_model: MemoryModel | None = None,
     refine: bool = True,
+    scenario=None,
 ) -> list[MethodMetrics]:
     """Simulate one method under many runtime bindings in one batch.
 
@@ -411,6 +468,8 @@ def run_method_bindings(
     that want order refinement fall back to :func:`run_method` — the
     refinement's work-conserving run is a stateful per-binding
     simulation that cannot be batched — as does the reference engine.
+    ``scenario`` applies one cluster scenario to every binding
+    (nominal ``setups``; transformed here).
     """
     for setup in setups:
         if setup.model != model or setup.parallel != parallel:
@@ -420,9 +479,12 @@ def run_method_bindings(
                 "binding may differ"
             )
     metrics: list[MethodMetrics | None] = [None] * len(setups)
-    schedules = [generate_method_schedule(method, setup) for setup in setups]
+    bound_setups = [_scenario_setup(setup, scenario) for setup in setups]
+    schedules = [
+        generate_method_schedule(method, setup) for setup in bound_setups
+    ]
     batchable: dict[tuple, list[int]] = {}
-    for index, (setup, schedule) in enumerate(zip(setups, schedules)):
+    for index, schedule in enumerate(schedules):
         if (refine and _wants_refinement(schedule)) or (
             simulation_engine() == "reference"
         ):
@@ -430,20 +492,24 @@ def run_method_bindings(
                 method,
                 model,
                 parallel,
-                setup=setup,
+                setup=setups[index],
                 memory_model=memory_model,
                 refine=refine,
+                scenario=scenario,
             )
         else:
             batchable.setdefault(schedule.structure_key(), []).append(index)
     for indices in batchable.values():
         first = indices[0]
-        runtimes = [RuntimeModel(setups[i], schedules[i]) for i in indices]
+        runtimes = [
+            _scenario_runtime(bound_setups[i], schedules[i], scenario)
+            for i in indices
+        ]
         graph = _compile_cached(schedules[first], runtimes[0])
         results = graph.execute_bindings(runtimes)
         for i, result in zip(indices, results):
             metrics[i] = _metrics_from(
-                method, model, parallel, setups[i], memory_model, result
+                method, model, parallel, bound_setups[i], memory_model, result
             )
     return metrics  # type: ignore[return-value]
 
@@ -456,6 +522,7 @@ def run_method(
     memory_model: MemoryModel | None = None,
     refine: bool = True,
     sim_cache: dict | None = None,
+    scenario=None,
 ) -> MethodMetrics:
     """Simulate one method end-to-end and collect its metrics.
 
@@ -466,10 +533,20 @@ def run_method(
     the second simulation is skipped and the stored metrics are reused.
     Callers must use one cache per (setup, memory_model) pairing; the
     planner's top-k loop does exactly that.
+
+    ``scenario`` (a :class:`~repro.scenarios.cluster.ClusterScenario`)
+    re-prices the run for a non-ideal cluster.  The scenario's
+    signature is part of the ``sim_cache`` key: structurally identical
+    schedules priced under *different* scenarios never share metrics,
+    so a homogeneous result cannot be served for a perturbed cluster.
     """
-    setup = setup or SimulationSetup(model, parallel)
+    setup = _scenario_setup(setup or SimulationSetup(model, parallel), scenario)
     schedule = generate_method_schedule(method, setup)
-    key = (schedule.structure_key(), bool(refine))
+    key = (
+        schedule.structure_key(),
+        bool(refine),
+        _scenario_signature(scenario),
+    )
     if sim_cache is not None:
         cached = sim_cache.get(key)
         if cached is not None:
@@ -478,7 +555,7 @@ def run_method(
                 method=method,
                 per_device_peak_gb=list(cached.per_device_peak_gb),
             )
-    schedule, result = _simulate(schedule, setup, refine)
+    schedule, result = _simulate(schedule, setup, refine, scenario)
     metrics = _metrics_from(method, model, parallel, setup, memory_model, result)
     if sim_cache is not None:
         # Store a clone, not the returned object: a caller mutating its

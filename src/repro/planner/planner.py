@@ -36,13 +36,23 @@ from repro.harness.experiments import (
 )
 from repro.planner.cache import PlanCache, config_digest
 from repro.planner.estimate import estimate_method, infeasibility_reason
+from repro.scenarios import (
+    ClusterScenario,
+    RobustnessObjective,
+    RobustnessStats,
+    get_scenario,
+    method_robustness,
+)
 from repro.scheduling import Schedule
 from repro.sim import SimulationSetup
 
 #: Bumped whenever ranking semantics change, to invalidate stale caches.
 #: 2: per-method estimate/metrics entries (budget-independent, keyed on
 #: the structural signature) and the ``pass_overhead`` binding knob.
-PLANNER_VERSION = 2
+#: 3: cluster scenarios — every whole-plan and metrics digest carries
+#: the scenario signature (``None`` for the nominal cluster), and the
+#: robustness ranking mode adds Monte Carlo aux entries.
+PLANNER_VERSION = 3
 
 #: Module-level default cache used when ``plan(..., cache=None)``.
 _DEFAULT_CACHE = PlanCache()
@@ -137,6 +147,11 @@ class PlanCandidate:
     mfu: float | None = None
     estimated_time: float | None = None
     estimated_peak_gb: float | None = None
+    #: Monte Carlo ranking value (the objective's quantile of the
+    #: jittered iteration time) and the full statistics behind it;
+    #: ``None`` unless the plan ran in robustness mode.
+    robust_time: float | None = None
+    robust_stats: RobustnessStats | None = None
 
     @property
     def simulated(self) -> bool:
@@ -165,6 +180,11 @@ class RankedPlans:
     #: The pass-overhead binding the plan was priced under (``None`` =
     #: the SimulationSetup default).
     pass_overhead: float | None = None
+    #: Cluster scenario the plan was priced under (``None`` = the
+    #: nominal homogeneous cluster) and, when Monte Carlo ranking was
+    #: requested, the robustness objective.
+    scenario: ClusterScenario | None = None
+    robustness: RobustnessObjective | None = None
 
     @property
     def best(self) -> PlanCandidate:
@@ -198,25 +218,34 @@ class RankedPlans:
             self.model, self.parallel, hardware=hardware, **kwargs
         )
         return build_schedule(
-            self.best.method, setup, refine=self.constraints.refine
+            self.best.method,
+            setup,
+            refine=self.constraints.refine,
+            scenario=self.scenario,
         )
 
     def render(self) -> str:
         """ASCII report in the style of the paper-table runners."""
         from repro.harness.tables import format_table
 
+        robust = self.robustness is not None
         rows: list[list[object]] = []
         for rank, c in enumerate(self.ranked, start=1):
-            rows.append(
-                [
-                    rank,
-                    c.method,
-                    c.source,
-                    None if c.iteration_time is None else round(c.iteration_time, 3),
-                    None if c.mfu is None else round(100.0 * c.mfu, 2),
-                    None if c.peak_memory_gb is None else round(c.peak_memory_gb, 2),
-                ]
-            )
+            row = [
+                rank,
+                c.method,
+                c.source,
+                None if c.iteration_time is None else round(c.iteration_time, 3),
+                None if c.mfu is None else round(100.0 * c.mfu, 2),
+                None if c.peak_memory_gb is None else round(c.peak_memory_gb, 2),
+            ]
+            if robust:
+                # Estimate-only candidates carry no Monte Carlo stats;
+                # a dash, not format_table's None → "OOM" rendering.
+                row.append(
+                    "-" if c.robust_time is None else round(c.robust_time, 3)
+                )
+            rows.append(row)
         title = (
             f"Schedule plan — {self.parallel.pipeline_size} devices, "
             f"vocab {self.model.vocab_size // 1024}k, "
@@ -224,11 +253,12 @@ class RankedPlans:
             f"m={self.parallel.num_microbatches}, "
             f"budget {self.memory_budget_gib:.4g} GiB"
         )
-        text = format_table(
-            ["rank", "method", "source", "time(s)", "MFU%", "peakGB"],
-            rows,
-            title=title,
-        )
+        if self.scenario is not None:
+            title += f", scenario {self.scenario.name}"
+        headers = ["rank", "method", "source", "time(s)", "MFU%", "peakGB"]
+        if robust:
+            headers.append(f"{self.robustness.rank_by}(s)")
+        text = format_table(headers, rows, title=title)
         if self.rejected:
             lines = [text, "rejected:"]
             for c in self.rejected:
@@ -278,7 +308,11 @@ def _estimate_digest(
     Excludes the planner constraints on purpose: grid points that share
     a schedule structure and runtime binding but differ in memory
     budget (or top-k effort) resolve to the same entry, so a budget
-    sweep prices each method exactly once.
+    sweep prices each method exactly once.  ``hardware`` is the setup's
+    *effective* hardware — a scenario's interconnect tiers land here,
+    while its device speeds and jitter never enter the analytic
+    estimate, so scenarios that only differ in those deliberately share
+    estimate entries.
     """
     return config_digest(
         "estimate", method, model, parallel, hardware, memory_model,
@@ -295,18 +329,41 @@ def _metrics_digest(
     memory_model: MemoryModel,
     pass_overhead: float | None,
     refine: bool,
+    scenario_signature: tuple | None = None,
 ) -> str:
     """Budget-independent key of one method's simulated metrics.
 
     Keyed on the generated schedule's runtime-independent
     :meth:`~repro.scheduling.schedule.Schedule.structure_signature`
     plus the runtime binding — everything the simulation depends on,
-    and nothing the ranking-only knobs (budget, top-k) touch.
+    and nothing the ranking-only knobs (budget, top-k) touch.  The
+    scenario signature is part of the binding: metrics simulated on the
+    nominal cluster are never served for a perturbed one (or between
+    two different perturbations).
     """
     return config_digest(
         "metrics", method, list(map(repr, structure_signature)), model,
         parallel, hardware, memory_model, pass_overhead, refine,
-        PLANNER_VERSION,
+        scenario_signature, PLANNER_VERSION,
+    )
+
+
+def _robust_digest(
+    method: str,
+    structure_signature: tuple,
+    model: ModelConfig,
+    parallel: ParallelConfig,
+    hardware: HardwareModel,
+    pass_overhead: float | None,
+    refine: bool,
+    scenario_signature: tuple | None,
+    robustness: RobustnessObjective,
+) -> str:
+    """Budget-independent key of one method's Monte Carlo statistics."""
+    return config_digest(
+        "robust", method, list(map(repr, structure_signature)), model,
+        parallel, hardware, pass_overhead, refine, scenario_signature,
+        robustness.as_dict(), PLANNER_VERSION,
     )
 
 
@@ -319,6 +376,8 @@ def plan(
     memory_model: MemoryModel | None = None,
     cache: PlanCache | None = None,
     pass_overhead: float | None = None,
+    scenario: ClusterScenario | str | None = None,
+    robustness: RobustnessObjective | str | None = None,
 ) -> RankedPlans:
     """Choose a pipeline schedule for ``model`` on ``parallel`` devices.
 
@@ -339,13 +398,38 @@ def plan(
     :class:`~repro.sim.SimulationSetup` binding (``None`` keeps the
     default), which is how sweeps explore overhead ablations without
     rebuilding schedule structures.
+
+    ``scenario`` re-prices the whole plan for a non-ideal cluster — a
+    :class:`~repro.scenarios.cluster.ClusterScenario` or the name of a
+    registered one (``"slow-node"``, …).  Analytic estimates see the
+    scenario's interconnect tiers; the top-k simulations additionally
+    apply its device speeds.  ``robustness`` (a
+    :class:`~repro.scenarios.perturb.RobustnessObjective`, or a
+    quantile name like ``"p95"``) switches the ranking of simulated
+    candidates to the chosen quantile of the scenario's seeded-jitter
+    Monte Carlo instead of the nominal iteration time; it requires a
+    scenario.  Every cache entry — whole-plan, metrics, Monte Carlo —
+    is keyed on the scenario signature, so nominal and perturbed
+    plans never share priced results.
     """
     constraints = constraints or PlannerConstraints()
     memory_model = memory_model or MemoryModel()
     cache = cache if cache is not None else _DEFAULT_CACHE
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    if isinstance(robustness, str):
+        robustness = RobustnessObjective(rank_by=robustness)
+    if robustness is not None and scenario is None:
+        raise ValueError(
+            "robustness ranking requires a scenario (the jitter source); "
+            "pass scenario='high-jitter' or another registered scenario"
+        )
+    scenario_sig = None if scenario is None else scenario.signature()
     key = config_digest(
         model, parallel, constraints, hardware, memory_model,
-        pass_overhead, PLANNER_VERSION,
+        pass_overhead, scenario_sig,
+        None if robustness is None else robustness.as_dict(),
+        PLANNER_VERSION,
     )
     cached = cache.get(key)
     if cached is not None:
@@ -356,6 +440,9 @@ def plan(
     methods = constraints.methods or KNOWN_METHODS
     setup_kwargs = {} if pass_overhead is None else {"pass_overhead": pass_overhead}
     setup = SimulationSetup(model, parallel, hardware=hardware, **setup_kwargs)
+    # The scenario's interconnect lowered into the setup; device speeds
+    # and jitter apply later, at runtime-binding / Monte Carlo time.
+    priced_setup = setup if scenario is None else scenario.setup_for(setup)
 
     rejected: list[PlanCandidate] = []
     priced: list[tuple[PlanCandidate, object]] = []
@@ -369,11 +456,12 @@ def plan(
             )
             continue
         est_key = _estimate_digest(
-            method, model, parallel, hardware, memory_model, pass_overhead
+            method, model, parallel, priced_setup.hardware, memory_model,
+            pass_overhead,
         )
         est = cache.get_aux("estimate", est_key)
         if est is None:
-            est = estimate_method(method, setup, memory_model)
+            est = estimate_method(method, priced_setup, memory_model)
             cache.put_aux("estimate", est_key, est)
         candidate = PlanCandidate(
             method=method,
@@ -422,11 +510,12 @@ def plan(
     for index, (candidate, _) in enumerate(priced):
         if needs_simulation(index, candidate):
             signature = generate_method_schedule(
-                candidate.method, setup
+                candidate.method, priced_setup
             ).structure_signature()
             sim_key = _metrics_digest(
-                candidate.method, signature, model, parallel, hardware,
-                memory_model, pass_overhead, constraints.refine,
+                candidate.method, signature, model, parallel,
+                priced_setup.hardware, memory_model, pass_overhead,
+                constraints.refine, scenario_sig,
             )
             metrics = cache.get_aux("metrics", sim_key)
             if metrics is None:
@@ -438,6 +527,7 @@ def plan(
                     memory_model=memory_model,
                     refine=constraints.refine,
                     sim_cache=sim_cache,
+                    scenario=scenario,
                 )
                 # Store a clone: MethodMetrics carries a mutable list.
                 cache.put_aux(
@@ -448,18 +538,43 @@ def plan(
                         per_device_peak_gb=list(metrics.per_device_peak_gb),
                     ),
                 )
+            feasible = metrics.peak_memory_gb <= budget_gib
+            robust_time = None
+            robust_stats = None
+            if robustness is not None and feasible:
+                rob_key = _robust_digest(
+                    candidate.method, signature, model, parallel,
+                    priced_setup.hardware, pass_overhead,
+                    constraints.refine, scenario_sig, robustness,
+                )
+                robust_stats = cache.get_aux("robust", rob_key)
+                if robust_stats is None:
+                    robust_stats = method_robustness(
+                        candidate.method,
+                        model,
+                        parallel,
+                        scenario,
+                        setup=setup,
+                        samples=robustness.samples,
+                        seed=robustness.seed,
+                        refine=constraints.refine,
+                    )
+                    cache.put_aux("robust", rob_key, robust_stats)
+                robust_time = robust_stats.quantile_time(robustness.rank_by)
             verified = PlanCandidate(
                 method=candidate.method,
-                feasible=metrics.peak_memory_gb <= budget_gib,
+                feasible=feasible,
                 source="sim",
                 iteration_time=metrics.iteration_time,
                 peak_memory_gb=metrics.peak_memory_gb,
                 mfu=metrics.mfu,
                 estimated_time=candidate.estimated_time,
                 estimated_peak_gb=candidate.estimated_peak_gb,
+                robust_time=robust_time,
+                robust_stats=robust_stats,
                 reason=(
                     ""
-                    if metrics.peak_memory_gb <= budget_gib
+                    if feasible
                     else (
                         f"simulated peak {metrics.peak_memory_gb:.1f} GiB exceeds "
                         f"budget {budget_gib:.1f} GiB"
@@ -480,7 +595,15 @@ def plan(
             else:
                 estimated.append(candidate)
 
-    simulated.sort(key=lambda c: (c.iteration_time, c.method))
+    # Robust mode ranks simulated candidates by the Monte Carlo
+    # quantile; nominal mode (and estimate-only candidates) by the
+    # deterministic iteration time.  Method name breaks ties either way.
+    simulated.sort(
+        key=lambda c: (
+            c.iteration_time if c.robust_time is None else c.robust_time,
+            c.method,
+        )
+    )
     estimated.sort(key=lambda c: (c.iteration_time, c.method))
     plans = RankedPlans(
         model=model,
@@ -491,6 +614,8 @@ def plan(
         rejected=tuple(rejected),
         cache_key=key,
         pass_overhead=pass_overhead,
+        scenario=scenario,
+        robustness=robustness,
     )
     cache.put(key, plans)
     return plans

@@ -86,7 +86,10 @@ class SweepPoint:
     ``num_microbatches`` shape the schedule *structures*;
     ``memory_budget_gib`` and ``pass_overhead`` are pure re-pricing /
     re-ranking knobs — points differing only in those share every
-    generated schedule and compiled graph.
+    generated schedule and compiled graph.  ``scenario`` sits in
+    between: it re-prices runtimes *and* can change generated
+    structures (interconnect tiers enter the generators' timing
+    scalars), so it counts as a structure axis.
     """
 
     devices: int
@@ -98,14 +101,24 @@ class SweepPoint:
     #: sweeping it explores the §7 overhead ablation without rebuilding
     #: schedule structures.
     pass_overhead: float | None = None
+    #: Registered cluster-scenario name (``None`` = nominal cluster);
+    #: see :mod:`repro.scenarios.registry`.  A name rather than a
+    #: :class:`~repro.scenarios.cluster.ClusterScenario` keeps points
+    #: hashable and process-pool picklable.
+    scenario: str | None = None
 
-    def structure_axes(self) -> tuple[int, int, int, int]:
-        """The axes that determine schedule structure (not bindings)."""
+    def structure_axes(self) -> tuple:
+        """The axes that determine schedule structure (not bindings).
+
+        The nominal cluster renders as ``""`` so the tuple stays
+        totally ordered (the sweep sorts points by it for grouping).
+        """
         return (
             self.devices,
             self.vocab_size,
             self.seq_length,
             self.num_microbatches,
+            self.scenario or "",
         )
 
 
@@ -158,17 +171,24 @@ def grid(
     microbatches: Sequence[int] = (128,),
     memory_budgets_gib: Sequence[float | None] = (None,),
     pass_overheads: Sequence[float | None] = (None,),
+    scenarios: Sequence[str | None] = (None,),
 ) -> list[SweepPoint]:
-    """Cartesian product of the sweep axes, in deterministic order."""
+    """Cartesian product of the sweep axes, in deterministic order.
+
+    ``scenarios`` takes registered cluster-scenario *names*
+    (:mod:`repro.scenarios.registry`); ``None`` is the nominal
+    homogeneous cluster.
+    """
     return [
-        SweepPoint(d, v, s, m, b, o)
-        for d, v, s, m, b, o in itertools.product(
+        SweepPoint(d, v, s, m, b, o, c)
+        for d, v, s, m, b, o, c in itertools.product(
             devices,
             vocab_sizes,
             seq_lengths,
             microbatches,
             memory_budgets_gib,
             pass_overheads,
+            scenarios,
         )
     ]
 
@@ -210,6 +230,7 @@ def plan_point(
             base,
             cache=cache,
             pass_overhead=point.pass_overhead,
+            scenario=point.scenario,
         ),
     )
 
@@ -243,6 +264,12 @@ def _warm_binding_groups(
     for point in points:
         groups.setdefault(point.structure_axes(), []).append(point)
     for group in groups.values():
+        if group[0].scenario is not None:
+            # The warm-up prices *nominal* runtimes; a scenario point
+            # only reads scenario-keyed metrics entries, so pre-seeding
+            # here would be wasted work.  plan() still shares its
+            # budget-independent aux entries across the scenario group.
+            continue
         overheads = list(dict.fromkeys(p.pass_overhead for p in group))
         if len(overheads) < 2:
             continue

@@ -1,0 +1,413 @@
+"""Lower a scenario into Monte Carlo binding matrices for ``execute_many``.
+
+PR 3's batched replay kernel
+(:meth:`repro.sim.compiled.CompiledGraph.execute_many`) executes K
+runtime bindings of one compiled schedule in a handful of NumPy calls.
+This module produces those bindings from a
+:class:`~repro.scenarios.cluster.ClusterScenario`: the graph's bound
+durations/lags are the scenario's *nominal* binding (device speeds and
+interconnect tiers already applied), and K multiplicative jitter
+matrices perturb them into K samples.  Robustness statistics
+(p50/p95/worst-case iteration time, bubble inflation) then cost a few
+NumPy calls per schedule structure.
+
+Determinism is load-bearing (tests, golden CLI output, cache keys), so
+jitter does **not** use :mod:`numpy.random` or :mod:`random`.  Instead
+a counter-based SplitMix64 generator produces 53-bit uniforms, and the
+distribution transforms use arithmetic only (a 4-uniform Bates sum for
+"normal", an affine map for "uniform").  Both steps are implemented
+twice — vectorized NumPy and pure Python — and produce **bit-identical
+matrices**, so robustness numbers do not depend on whether the
+optional NumPy extra is installed (the pure-Python path is just
+slower), mirroring ``execute_many``'s own exact fallback.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+try:  # NumPy vectorizes factor generation; pure Python is bit-identical.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the fallback tests
+    _np = None
+
+from repro.scenarios.cluster import ClusterScenario
+from repro.sim.compiled import CompiledGraph
+
+#: SplitMix64 constants (Steele, Lea & Flood 2014).
+_GOLDEN = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+_MASK = (1 << 64) - 1
+#: Uniforms per jitter factor (the Bates-4 normal approximation).
+_DRAWS = 4
+#: √3 rescales a centered 4-uniform sum to unit variance.
+_SQRT3 = math.sqrt(3.0)
+
+#: Quantile names accepted by :meth:`RobustnessStats.quantile_time`
+#: and :attr:`RobustnessObjective.rank_by`.
+QUANTILES = ("p50", "p95", "worst", "mean")
+
+
+def _stream_seed(scenario_seed: int, sample_seed: int) -> int:
+    """Combine the scenario's base seed with a caller seed (64-bit)."""
+    return ((scenario_seed & _MASK) * _GOLDEN + (sample_seed & _MASK)) & _MASK
+
+
+def _uniforms_py(seed: int, start: int, count: int) -> list[float]:
+    """``count`` uniforms in [0, 1) from the counter-based stream."""
+    out = []
+    for i in range(count):
+        z = (seed + (start + i + 1) * _GOLDEN) & _MASK
+        z = (z + _GOLDEN) & _MASK
+        z = ((z ^ (z >> 30)) * _MIX1) & _MASK
+        z = ((z ^ (z >> 27)) * _MIX2) & _MASK
+        z = z ^ (z >> 31)
+        out.append((z >> 11) * 2.0**-53)
+    return out
+
+
+def _uniforms_np(seed: int, start: int, count: int):
+    """NumPy twin of :func:`_uniforms_py` — bit-identical output."""
+    idx = _np.arange(start + 1, start + count + 1, dtype=_np.uint64)
+    z = _np.uint64(seed) + idx * _np.uint64(_GOLDEN)
+    z = z + _np.uint64(_GOLDEN)
+    z = (z ^ (z >> _np.uint64(30))) * _np.uint64(_MIX1)
+    z = (z ^ (z >> _np.uint64(27))) * _np.uint64(_MIX2)
+    z = z ^ (z >> _np.uint64(31))
+    return (z >> _np.uint64(11)).astype(_np.float64) * 2.0**-53
+
+
+def _factor_block_py(
+    scenario: ClusterScenario,
+    seed: int,
+    start: int,
+    rows: int,
+    cols: int,
+    sigma_of,
+) -> list[list[float]]:
+    """``rows×cols`` multiplicative factors, pure Python."""
+    uniform = _uniforms_py(seed, start, rows * cols * _DRAWS)
+    floor = scenario.min_jitter_factor
+    normal = scenario.jitter_distribution == "normal"
+    out = []
+    at = 0
+    for _ in range(rows):
+        row = []
+        for j in range(cols):
+            sigma = sigma_of(j)
+            if normal:
+                u = uniform[at : at + _DRAWS]
+                z = (((u[0] + u[1]) + u[2]) + u[3] - 2.0) * _SQRT3
+            else:
+                z = 2.0 * uniform[at] - 1.0
+            at += _DRAWS
+            row.append(max(1.0 + sigma * z, floor))
+        out.append(row)
+    return out
+
+
+def _factor_block_np(
+    scenario: ClusterScenario,
+    seed: int,
+    start: int,
+    rows: int,
+    cols: int,
+    sigma_row,
+):
+    """NumPy twin of :func:`_factor_block_py` — bit-identical output."""
+    u = _uniforms_np(seed, start, rows * cols * _DRAWS).reshape(
+        rows, cols, _DRAWS
+    )
+    if scenario.jitter_distribution == "normal":
+        z = (((u[:, :, 0] + u[:, :, 1]) + u[:, :, 2]) + u[:, :, 3] - 2.0) * _SQRT3
+    else:
+        z = 2.0 * u[:, :, 0] - 1.0
+    return _np.maximum(1.0 + sigma_row[None, :] * z, scenario.min_jitter_factor)
+
+
+def perturbation_factors(
+    graph: CompiledGraph,
+    scenario: ClusterScenario,
+    samples: int,
+    seed: int = 0,
+) -> tuple:
+    """K×num_nodes duration factors and K×num_edges lag factors.
+
+    Compute passes jitter with ``pass_jitter``; collective barrier
+    nodes and edge lags (P2P transfers) jitter with ``comm_jitter``.
+    The stream is a pure function of ``(scenario.seed, seed)`` and the
+    graph's node/edge counts — same seed, same shape ⇒ bit-identical
+    matrices, with or without NumPy.
+    """
+    if samples <= 0:
+        raise ValueError(f"samples must be positive, got {samples}")
+    num_nodes = graph.num_nodes
+    num_passes = graph.num_passes
+    num_edges = len(graph.succ_node)
+    stream = _stream_seed(scenario.seed, seed)
+    lag_start = samples * num_nodes * _DRAWS
+    if _np is not None:
+        sigma_nodes = _np.where(
+            _np.arange(num_nodes) < num_passes,
+            scenario.pass_jitter,
+            scenario.comm_jitter,
+        )
+        dur = _factor_block_np(scenario, stream, 0, samples, num_nodes, sigma_nodes)
+        lag = _factor_block_np(
+            scenario,
+            stream,
+            lag_start,
+            samples,
+            num_edges,
+            _np.full(num_edges, scenario.comm_jitter),
+        )
+        return dur, lag
+    pass_sigma, comm_sigma = scenario.pass_jitter, scenario.comm_jitter
+    dur = _factor_block_py(
+        scenario, stream, 0, samples, num_nodes,
+        lambda j: pass_sigma if j < num_passes else comm_sigma,
+    )
+    lag = _factor_block_py(
+        scenario, stream, lag_start, samples, num_edges, lambda j: comm_sigma
+    )
+    return dur, lag
+
+
+def perturbed_rows(
+    graph: CompiledGraph,
+    scenario: ClusterScenario,
+    samples: int,
+    seed: int = 0,
+) -> tuple:
+    """K perturbed duration rows and lag rows for ``execute_many``.
+
+    The base binding is the graph's currently bound durations/lags —
+    i.e. the scenario's deterministic part (device speeds, interconnect
+    tiers) must already be priced into the graph
+    (:meth:`~repro.scenarios.cluster.ClusterScenario.runtime_for`).
+    Jitter multiplies on top; zero-lag structural edges stay exactly
+    zero, so the batched kernel's lag-free level skips remain valid.
+    """
+    if samples <= 0:
+        raise ValueError(f"samples must be positive, got {samples}")
+    if not scenario.has_jitter:
+        if _np is not None:
+            base_dur = _np.asarray(graph.durations, dtype=_np.float64)
+            base_lag = _np.asarray(graph.succ_lag, dtype=_np.float64)
+            return (
+                _np.repeat(base_dur[None, :], samples, axis=0),
+                _np.repeat(base_lag[None, :], samples, axis=0),
+            )
+        return (
+            [list(graph.durations) for _ in range(samples)],
+            [list(graph.succ_lag) for _ in range(samples)],
+        )
+    dur_factors, lag_factors = perturbation_factors(
+        graph, scenario, samples, seed
+    )
+    if _np is not None:
+        base_dur = _np.asarray(graph.durations, dtype=_np.float64)
+        base_lag = _np.asarray(graph.succ_lag, dtype=_np.float64)
+        return base_dur[None, :] * dur_factors, base_lag[None, :] * lag_factors
+    base_dur = list(graph.durations)
+    base_lag = list(graph.succ_lag)
+    durations = [
+        [b * f for b, f in zip(base_dur, row)] for row in dur_factors
+    ]
+    lags = [[b * f for b, f in zip(base_lag, row)] for row in lag_factors]
+    return durations, lags
+
+
+def _quantile(sorted_values: list[float], q: float) -> float:
+    """Linear-interpolation quantile of an ascending list."""
+    n = len(sorted_values)
+    if n == 1:
+        return sorted_values[0]
+    h = (n - 1) * q
+    lo = int(h)
+    if lo >= n - 1:
+        return sorted_values[-1]
+    frac = h - lo
+    return sorted_values[lo] + frac * (sorted_values[lo + 1] - sorted_values[lo])
+
+
+@dataclass(frozen=True)
+class RobustnessStats:
+    """Monte Carlo robustness of one schedule under one scenario.
+
+    ``nominal_time`` is the deterministic scenario execution (device
+    speeds and interconnect applied, no jitter); the sample statistics
+    describe the seeded jitter distribution around it.  ``*_bubble``
+    are mean bubble fractions (the paper's ⌀).
+    """
+
+    samples: int
+    seed: int
+    nominal_time: float
+    mean_time: float
+    std_time: float
+    best_time: float
+    p50_time: float
+    p95_time: float
+    worst_time: float
+    nominal_bubble: float
+    p95_bubble: float
+
+    @property
+    def p95_inflation(self) -> float:
+        """Relative iteration-time inflation of the 95th percentile."""
+        if self.nominal_time <= 0:
+            return 0.0
+        return self.p95_time / self.nominal_time - 1.0
+
+    def quantile_time(self, which: str) -> float:
+        """One of ``p50``/``p95``/``worst``/``mean``."""
+        try:
+            return {
+                "p50": self.p50_time,
+                "p95": self.p95_time,
+                "worst": self.worst_time,
+                "mean": self.mean_time,
+            }[which]
+        except KeyError:
+            raise ValueError(
+                f"unknown quantile {which!r}; expected one of {QUANTILES}"
+            ) from None
+
+    def as_dict(self) -> dict:
+        """Plain-dict rendering (JSON output, cache digests)."""
+        return {
+            "samples": self.samples,
+            "seed": self.seed,
+            "nominal_time": self.nominal_time,
+            "mean_time": self.mean_time,
+            "std_time": self.std_time,
+            "best_time": self.best_time,
+            "p50_time": self.p50_time,
+            "p95_time": self.p95_time,
+            "worst_time": self.worst_time,
+            "p95_inflation": self.p95_inflation,
+            "nominal_bubble": self.nominal_bubble,
+            "p95_bubble": self.p95_bubble,
+        }
+
+
+@dataclass(frozen=True)
+class RobustnessObjective:
+    """How a robust planning pass samples and ranks.
+
+    ``rank_by`` selects the statistic candidates are ordered by
+    (:data:`QUANTILES`); ``samples``/``seed`` control the Monte Carlo
+    draw (the seed combines with the scenario's own base seed).
+    """
+
+    samples: int = 256
+    rank_by: str = "p95"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.samples <= 0:
+            raise ValueError(f"samples must be positive, got {self.samples}")
+        if self.rank_by not in QUANTILES:
+            raise ValueError(
+                f"rank_by must be one of {QUANTILES}, got {self.rank_by!r}"
+            )
+
+    def as_dict(self) -> dict:
+        return {
+            "samples": self.samples,
+            "rank_by": self.rank_by,
+            "seed": self.seed,
+        }
+
+
+def robustness_stats(
+    graph: CompiledGraph,
+    scenario: ClusterScenario,
+    samples: int = 256,
+    seed: int = 0,
+) -> RobustnessStats:
+    """Monte Carlo statistics of one compiled, scenario-bound graph.
+
+    One :meth:`~repro.sim.compiled.CompiledGraph.execute_many_summary`
+    call prices all ``samples`` jitter draws; statistics are computed
+    in pure Python from the resulting iteration times so they are
+    identical whichever kernel backend ran the sweep.  A jitter-free
+    scenario degenerates to the nominal execution (every quantile
+    equals ``nominal_time`` exactly).
+    """
+    nominal = graph.execute()
+    nominal_time = nominal.iteration_time
+    nominal_bubble = nominal.mean_bubble_fraction()
+    if not scenario.has_jitter:
+        return RobustnessStats(
+            samples=samples,
+            seed=seed,
+            nominal_time=nominal_time,
+            mean_time=nominal_time,
+            std_time=0.0,
+            best_time=nominal_time,
+            p50_time=nominal_time,
+            p95_time=nominal_time,
+            worst_time=nominal_time,
+            nominal_bubble=nominal_bubble,
+            p95_bubble=nominal_bubble,
+        )
+    durations, lags = perturbed_rows(graph, scenario, samples, seed)
+    summaries = graph.execute_many_summary(durations, lags)
+    times = sorted(s.iteration_time for s in summaries)
+    bubbles = sorted(s.mean_bubble_fraction() for s in summaries)
+    mean = sum(times) / len(times)
+    variance = sum((t - mean) ** 2 for t in times) / len(times)
+    return RobustnessStats(
+        samples=samples,
+        seed=seed,
+        nominal_time=nominal_time,
+        mean_time=mean,
+        std_time=math.sqrt(variance),
+        best_time=times[0],
+        p50_time=_quantile(times, 0.50),
+        p95_time=_quantile(times, 0.95),
+        worst_time=times[-1],
+        nominal_bubble=nominal_bubble,
+        p95_bubble=_quantile(bubbles, 0.95),
+    )
+
+
+def method_robustness(
+    method: str,
+    model,
+    parallel,
+    scenario: ClusterScenario,
+    *,
+    setup=None,
+    samples: int = 256,
+    seed: int = 0,
+    refine: bool = True,
+) -> RobustnessStats:
+    """Robustness of one schedule family under a scenario.
+
+    Builds the method's (optionally refined) schedule under the
+    scenario setup, compiles/rebinds it through the process-wide
+    structural caches, and runs the Monte Carlo sweep.  ``setup`` is
+    the *nominal* :class:`~repro.sim.SimulationSetup` (the scenario
+    transform is applied here exactly once).  Schedule generation and
+    graph lowering are cache hits when the planner simulated this
+    method first; the order-refinement pass is recomputed (refined
+    orders depend on the full runtime binding and are deliberately not
+    cached), bounding a cold robust ``plan()`` at roughly one extra
+    refinement per top-k candidate.
+    """
+    # Imported lazily: harness.experiments consumes scenarios through
+    # duck typing, so the package dependency points this way only.
+    from repro.harness.experiments import build_schedule, compiled_graph_for
+    from repro.sim import SimulationSetup
+
+    base = setup or SimulationSetup(model, parallel)
+    schedule = build_schedule(method, base, refine=refine, scenario=scenario)
+    scenario_setup = scenario.setup_for(base)
+    runtime = scenario.runtime_for(scenario_setup, schedule)
+    graph = compiled_graph_for(schedule, runtime)
+    return robustness_stats(graph, scenario, samples=samples, seed=seed)

@@ -19,7 +19,7 @@ from repro.sim.executor import (
     refine_schedule_order,
     simulation_engine,
 )
-from repro.sim.compiled import CompiledGraph, compile_schedule
+from repro.sim.compiled import CompiledGraph, ExecutionSummary, compile_schedule
 from repro.sim.memory import MemoryReport, memory_report, live_microbatch_peaks
 from repro.sim.trace import render_timeline, render_order
 
@@ -34,6 +34,7 @@ __all__ = [
     "CompiledGraph",
     "compile_schedule",
     "ExecutionResult",
+    "ExecutionSummary",
     "DeadlockError",
     "MemoryReport",
     "memory_report",

@@ -48,14 +48,35 @@ try:  # NumPy accelerates execute_many; the pure-Python path is exact too.
 except ImportError:  # pragma: no cover - exercised via the fallback tests
     _np = None
 
+from dataclasses import dataclass
+
 from repro.scheduling.passes import CollectiveKind, Pass, PassType
 from repro.scheduling.schedule import Schedule
 from repro.sim.executor import (
     FLEXIBLE_TYPES,
+    BubbleFractions,
     DeadlockError,
     ExecutionResult,
     _live_f_caps,
 )
+
+
+@dataclass(frozen=True)
+class ExecutionSummary(BubbleFractions):
+    """The observables Monte Carlo statistics need, without the per-pass
+    timing dictionaries of a full :class:`ExecutionResult`.
+
+    Produced by :meth:`CompiledGraph.execute_many_summary`; the values
+    are bit-identical to the corresponding fields of the full results
+    (same sweep, same float accumulation order), only the per-pass and
+    per-collective time maps are skipped — which is most of the
+    collection cost once K reaches Monte Carlo sample counts.  Bubble
+    accessors come from the shared
+    :class:`~repro.sim.executor.BubbleFractions` base.
+    """
+
+    iteration_time: float
+    device_busy: tuple[float, ...]
 
 
 class CompiledGraph:
@@ -534,26 +555,15 @@ class CompiledGraph:
         )
         return self._batch
 
-    def execute_many(
-        self,
-        durations,
-        lags=None,
-    ) -> list[ExecutionResult]:
-        """In-order execution of K bindings over one shared topology.
+    def _execute_rows(self, durations, lags, collect_row, collect_column):
+        """Shared K-binding sweep behind :meth:`execute_many` and
+        :meth:`execute_many_summary`.
 
-        ``durations`` is a K×num_nodes matrix (any sequence-of-rows or
-        NumPy array); row k holds the node durations of binding k, as
-        produced by :meth:`binding_rows`.  ``lags`` is an optional
-        K×num_edges matrix of per-edge transfer lags; when omitted,
-        every binding reuses this graph's currently bound lags.
-
-        With NumPy available the longest-path relaxation runs once over
-        the shared precomputed topological order with all K bindings
-        relaxed per vectorized step; otherwise a pure-Python loop sweeps
-        each row.  Both paths are bit-identical to calling
-        :meth:`replay` per binding — max-relaxations commute and the
-        per-element float operations are the same IEEE ops in the same
-        order.
+        ``collect_row(start, end)`` consumes one scalar-path sweep
+        (plain lists in node-id space); ``collect_column(start, end)``
+        consumes one row-contiguous NumPy column pair of the batched
+        sweep.  Both receive exactly the values the corresponding
+        single-binding :meth:`replay` would have produced.
         """
         rows = durations if isinstance(durations, list) else list(durations)
         k_rows = len(rows)
@@ -582,7 +592,7 @@ class CompiledGraph:
                         f"expected {num_edges}"
                     )
                 ready, end = self._sweep(dur, lag)
-                results.append(self._collect(ready, end))
+                results.append(collect_row(ready, end))
             return results
 
         dur = _np.asarray(rows, dtype=_np.float64)
@@ -632,9 +642,76 @@ class CompiledGraph:
         # row-contiguous per binding so the collect gathers are slices.
         ready = _np.ascontiguousarray(ready[inverse_perm].T)
         end = _np.ascontiguousarray(end[inverse_perm].T)
-        return [
-            self._collect_column(ready[k], end[k]) for k in range(k_rows)
-        ]
+        return [collect_column(ready[k], end[k]) for k in range(k_rows)]
+
+    def execute_many(
+        self,
+        durations,
+        lags=None,
+    ) -> list[ExecutionResult]:
+        """In-order execution of K bindings over one shared topology.
+
+        ``durations`` is a K×num_nodes matrix (any sequence-of-rows or
+        NumPy array); row k holds the node durations of binding k, as
+        produced by :meth:`binding_rows`.  ``lags`` is an optional
+        K×num_edges matrix of per-edge transfer lags; when omitted,
+        every binding reuses this graph's currently bound lags.
+
+        With NumPy available the longest-path relaxation runs once over
+        the shared precomputed topological order with all K bindings
+        relaxed per vectorized step; otherwise a pure-Python loop sweeps
+        each row.  Both paths are bit-identical to calling
+        :meth:`replay` per binding — max-relaxations commute and the
+        per-element float operations are the same IEEE ops in the same
+        order.
+        """
+        return self._execute_rows(
+            durations, lags, self._collect, self._collect_column
+        )
+
+    def execute_many_summary(
+        self,
+        durations,
+        lags=None,
+    ) -> list[ExecutionSummary]:
+        """:meth:`execute_many`, collecting only the summary observables.
+
+        Runs the identical batched sweep but materializes one
+        :class:`ExecutionSummary` (iteration time + per-device busy
+        seconds) per binding instead of a full per-pass timing map.
+        For Monte Carlo sample counts the timing maps dominate
+        collection cost and memory, and robustness statistics never
+        read them; the summary values are bit-identical to the full
+        results' (:mod:`repro.scenarios.perturb` relies on this).
+        """
+        return self._execute_rows(
+            durations, lags, self._summarize, self._summarize_column
+        )
+
+    def _summarize(self, start, end) -> ExecutionSummary:
+        """Summary observables of one sweep, matching :meth:`_collect`'s
+        float accumulation order exactly (stream-order busy sums)."""
+        busy: list[float] = []
+        for nodes in self.device_nodes:
+            total = 0.0
+            for i in nodes:
+                total += end[i] - start[i]
+            busy.append(total)
+        return ExecutionSummary(
+            iteration_time=max(end) - min(start),
+            device_busy=tuple(busy),
+        )
+
+    def _summarize_column(self, start_col, end_col) -> ExecutionSummary:
+        """:meth:`_summarize` for one NumPy column of the batched sweep.
+
+        Converting to plain lists first makes the busy sums accumulate
+        with the same scalar float adds (and order) as :meth:`_collect`
+        / :meth:`_collect_column`; max/min are order-independent exact
+        ops, so the delegated iteration time equals
+        ``float(end_col.max() - start_col.min())`` bit for bit.
+        """
+        return self._summarize(start_col.tolist(), end_col.tolist())
 
     def _collect_plan(self) -> tuple:
         """Gather plan for :meth:`_collect_column`: the flattened stream

@@ -66,8 +66,31 @@ class DeadlockError(RuntimeError):
     """The schedule's pass order has a dependency cycle."""
 
 
+class BubbleFractions:
+    """Bubble math over ``iteration_time`` + ``device_busy``.
+
+    Shared by :class:`ExecutionResult` and the batched kernel's
+    :class:`~repro.sim.compiled.ExecutionSummary`, so the two can never
+    drift apart on the bubble definition.
+    """
+
+    iteration_time: float
+    device_busy: "list[float] | tuple[float, ...]"
+
+    def bubble_fraction(self, device: int) -> float:
+        """Idle share of the iteration on ``device``."""
+        if self.iteration_time <= 0:
+            return 0.0
+        return 1.0 - self.device_busy[device] / self.iteration_time
+
+    def mean_bubble_fraction(self) -> float:
+        """Bubble fraction averaged over all devices (the paper's ⌀)."""
+        p = len(self.device_busy)
+        return sum(self.bubble_fraction(d) for d in range(p)) / p
+
+
 @dataclass
-class ExecutionResult:
+class ExecutionResult(BubbleFractions):
     """Timing outcome of one simulated training iteration."""
 
     schedule: Schedule
@@ -81,17 +104,6 @@ class ExecutionResult:
     _per_device: list[list[tuple[Pass, float, float]]] | None = field(
         default=None, init=False, repr=False, compare=False
     )
-
-    def bubble_fraction(self, device: int) -> float:
-        """Idle share of the iteration on ``device``."""
-        if self.iteration_time <= 0:
-            return 0.0
-        return 1.0 - self.device_busy[device] / self.iteration_time
-
-    def mean_bubble_fraction(self) -> float:
-        """Bubble fraction averaged over all devices (the paper's ⌀)."""
-        p = len(self.device_busy)
-        return sum(self.bubble_fraction(d) for d in range(p)) / p
 
     def passes_on(self, device: int) -> list[tuple[Pass, float, float]]:
         """(pass, start, end) for one device, sorted by start time.

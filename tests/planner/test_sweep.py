@@ -224,3 +224,41 @@ class TestPersistentPools:
         assert sweep_mod._POOLS.get(("thread", 2)) is first
         sweep_mod.shutdown_pools()
         assert ("thread", 2) not in sweep_mod._POOLS
+
+
+class TestScenarioAxis:
+    def test_grid_scenario_axis(self):
+        points = grid(devices=(4,), vocab_sizes=(32 * 1024,),
+                      scenarios=(None, "slow-node"))
+        assert [p.scenario for p in points] == [None, "slow-node"]
+
+    def test_scenario_is_a_structure_axis(self):
+        nominal = SweepPoint(4, 32 * 1024)
+        perturbed = SweepPoint(4, 32 * 1024, scenario="slow-node")
+        assert nominal.structure_axes() != perturbed.structure_axes()
+
+    def test_scenario_sweep_matches_individual_plans(self):
+        from repro.planner import clear_plan_cache
+
+        points = grid(devices=(4,), vocab_sizes=(32 * 1024,),
+                      microbatches=(8,), scenarios=(None, "slow-node"))
+        outcomes = sweep(points, FAST, executor="serial")
+        assert [o.point for o in outcomes] == points
+        clear_plan_cache()
+        for outcome in outcomes:
+            alone = plan_point(outcome.point, FAST)
+            assert alone.best_method == outcome.best_method
+            assert (
+                alone.plans.best.iteration_time
+                == outcome.plans.best.iteration_time
+            )
+        # The straggler must actually bite: same grid point, slower best.
+        assert (
+            outcomes[1].plans.best.iteration_time
+            > outcomes[0].plans.best.iteration_time
+        )
+
+    def test_unknown_scenario_name_raises(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            plan_point(SweepPoint(4, 32 * 1024, num_microbatches=8,
+                                  scenario="nope"), FAST)

@@ -1,0 +1,191 @@
+"""ClusterScenario lowering: speeds, interconnect tiers, registry."""
+
+import dataclasses
+
+import pytest
+
+from repro.collectives.timing import CommunicationModel
+from repro.config import ModelConfig, ParallelConfig
+from repro.costmodel.hardware import A100_SXM_80G, HardwareModel
+from repro.harness.experiments import generate_method_schedule
+from repro.scenarios import (
+    BUILTIN_SCENARIOS,
+    ClusterScenario,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    unregister_scenario,
+)
+from repro.sim import RuntimeModel, SimulationSetup
+
+
+def tiny_setup(p: int = 4, m: int = 8) -> SimulationSetup:
+    model = ModelConfig(
+        num_layers=4 * p,
+        hidden_size=512,
+        num_attention_heads=8,
+        seq_length=256,
+        vocab_size=4096,
+    )
+    return SimulationSetup(
+        model, ParallelConfig(pipeline_size=p, num_microbatches=m)
+    )
+
+
+class TestValidation:
+    def test_rejects_nonpositive_speeds(self):
+        with pytest.raises(ValueError, match="positive"):
+            ClusterScenario(name="x", device_speed_pattern=(1.0, 0.0))
+        with pytest.raises(ValueError, match="positive"):
+            ClusterScenario(name="x", slow_node_speed=-1.0)
+
+    def test_rejects_bad_scales_and_jitter(self):
+        with pytest.raises(ValueError, match="inter_bandwidth_scale"):
+            ClusterScenario(name="x", inter_bandwidth_scale=0.0)
+        with pytest.raises(ValueError, match="jitter"):
+            ClusterScenario(name="x", pass_jitter=-0.1)
+        with pytest.raises(ValueError, match="jitter_distribution"):
+            ClusterScenario(name="x", jitter_distribution="cauchy")
+
+    def test_nominal_flags(self):
+        nominal = ClusterScenario(name="x")
+        assert nominal.is_nominal
+        assert not nominal.has_jitter
+        jittery = ClusterScenario(name="x", pass_jitter=0.1)
+        assert jittery.has_jitter and not jittery.is_nominal
+
+
+class TestDeviceSpeeds:
+    def test_pattern_cycles_over_devices(self):
+        scenario = ClusterScenario(name="x", device_speed_pattern=(1.0, 0.5))
+        parallel = ParallelConfig(pipeline_size=5, num_microbatches=8)
+        assert scenario.device_speeds(parallel) == (1.0, 0.5, 1.0, 0.5, 1.0)
+
+    def test_slow_node_maps_to_its_devices(self):
+        scenario = ClusterScenario(
+            name="x", slow_nodes=(-1,), slow_node_speed=0.5
+        )
+        parallel = ParallelConfig(pipeline_size=12, num_microbatches=8)
+        speeds = scenario.device_speeds(parallel)
+        # 12 devices = node 0 (0-7) + node 1 (8-11); -1 is the last node.
+        assert speeds[:8] == (1.0,) * 8
+        assert speeds[8:] == (0.5,) * 4
+
+    def test_single_node_cluster_slows_uniformly(self):
+        scenario = ClusterScenario(
+            name="x", slow_nodes=(-1,), slow_node_speed=0.5
+        )
+        parallel = ParallelConfig(pipeline_size=4, num_microbatches=8)
+        assert scenario.device_speeds(parallel) == (0.5,) * 4
+
+
+class TestInterconnect:
+    def test_hardware_for_scales_both_tiers(self):
+        scenario = ClusterScenario(
+            name="x",
+            intra_bandwidth_scale=0.5,
+            inter_bandwidth_scale=0.25,
+            inter_latency_scale=3.0,
+        )
+        hw = scenario.hardware_for(A100_SXM_80G)
+        assert hw.intra_node_bandwidth == A100_SXM_80G.intra_node_bandwidth * 0.5
+        assert hw.inter_node_bandwidth == A100_SXM_80G.inter_node_bandwidth * 0.25
+        assert hw.link_latency == A100_SXM_80G.link_latency
+        assert hw.inter_link_latency == A100_SXM_80G.link_latency * 3.0
+
+    def test_nominal_scenario_shares_hardware_and_setup(self):
+        scenario = ClusterScenario(name="x", device_speed_pattern=(1.0, 0.5))
+        setup = tiny_setup()
+        assert scenario.hardware_for(setup.hardware) is setup.hardware
+        assert scenario.setup_for(setup) is setup
+
+    def test_default_inter_latency_preserves_old_timing(self):
+        """inter_node_latency=None must not change any nominal number."""
+        old_style = HardwareModel()
+        parallel = ParallelConfig(pipeline_size=16, num_microbatches=8)
+        comm = CommunicationModel(old_style, parallel)
+        assert old_style.inter_link_latency == old_style.link_latency
+        # Inter-node p2p uses the (identical) inter latency by default.
+        explicit = CommunicationModel(
+            dataclasses.replace(
+                old_style, inter_node_latency=old_style.link_latency
+            ),
+            parallel,
+        )
+        assert comm.p2p_time(1024.0, 7, 8) == explicit.p2p_time(1024.0, 7, 8)
+        assert comm.all_reduce_time(1 << 20) == explicit.all_reduce_time(1 << 20)
+
+    def test_inter_latency_applies_only_across_nodes(self):
+        hw = dataclasses.replace(A100_SXM_80G, inter_node_latency=1e-3)
+        parallel = ParallelConfig(pipeline_size=16, num_microbatches=8)
+        comm = CommunicationModel(hw, parallel)
+        base = CommunicationModel(A100_SXM_80G, parallel)
+        # Same-node pair: unchanged; cross-node pair: slower α.
+        assert comm.p2p_time(1024.0, 0, 1) == base.p2p_time(1024.0, 0, 1)
+        assert comm.p2p_time(1024.0, 7, 8) > base.p2p_time(1024.0, 7, 8)
+        # The multi-node ring pays the inter-node α per step.
+        assert comm.all_reduce_time(1 << 20) > base.all_reduce_time(1 << 20)
+
+
+class TestScenarioRuntime:
+    def test_speeds_divide_pass_durations(self):
+        setup = tiny_setup()
+        schedule = generate_method_schedule("baseline", setup)
+        scenario = ClusterScenario(name="x", device_speed_pattern=(1.0, 0.5))
+        runtime = scenario.runtime_for(setup, schedule)
+        base = RuntimeModel(setup, schedule)
+        for device_order in schedule.device_orders:
+            p = device_order[0]
+            expected = base.pass_duration(p) / (1.0 if p.device % 2 == 0 else 0.5)
+            assert runtime.pass_duration(p) == expected
+
+    def test_all_ones_pattern_returns_plain_runtime(self):
+        setup = tiny_setup()
+        schedule = generate_method_schedule("baseline", setup)
+        scenario = ClusterScenario(name="x", device_speed_pattern=(1.0, 1.0))
+        runtime = scenario.runtime_for(setup, schedule)
+        assert isinstance(runtime, RuntimeModel)
+
+
+class TestRegistry:
+    def test_builtins_present(self):
+        assert set(BUILTIN_SCENARIOS) == {
+            "homogeneous",
+            "mixed-sku",
+            "slow-node",
+            "bandwidth-asymmetric",
+            "high-jitter",
+        }
+        assert [s.name for s in list_scenarios()[:5]] == list(BUILTIN_SCENARIOS)
+        assert get_scenario("homogeneous").is_nominal
+
+    def test_unknown_name_raises_with_candidates(self):
+        with pytest.raises(KeyError, match="slow-node"):
+            get_scenario("slow-nod")
+
+    def test_register_and_unregister(self):
+        scenario = ClusterScenario(name="test-tmp", pass_jitter=0.1)
+        try:
+            register_scenario(scenario)
+            assert get_scenario("test-tmp") is scenario
+            with pytest.raises(ValueError, match="already registered"):
+                register_scenario(scenario)
+            register_scenario(
+                dataclasses.replace(scenario, pass_jitter=0.2), replace=True
+            )
+            assert get_scenario("test-tmp").pass_jitter == 0.2
+        finally:
+            unregister_scenario("test-tmp")
+
+    def test_builtins_cannot_be_replaced(self):
+        with pytest.raises(ValueError, match="built-in"):
+            register_scenario(ClusterScenario(name="slow-node"), replace=True)
+        with pytest.raises(ValueError, match="built-in"):
+            unregister_scenario("homogeneous")
+
+    def test_signature_ignores_name(self):
+        a = ClusterScenario(name="a", pass_jitter=0.1)
+        b = ClusterScenario(name="b", pass_jitter=0.1)
+        c = ClusterScenario(name="c", pass_jitter=0.2)
+        assert a.signature() == b.signature()
+        assert a.signature() != c.signature()

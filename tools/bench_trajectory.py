@@ -19,7 +19,13 @@ the **compiled** engine (:mod:`repro.sim.compiled`):
 * ``sweep_grid_*`` — an 8-point memory-budget grid sharing one
   schedule structure: the "reference" side plans each point with all
   process-wide caches cleared (the pre-structural-cache behaviour),
-  the "compiled" side is one structure-grouped ``sweep()``.
+  the "compiled" side is one structure-grouped ``sweep()``;
+* ``scenario_robustness_*`` — Monte Carlo robustness (K=256 seeded
+  jitter samples of the ``slow-node`` cluster scenario): the
+  "reference" side executes the perturbed bindings one at a time, the
+  "compiled" side is one batched
+  :meth:`~repro.sim.compiled.CompiledGraph.execute_many_summary` pass
+  over the same matrices.
 
 Every entry records reference seconds, compiled seconds and the
 speedup (for the two sweep-era classes, "reference" means the
@@ -70,6 +76,10 @@ PANELS = [
 MICROBATCHES = {"full": 128, "quick": 32}
 #: Runtime bindings per execute_many batch.
 BINDINGS = 16
+#: Monte Carlo samples of the scenario-robustness classes.
+MC_SAMPLES = 256
+#: Cluster scenario priced by the scenario-robustness classes.
+MC_SCENARIO = "slow-node"
 #: Memory-budget grid (GiB) of the sweep-throughput classes — one
 #: schedule structure, eight re-rankings.
 SWEEP_BUDGETS = (24.0, 32.0, 40.0, 48.0, 56.0, 64.0, 72.0, 80.0)
@@ -252,6 +262,39 @@ def measure_class(
             best_of(batch_bindings, rounds),
             bindings=BINDINGS,
             rebind_loop_s=best_of(rebind_loop_bindings, rounds),
+        )
+
+        # Scenario robustness: K=256 seeded-jitter samples of one
+        # scenario-bound structure.  The "reference" side sweeps the
+        # same perturbed duration/lag matrices one binding at a time
+        # (the natural pre-batch Monte Carlo loop); the compiled side
+        # is one execute_many_summary pass.
+        from repro.scenarios import get_scenario, perturbed_rows
+
+        scenario = get_scenario(MC_SCENARIO)
+        scenario_setup = scenario.setup_for(setup)
+        scenario_schedule = generate_method_schedule(method, scenario_setup)
+        scenario_graph = compile_schedule(
+            scenario_schedule,
+            scenario.runtime_for(scenario_setup, scenario_schedule),
+        )
+        dur_rows, lag_rows = perturbed_rows(
+            scenario_graph, scenario, MC_SAMPLES, seed=0
+        )
+
+        def per_binding_robustness() -> None:
+            for k in range(MC_SAMPLES):
+                scenario_graph.execute_many([dur_rows[k]], [lag_rows[k]])
+
+        def batched_robustness() -> None:
+            scenario_graph.execute_many_summary(dur_rows, lag_rows)
+
+        add(
+            f"scenario_robustness_{tag}",
+            best_of(per_binding_robustness, rounds) if with_reference else None,
+            best_of(batched_robustness, rounds),
+            samples=MC_SAMPLES,
+            scenario=MC_SCENARIO,
         )
 
         # Sweep throughput: an 8-budget grid over one schedule structure.

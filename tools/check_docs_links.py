@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Validate the user documentation: links, file references, CLI commands.
+"""Validate the user documentation: links, files, CLI usage, API kwargs.
 
 Checks, over ``README.md`` and every ``docs/*.md``:
 
@@ -8,8 +8,16 @@ Checks, over ``README.md`` and every ``docs/*.md``:
 * backticked file references like ``benchmarks/bench_planner.py``
   point at real files (paths are also tried relative to ``src/repro/``
   so module references in docs/architecture.md resolve);
-* every ``repro-experiments <subcommand>`` shown in a fenced code
-  block or table names a real subcommand of :mod:`repro.harness.cli`.
+* every ``repro-experiments <subcommand>`` shown in the docs names a
+  real subcommand, and every ``--option`` on the same line exists on
+  that subcommand — both introspected from the live argparse parser
+  (:func:`repro.harness.cli.build_parser`), so the docs cannot drift
+  from the CLI;
+* every fenced ``python`` code block parses, and every keyword
+  argument passed to a known public callable (``plan``, ``sweep``,
+  ``grid``, ``ClusterScenario``, ``RobustnessObjective``, …) exists in
+  that callable's real signature — so documented kwargs cannot drift
+  from the API.
 
 Exit code 0 when clean, 1 with a list of problems otherwise.  Run
 from the repository root (CI does)::
@@ -19,6 +27,9 @@ from the repository root (CI does)::
 
 from __future__ import annotations
 
+import argparse
+import ast
+import inspect
 import re
 import sys
 from pathlib import Path
@@ -27,7 +38,11 @@ REPO = Path(__file__).resolve().parent.parent
 
 LINK = re.compile(r"\[[^\]]*\]\(([^)]+)\)")
 BACKTICK_PATH = re.compile(r"`([A-Za-z0-9_./-]+\.(?:py|md|toml|yml))`")
-CLI_COMMAND = re.compile(r"repro-experiments\s+([a-z0-9-]+)")
+# The option tail stops at a backtick so inline-code mentions do not
+# leak surrounding prose (or table-cell neighbours) into the scan.
+CLI_COMMAND = re.compile(r"repro-experiments\s+([a-z0-9-]+)([^`\n]*)")
+CLI_OPTION = re.compile(r"(--[a-z][a-z0-9-]*)")
+PYTHON_FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
 
 
 def doc_files() -> list[Path]:
@@ -50,10 +65,116 @@ def resolves(target: str, base: Path, allow_module_paths: bool = False) -> bool:
     return any(c.exists() for c in candidates)
 
 
-def check_file(path: Path, subcommands: set[str]) -> list[str]:
-    """All problems found in one markdown file."""
+def cli_surface() -> dict[str, set[str]]:
+    """Subcommand → option strings, introspected from the live parser."""
+    from repro.harness.cli import build_parser
+
+    surface: dict[str, set[str]] = {}
+    for action in build_parser()._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            for name, subparser in action.choices.items():
+                options: set[str] = set()
+                for sub_action in subparser._actions:
+                    options.update(sub_action.option_strings)
+                surface[name] = options
+    return surface
+
+
+def known_callables() -> dict[str, object]:
+    """Public callables whose documented kwargs must stay real.
+
+    Every name exported by :mod:`repro.planner` and
+    :mod:`repro.scenarios`, plus the harness/sim/config entry points
+    docs quote.  Documented calls to *other* names are not checked —
+    this is a drift detector for the public planning/scenario API, not
+    a type checker.
+    """
+    import repro
+    import repro.planner
+    import repro.scenarios
+    from repro.harness import experiments
+    from repro.sim import RuntimeModel, SimulationSetup, compile_schedule
+
+    known: dict[str, object] = {}
+    for module in (repro.planner, repro.scenarios):
+        for name in module.__all__:
+            value = getattr(module, name)
+            if callable(value):
+                known[name] = value
+    for value in (
+        experiments.run_method,
+        experiments.run_method_bindings,
+        experiments.build_schedule,
+        experiments.generate_method_schedule,
+        repro.ModelConfig,
+        repro.ParallelConfig,
+        RuntimeModel,
+        SimulationSetup,
+        compile_schedule,
+    ):
+        known[value.__name__] = value
+    return known
+
+
+def _signature_params(value: object) -> tuple[set[str], bool]:
+    """Keyword-addressable parameter names and whether **kwargs exist."""
+    try:
+        signature = inspect.signature(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):  # pragma: no cover - builtins only
+        return set(), True
+    names: set[str] = set()
+    var_kwargs = False
+    for param in signature.parameters.values():
+        if param.kind is inspect.Parameter.VAR_KEYWORD:
+            var_kwargs = True
+        elif param.kind is not inspect.Parameter.VAR_POSITIONAL:
+            names.add(param.name)
+    return names, var_kwargs
+
+
+def check_python_block(
+    code: str, rel: str, known: dict[str, object]
+) -> list[str]:
+    """Problems in one fenced python block (parse + kwarg existence)."""
+    try:
+        tree = ast.parse(code)
+    except SyntaxError as error:
+        return [f"{rel}: python code block does not parse -> {error.msg}"]
+    problems = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Name):
+            continue
+        target = known.get(node.func.id)
+        if target is None:
+            continue
+        params, var_kwargs = _signature_params(target)
+        if var_kwargs:
+            continue
+        for keyword in node.keywords:
+            if keyword.arg is not None and keyword.arg not in params:
+                problems.append(
+                    f"{rel}: unknown kwarg {keyword.arg!r} in documented "
+                    f"call {node.func.id}(...) — real signature has "
+                    f"{sorted(params)}"
+                )
+    return problems
+
+
+def check_file(
+    path: Path,
+    cli: dict[str, set[str]],
+    known: dict[str, object],
+) -> list[str]:
+    """All problems found in one markdown file.
+
+    ``path`` is usually under the repo, but any readable markdown file
+    works (the tests point this at synthetic pages in a tmp dir).
+    """
     text = path.read_text()
-    rel = path.relative_to(REPO)
+    try:
+        rel = str(path.relative_to(REPO))
+    except ValueError:
+        rel = path.name
     problems = []
     for match in LINK.finditer(text):
         target = match.group(1).split("#")[0].strip()
@@ -67,23 +188,33 @@ def check_file(path: Path, subcommands: set[str]) -> list[str]:
             problems.append(f"{rel}: missing file reference -> {target}")
     for match in CLI_COMMAND.finditer(text):
         command = match.group(1)
-        if command not in subcommands:
+        if command not in cli:
             problems.append(
                 f"{rel}: unknown repro-experiments subcommand -> {command}"
             )
+            continue
+        for option in CLI_OPTION.findall(match.group(2) or ""):
+            if option not in cli[command]:
+                problems.append(
+                    f"{rel}: repro-experiments {command} has no option "
+                    f"{option}"
+                )
+    for match in PYTHON_FENCE.finditer(text):
+        problems.extend(check_python_block(match.group(1), rel, known))
     return problems
 
 
 def main() -> int:
     sys.path.insert(0, str(REPO / "src"))
-    from repro.harness.cli import SUBCOMMANDS
+    cli = cli_surface()
+    known = known_callables()
 
     problems: list[str] = []
     files = doc_files()
     if len(files) < 2:
         problems.append("expected README.md plus docs/*.md pages")
     for path in files:
-        problems.extend(check_file(path, set(SUBCOMMANDS)))
+        problems.extend(check_file(path, cli, known))
     if problems:
         print("\n".join(problems))
         return 1
