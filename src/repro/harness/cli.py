@@ -15,6 +15,9 @@ Subcommands:
 * ``scenarios`` — cluster scenarios (:mod:`repro.scenarios`): list and
   describe the registry, and price schedule robustness on non-ideal
   clusters with seeded Monte Carlo jitter;
+* ``serve`` — the long-running planning service (:mod:`repro.service`):
+  plan/sweep/scenario queries over HTTP with request coalescing and
+  tiered caches (see ``docs/service.md``);
 * ``all`` — every table and figure (several minutes).
 
 Examples::
@@ -33,6 +36,7 @@ Examples::
     repro-experiments scenarios describe --scenario slow-node
     repro-experiments scenarios run --scenario high-jitter --method vocab-1
     repro-experiments scenarios compare --scenario slow-node
+    repro-experiments serve --port 8181 --cache-dir /tmp/plans
     repro-experiments all
 """
 
@@ -52,6 +56,7 @@ SUBCOMMANDS = {
     "schedules": "ASCII schedule timelines (Figures 1/10)",
     "plan": "rank schedule families for a config (planner)",
     "scenarios": "cluster scenarios: robustness on non-ideal clusters",
+    "serve": "HTTP planning service: coalescing + tiered caches",
     "all": "everything (several minutes)",
 }
 
@@ -390,6 +395,32 @@ def _cmd_scenarios(args: argparse.Namespace) -> None:
         print(f"  skipped {method:15s} {reason}")
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import PlanningService
+
+    try:
+        service = PlanningService(
+            host=args.host,
+            port=args.port,
+            executor=args.executor,
+            max_workers=args.workers,
+            cache_dir=args.cache_dir,
+            lru_size=args.lru_size,
+            max_cache_entries=args.max_cache_entries,
+        )
+    except ValueError as error:
+        raise SystemExit(
+            f"repro-experiments serve: error: {error}"
+        ) from None
+
+    def announce(live: PlanningService) -> None:
+        # The exact line tools/loadtest_service.py --spawn parses for
+        # the bound port (--port 0 binds an ephemeral one).
+        print(f"serving on http://{live.host}:{live.port}", flush=True)
+
+    return service.run(ready=announce)
+
+
 def _cmd_all(args: argparse.Namespace) -> None:
     from repro.harness.runner import (
         run_figure2,
@@ -549,6 +580,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit machine-readable JSON instead of the ASCII table",
     )
 
+    sv = sub.add_parser("serve", help=SUBCOMMANDS["serve"])
+    sv.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1)",
+    )
+    sv.add_argument(
+        "--port", type=int, default=8181,
+        help="TCP port (0 binds an ephemeral port, printed on startup)",
+    )
+    sv.add_argument(
+        "--executor", choices=["process", "thread"], default="process",
+        help="where CPU-bound planning runs (process pools keep "
+        "per-worker caches warm; threads for restricted sandboxes)",
+    )
+    sv.add_argument(
+        "--workers", type=int, default=None, help="max pool workers"
+    )
+    sv.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="disk-backed plan-cache tier shared with CLI/sweep runs",
+    )
+    sv.add_argument(
+        "--lru-size", type=int, default=256, metavar="N",
+        help="entries in the in-process LRU tier (default 256)",
+    )
+    sv.add_argument(
+        "--max-cache-entries", type=int, default=1024, metavar="N",
+        help="per-kind bound on the disk cache tier (default 1024)",
+    )
+
     al = sub.add_parser("all", help=SUBCOMMANDS["all"])
     _add_common(al)
     return parser
@@ -566,10 +627,11 @@ def main(argv: list[str] | None = None) -> int:
         "schedules": _cmd_schedules,
         "plan": _cmd_plan,
         "scenarios": _cmd_scenarios,
+        "serve": _cmd_serve,
         "all": _cmd_all,
     }
     try:
-        handlers[args.command](args)
+        result = handlers[args.command](args)
     except BrokenPipeError:
         # Piping into `head` closes stdout early; exit quietly the way
         # well-behaved Unix tools do instead of dumping a traceback.
@@ -577,7 +639,9 @@ def main(argv: list[str] | None = None) -> int:
 
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
-    return 0
+    # Most handlers print and return None; serve returns an exit code
+    # (non-zero when worker processes leaked past shutdown).
+    return 0 if result is None else int(result)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -36,12 +36,15 @@ from repro.planner.planner import (
     clear_plan_cache,
     default_plan_cache,
     plan,
+    plan_cache_key,
 )
 from repro.planner.sweep import (
     SweepOutcome,
     SweepPoint,
     best_method_table,
     default_chunk_size,
+    discard_pool,
+    get_pool,
     grid,
     model_for_devices,
     plan_point,
@@ -64,11 +67,14 @@ __all__ = [
     "config_digest",
     "default_chunk_size",
     "default_plan_cache",
+    "discard_pool",
     "estimate_method",
+    "get_pool",
     "grid",
     "infeasibility_reason",
     "model_for_devices",
     "plan",
+    "plan_cache_key",
     "plan_point",
     "plan_points",
     "shutdown_pools",

@@ -73,19 +73,40 @@ class PlanCache:
 
     Hits return the stored object itself (plans are treated as
     immutable once ranked).  ``hits``/``misses`` counters make cache
-    behaviour observable in tests and sweeps.
+    behaviour observable in tests and sweeps.  ``max_entries`` bounds
+    each entry kind (whole-plan and every aux namespace separately),
+    evicting oldest-first in memory and on disk.
     """
 
-    def __init__(self, directory: str | Path | None = None):
+    def __init__(
+        self,
+        directory: str | Path | None = None,
+        max_entries: int | None = None,
+    ):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self._store: dict[str, Any] = {}
         self._aux_store: dict[str, Any] = {}
         self.directory = Path(directory) if directory is not None else None
+        #: Per-kind entry bound (``None`` = unbounded): whole-plan
+        #: entries and each auxiliary kind (``estimate``, ``metrics``,
+        #: ``robust``) are capped separately, oldest entry evicted
+        #: first, both in memory and on disk.  Long-running processes
+        #: (the planning service) set this so the cache directory
+        #: cannot grow without limit.
+        self.max_entries = max_entries
+        #: Per-kind estimate of this writer's disk file count (files
+        #: seen at the last directory scan plus writes since): lets
+        #: writes skip the O(entries) eviction scan while safely under
+        #: the bound.
+        self._disk_counts: dict[str, int] = {}
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
         self.aux_hits = 0
         self.aux_misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         """Number of whole-plan entries (aux entries are not counted)."""
@@ -112,6 +133,13 @@ class PlanCache:
                 pass
             else:
                 store[store_key] = value
+                if self.max_entries is not None:
+                    # Reads must not grow a bounded cache either: a
+                    # read-mostly process (the service's disk tier)
+                    # would otherwise accumulate every digest it ever
+                    # loaded.
+                    prefix = "" if store is self._store else f"{kind}:"
+                    self._evict_memory(store, prefix)
                 return value
         return None
 
@@ -132,6 +160,55 @@ class PlanCache:
             with temp.open("wb") as handle:
                 pickle.dump(value, handle)
             os.replace(temp, path)
+            # Unknown kinds stay unknown so the next _evict scans and
+            # establishes the real count (overwrites may overcount; the
+            # error is in the safe direction — an extra scan).
+            if self.max_entries is not None and kind in self._disk_counts:
+                self._disk_counts[kind] += 1
+        if self.max_entries is not None:
+            self._evict(store, kind)
+
+    def _evict_memory(self, store: dict[str, Any], prefix: str) -> None:
+        """Drop oldest in-memory entries with ``prefix`` beyond the bound."""
+        matching = [key for key in store if key.startswith(prefix)]
+        for key in matching[: max(0, len(matching) - self.max_entries)]:
+            del store[key]
+            self.evictions += 1
+
+    def _evict(self, store: dict[str, Any], kind: str) -> None:
+        """Drop oldest entries of one ``kind`` beyond ``max_entries``.
+
+        In-memory stores evict in insertion order (dicts preserve it);
+        the disk directory evicts the same kind's oldest files by
+        modification time, so a long-running writer keeps the directory
+        bounded even across restarts (ties broken by name for
+        determinism).  The directory is only scanned once this writer's
+        running count for the kind could exceed the bound — safely
+        under it, a write costs no extra syscalls.  Concurrent writers
+        may race an unlink; a file already removed by a sibling is
+        simply skipped, and each writer's own bound keeps a shared
+        directory bounded regardless.
+        """
+        prefix = "" if store is self._store else f"{kind}:"
+        self._evict_memory(store, prefix)
+        if self.directory is None:
+            return
+        count = self._disk_counts.get(kind)
+        if count is not None and count <= self.max_entries:
+            return
+        stamped = []
+        for path in self.directory.glob(f"*.{kind}.pkl"):
+            try:
+                stamped.append((path.stat().st_mtime_ns, path.name, path))
+            except OSError:
+                continue
+        stamped.sort()
+        for _, _, path in stamped[: max(0, len(stamped) - self.max_entries)]:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self._disk_counts[kind] = min(len(stamped), self.max_entries)
 
     def get(self, key: str) -> Any | None:
         """Stored plans for ``key``, or ``None`` (counts hit/miss)."""
@@ -169,7 +246,9 @@ class PlanCache:
         """Drop all in-memory entries (disk files are left alone)."""
         self._store.clear()
         self._aux_store.clear()
+        self._disk_counts.clear()
         self.hits = 0
         self.misses = 0
         self.aux_hits = 0
         self.aux_misses = 0
+        self.evictions = 0

@@ -367,6 +367,41 @@ def _robust_digest(
     )
 
 
+def plan_cache_key(
+    model: ModelConfig,
+    parallel: ParallelConfig,
+    constraints: PlannerConstraints | None = None,
+    *,
+    hardware: HardwareModel = A100_SXM_80G,
+    memory_model: MemoryModel | None = None,
+    pass_overhead: float | None = None,
+    scenario: ClusterScenario | str | None = None,
+    robustness: RobustnessObjective | str | None = None,
+) -> str:
+    """The whole-plan digest :func:`plan` stores its result under.
+
+    Public so cache *tiers* in front of the planner (the serving
+    layer's in-process LRU, the disk-backed :class:`PlanCache`) can
+    address an entry without planning it: the key is a pure function of
+    the same inputs, normalized exactly the way :func:`plan` normalizes
+    them (default constraints/memory model, scenario and robustness
+    resolved by name).
+    """
+    constraints = constraints or PlannerConstraints()
+    memory_model = memory_model or MemoryModel()
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    if isinstance(robustness, str):
+        robustness = RobustnessObjective(rank_by=robustness)
+    scenario_sig = None if scenario is None else scenario.signature()
+    return config_digest(
+        model, parallel, constraints, hardware, memory_model,
+        pass_overhead, scenario_sig,
+        None if robustness is None else robustness.as_dict(),
+        PLANNER_VERSION,
+    )
+
+
 def plan(
     model: ModelConfig,
     parallel: ParallelConfig,
@@ -425,11 +460,10 @@ def plan(
             "pass scenario='high-jitter' or another registered scenario"
         )
     scenario_sig = None if scenario is None else scenario.signature()
-    key = config_digest(
-        model, parallel, constraints, hardware, memory_model,
-        pass_overhead, scenario_sig,
-        None if robustness is None else robustness.as_dict(),
-        PLANNER_VERSION,
+    key = plan_cache_key(
+        model, parallel, constraints, hardware=hardware,
+        memory_model=memory_model, pass_overhead=pass_overhead,
+        scenario=scenario, robustness=robustness,
     )
     cached = cache.get(key)
     if cached is not None:

@@ -208,12 +208,15 @@ def plan_point(
     point: SweepPoint,
     constraints: PlannerConstraints | None = None,
     cache_dir: str | None = None,
+    cache_max_entries: int | None = None,
 ) -> SweepOutcome:
     """Plan one grid point (top-level so process pools can pickle it).
 
     ``cache_dir`` names a disk-backed :class:`~repro.planner.cache.PlanCache`
     directory, letting repeated CLI invocations and pool workers share
-    results across processes.
+    results across processes; ``cache_max_entries`` bounds it (the
+    planning service's knob — long-running writers must not grow the
+    directory without limit).
     """
     base = constraints or PlannerConstraints()
     model, parallel = _point_configs(point)
@@ -221,7 +224,11 @@ def plan_point(
         base = dataclasses.replace(
             base, memory_budget_gib=point.memory_budget_gib
         )
-    cache = PlanCache(cache_dir) if cache_dir is not None else None
+    cache = (
+        PlanCache(cache_dir, max_entries=cache_max_entries)
+        if cache_dir is not None
+        else None
+    )
     return SweepOutcome(
         point=point,
         plans=plan(
@@ -239,6 +246,7 @@ def _warm_binding_groups(
     points: Sequence[SweepPoint],
     constraints: PlannerConstraints | None,
     cache_dir: str | None,
+    cache_max_entries: int | None = None,
 ) -> None:
     """Batch-price structure groups that span several runtime bindings.
 
@@ -259,7 +267,11 @@ def _warm_binding_groups(
     base = constraints or PlannerConstraints()
     if base.simulate_top_k == 0:
         return
-    cache = PlanCache(cache_dir) if cache_dir is not None else default_plan_cache()
+    cache = (
+        PlanCache(cache_dir, max_entries=cache_max_entries)
+        if cache_dir is not None
+        else default_plan_cache()
+    )
     groups: dict[tuple, list[SweepPoint]] = {}
     for point in points:
         groups.setdefault(point.structure_axes(), []).append(point)
@@ -333,6 +345,7 @@ def plan_points(
     points: Sequence[SweepPoint],
     constraints: PlannerConstraints | None = None,
     cache_dir: str | None = None,
+    cache_max_entries: int | None = None,
 ) -> list[SweepOutcome]:
     """Plan a chunk of grid points serially (one pool task per chunk).
 
@@ -343,8 +356,11 @@ def plan_points(
     (:func:`_warm_binding_groups`), then every point is planned against
     the warmed caches.
     """
-    _warm_binding_groups(points, constraints, cache_dir)
-    return [plan_point(point, constraints, cache_dir) for point in points]
+    _warm_binding_groups(points, constraints, cache_dir, cache_max_entries)
+    return [
+        plan_point(point, constraints, cache_dir, cache_max_entries)
+        for point in points
+    ]
 
 
 def default_chunk_size(num_points: int, workers: int) -> int:
@@ -385,6 +401,32 @@ def _get_pool(executor: str, max_workers: int | None) -> Executor | None:
     return pool
 
 
+def get_pool(executor: str, max_workers: int | None = None) -> Executor | None:
+    """The persistent worker pool for this configuration, or ``None``.
+
+    Public accessor over the module's pool registry: the planning
+    service (:mod:`repro.service`) schedules CPU-bound plan requests on
+    the same persistent pools sweeps use, so per-worker structural and
+    plan caches stay warm across requests *and* sweeps.  ``None`` means
+    a pool cannot be created in this environment (callers degrade to
+    threads or serial execution).
+    """
+    if executor not in ("process", "thread"):
+        raise ValueError(
+            f"executor must be 'process' or 'thread', got {executor!r}"
+        )
+    return _get_pool(executor, max_workers)
+
+
+def discard_pool(executor: str, max_workers: int | None = None) -> None:
+    """Forget (and best-effort shut down) one persistent pool.
+
+    For callers that detect a broken pool mid-flight (the service's
+    degraded mode); the next :func:`get_pool` call builds a fresh one.
+    """
+    _discard_pool(executor, max_workers)
+
+
 def _discard_pool(executor: str, max_workers: int | None) -> None:
     """Forget (and best-effort shut down) a broken persistent pool."""
     pool = _POOLS.pop((executor, max_workers), None)
@@ -411,6 +453,7 @@ def sweep(
     executor: str = "process",
     max_workers: int | None = None,
     cache_dir: str | None = None,
+    cache_max_entries: int | None = None,
     chunk_size: int | None = None,
 ) -> list[SweepOutcome]:
     """Plan every grid point, in parallel, preserving input order.
@@ -456,7 +499,9 @@ def sweep(
         return by_input  # type: ignore[return-value]
 
     if executor == "serial" or len(points) <= 1:
-        return restore(plan_points(grouped, constraints, cache_dir))
+        return restore(
+            plan_points(grouped, constraints, cache_dir, cache_max_entries)
+        )
     if chunk_size is None:
         cpus = os.cpu_count() or 1
         # Match each pool's actual default sizing so chunks balance:
@@ -468,7 +513,8 @@ def sweep(
         grouped[i : i + chunk_size] for i in range(0, len(grouped), chunk_size)
     ]
     chunk_worker = functools.partial(
-        plan_points, constraints=constraints, cache_dir=cache_dir
+        plan_points, constraints=constraints, cache_dir=cache_dir,
+        cache_max_entries=cache_max_entries,
     )
     pool = _get_pool(executor, max_workers)
     failure: BaseException | None = None
@@ -510,7 +556,9 @@ def sweep(
         )
     for index, chunk in enumerate(chunks):
         if index not in completed:
-            outcomes = plan_points(chunk, constraints, cache_dir)
+            outcomes = plan_points(
+                chunk, constraints, cache_dir, cache_max_entries
+            )
             for outcome in outcomes:
                 outcome.fallback_reason = fallback_reason
             completed[index] = outcomes

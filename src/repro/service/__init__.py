@@ -1,0 +1,63 @@
+"""Long-running planning service (``repro-experiments serve``).
+
+Turns the planner's one-shot CLI into sustained serving: an asyncio
+HTTP front end (stdlib only) with request coalescing, a tiered
+LRU → disk → compute cache hierarchy, and CPU-bound planning scheduled
+on the persistent worker pools sweeps already keep warm.  See
+``docs/service.md`` for the endpoint and deployment reference.
+
+Programmatic entry points:
+
+* :class:`PlanningService` — the server; :meth:`~PlanningService.run`
+  blocks (CLI), :class:`ServiceThread` hosts it on a thread (tests,
+  benchmarks, the load generator);
+* :class:`PlanRequest` / :class:`SweepRequest` /
+  :class:`ScenarioRequest` — validated request bodies, each
+  normalizing to a cache digest;
+* :class:`~repro.service.lru.LRUPlanTier` — the bounded in-process hot
+  tier;
+* :data:`ROUTES` — the served route table (ground truth for docs
+  validation).
+"""
+
+from repro.service.app import (
+    ROUTES,
+    PlanningService,
+    Route,
+    ServiceStats,
+    ServiceThread,
+    shutdown_and_check_workers,
+)
+from repro.service.lru import LRUPlanTier
+from repro.service.requests import (
+    MAX_SWEEP_POINTS,
+    PlanRequest,
+    RequestError,
+    ScenarioRequest,
+    SweepRequest,
+    execute_plan_request,
+    execute_scenario_request,
+    execute_sweep_request,
+    plans_to_json,
+    sweep_to_json,
+)
+
+__all__ = [
+    "LRUPlanTier",
+    "MAX_SWEEP_POINTS",
+    "PlanRequest",
+    "PlanningService",
+    "RequestError",
+    "ROUTES",
+    "Route",
+    "ScenarioRequest",
+    "ServiceStats",
+    "ServiceThread",
+    "SweepRequest",
+    "execute_plan_request",
+    "execute_scenario_request",
+    "execute_sweep_request",
+    "plans_to_json",
+    "shutdown_and_check_workers",
+    "sweep_to_json",
+]

@@ -1,0 +1,617 @@
+"""The asyncio planning service: HTTP front, coalescing, tiered caches.
+
+A long-running process that turns the planner's amortization machinery
+(structure-keyed caches, budget-independent aux entries, persistent
+worker pools) into sustained request throughput, the way serving
+systems batch and share state across concurrent queries:
+
+* **HTTP over asyncio streams** — a deliberately minimal HTTP/1.1
+  implementation on :func:`asyncio.start_server` (keep-alive,
+  ``Content-Length`` bodies, JSON in/out).  Zero dependencies beyond
+  the stdlib; the route table is data (:data:`ROUTES`), introspected by
+  ``tools/check_docs_links.py`` so the documented endpoints cannot
+  drift from the served ones.
+
+* **Request coalescing** — concurrent requests that normalize to the
+  same digest share one in-flight computation future: the first caller
+  leads (cache probe + pool submission), every other awaiter rides the
+  same :class:`asyncio.Task` and receives the identical result object.
+  Duplicate bursts — the signature load of "millions of users" hitting
+  a handful of popular configurations — cost one plan instead of N.
+
+* **Tiered caches** — lookups go LRU → disk → compute: a bounded
+  in-process :class:`~repro.service.lru.LRUPlanTier` of finished
+  results in front of the disk-backed (and entry-bounded)
+  :class:`~repro.planner.cache.PlanCache`, in front of the worker
+  pool.  Hit/miss/coalesce counters for every tier are exported on
+  ``GET /stats``.
+
+* **Process-pool execution** — CPU-bound planning runs on the
+  persistent pools of :mod:`repro.planner.sweep`
+  (:func:`~repro.planner.sweep.get_pool`), so per-worker structural
+  caches stay warm across requests exactly as they do across sweep
+  chunks.  A broken pool degrades the service to threads (logged and
+  visible in ``/stats``) instead of failing requests; shutdown joins
+  the workers and reports leaks through the exit code.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import json
+import logging
+import signal
+import sys
+import threading
+import time
+from concurrent.futures import BrokenExecutor
+from dataclasses import dataclass, field
+
+from repro.planner import PlanCache
+from repro.planner.sweep import discard_pool, get_pool, shutdown_pools
+from repro.service.lru import LRUPlanTier
+from repro.service.requests import (
+    PlanRequest,
+    RequestError,
+    ScenarioRequest,
+    SweepRequest,
+    execute_plan_request,
+    execute_scenario_request,
+    execute_sweep_request,
+    plans_to_json,
+    sweep_to_json,
+)
+
+logger = logging.getLogger(__name__)
+
+#: Largest accepted request body; planning queries are a few hundred
+#: bytes, so anything bigger is a client bug (HTTP 413).
+MAX_BODY_BYTES = 1 << 20
+#: Budget for one full request to arrive (idle keep-alive wait +
+#: request line + headers + body); stalled or idle connections are
+#: closed when it expires.
+KEEPALIVE_TIMEOUT_S = 75.0
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass(frozen=True)
+class Route:
+    """One served endpoint (also the docs-validation ground truth)."""
+
+    method: str
+    path: str
+    description: str
+
+
+#: The service's full route table, in documentation order.  ``tools/
+#: check_docs_links.py`` verifies ``docs/service.md`` against this.
+ROUTES: tuple[Route, ...] = (
+    Route("GET", "/healthz", "liveness/readiness probe"),
+    Route("GET", "/stats", "cache, coalescing and executor counters"),
+    Route("POST", "/v1/plan", "rank schedule families for one configuration"),
+    Route("POST", "/v1/sweep", "plan a grid of configurations"),
+    Route(
+        "POST", "/v1/scenarios",
+        "Monte Carlo robustness under a cluster scenario",
+    ),
+    Route("POST", "/shutdown", "graceful shutdown (drains in-flight work)"),
+)
+
+
+@dataclass
+class ServiceStats:
+    """Mutable counters behind ``GET /stats``."""
+
+    requests: dict[str, int] = field(default_factory=dict)
+    errors: int = 0
+    computed: int = 0
+    coalesced: int = 0
+    disk_hits: int = 0
+
+    def count(self, endpoint: str) -> None:
+        self.requests[endpoint] = self.requests.get(endpoint, 0) + 1
+
+
+class PlanningService:
+    """The asyncio planning service (``repro-experiments serve``).
+
+    One instance owns the LRU tier, the optional disk tier, the
+    in-flight coalescing map and a handle to the shared worker pools.
+    Run it with :meth:`run` (blocking, installs signal handlers — the
+    CLI path) or inside an existing loop via :meth:`serve_async`
+    (tests, :class:`ServiceThread`).
+    """
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8181,
+        executor: str = "process",
+        max_workers: int | None = None,
+        cache_dir: str | None = None,
+        lru_size: int = 256,
+        max_cache_entries: int | None = 1024,
+    ):
+        if executor not in ("process", "thread"):
+            raise ValueError(
+                f"executor must be 'process' or 'thread', got {executor!r}"
+            )
+        self.host = host
+        self.port = port
+        self.executor = executor
+        self.max_workers = max_workers
+        self.cache_dir = cache_dir
+        self.max_cache_entries = max_cache_entries
+        self.lru = LRUPlanTier(lru_size)
+        self.disk = (
+            PlanCache(cache_dir, max_entries=max_cache_entries)
+            if cache_dir is not None
+            else None
+        )
+        self.stats = ServiceStats()
+        self.degraded: str | None = None
+        self.started_at: float | None = None
+        self._inflight: dict[str, asyncio.Task] = {}
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._shutdown_event: asyncio.Event | None = None
+        self._clients: set[asyncio.Task] = set()
+
+    # -- tiered lookup + coalescing -------------------------------------
+
+    async def _resolve(self, key: str, compute, *, disk: bool):
+        """One result through the tiers: LRU → coalesce → disk → pool.
+
+        ``compute`` is a zero-argument callable (already bound to its
+        request) executed on the worker pool on a full miss.  Returns
+        ``(tier, value)`` where ``tier`` names where the value came
+        from; followers of an in-flight computation report
+        ``"coalesced"`` regardless of the tier the leader lands on.
+        """
+        value = self.lru.get(key)
+        if value is not None:
+            return "lru", value
+        task = self._inflight.get(key)
+        if task is not None:
+            self.stats.coalesced += 1
+            _tier, value = await asyncio.shield(task)
+            return "coalesced", value
+        task = asyncio.ensure_future(self._lead(key, compute, disk))
+        self._inflight[key] = task
+        task.add_done_callback(functools.partial(self._retire, key))
+        # Shield the leader too: one cancelled client (connection reset)
+        # must not kill a computation other awaiters are riding.
+        return await asyncio.shield(task)
+
+    def _retire(self, key: str, task: asyncio.Task) -> None:
+        self._inflight.pop(key, None)
+        if not task.cancelled():
+            task.exception()  # mark retrieved; awaiters re-raise their own
+
+    async def _lead(self, key: str, compute, disk: bool):
+        """The leader's path: probe the disk tier, else compute."""
+        if disk and self.disk is not None:
+            value = await asyncio.to_thread(self.disk.get, key)
+            if value is not None:
+                self.stats.disk_hits += 1
+                self.lru.put(key, value)
+                return "disk", value
+        self.stats.computed += 1
+        value = await self._run_on_pool(compute)
+        self.lru.put(key, value)
+        return "computed", value
+
+    async def _run_on_pool(self, compute):
+        """Run one CPU-bound computation on the configured executor.
+
+        A process pool that breaks mid-request (a worker OOM-killed, a
+        restricted sandbox) degrades the whole service to threads — the
+        request is retried there, subsequent requests skip the pool,
+        and ``/stats`` reports the degradation reason.
+        """
+        loop = asyncio.get_running_loop()
+        if self.executor == "process" and self.degraded is None:
+            pool = get_pool("process", self.max_workers)
+            if pool is not None:
+                try:
+                    return await loop.run_in_executor(pool, compute)
+                except BrokenExecutor as exc:
+                    self.degraded = (
+                        f"process pool failed ({type(exc).__name__}: {exc}); "
+                        "serving from threads"
+                    )
+                    logger.warning("service degraded: %s", self.degraded)
+                    discard_pool("process", self.max_workers)
+            else:
+                self.degraded = (
+                    "process pool unavailable in this environment; "
+                    "serving from threads"
+                )
+                logger.warning("service degraded: %s", self.degraded)
+        return await asyncio.to_thread(compute)
+
+    # -- endpoint handlers ----------------------------------------------
+
+    async def _post_plan(self, payload) -> dict:
+        request = PlanRequest.from_payload(payload)
+        key = request.digest()
+        tier, plans = await self._resolve(
+            key,
+            functools.partial(
+                execute_plan_request, request, self.cache_dir,
+                self.max_cache_entries,
+            ),
+            disk=True,
+        )
+        return {"tier": tier, "digest": key, "plan": plans_to_json(plans)}
+
+    async def _post_sweep(self, payload) -> dict:
+        request = SweepRequest.from_payload(payload)
+        key = request.digest()
+        # No whole-request disk tier: the per-point plans inside the
+        # worker hit the disk-backed PlanCache individually.
+        tier, outcomes = await self._resolve(
+            key,
+            functools.partial(
+                execute_sweep_request, request, self.cache_dir,
+                self.max_cache_entries,
+            ),
+            disk=False,
+        )
+        return {"tier": tier, "digest": key, "sweep": sweep_to_json(outcomes)}
+
+    async def _post_scenarios(self, payload) -> dict:
+        request = ScenarioRequest.from_payload(payload)
+        key = request.digest()
+        tier, result = await self._resolve(
+            key,
+            functools.partial(execute_scenario_request, request),
+            disk=False,
+        )
+        return {"tier": tier, "digest": key, "scenarios": result}
+
+    def _healthz_payload(self) -> dict:
+        return {
+            "status": "degraded" if self.degraded else "ok",
+            "uptime_s": (
+                0.0 if self.started_at is None
+                else time.monotonic() - self.started_at
+            ),
+            "executor": "thread" if self.degraded else self.executor,
+            "degraded": self.degraded,
+        }
+
+    def stats_payload(self) -> dict:
+        """The ``GET /stats`` body (public for tests and tools)."""
+        disk = {"enabled": self.disk is not None}
+        if self.disk is not None:
+            disk.update(
+                {
+                    "hits": self.disk.hits,
+                    "misses": self.disk.misses,
+                    "entries": len(self.disk),
+                    "max_entries": self.disk.max_entries,
+                    "evictions": self.disk.evictions,
+                    "directory": str(self.disk.directory),
+                }
+            )
+        return {
+            "uptime_s": (
+                0.0 if self.started_at is None
+                else time.monotonic() - self.started_at
+            ),
+            "requests": dict(sorted(self.stats.requests.items())),
+            "errors": self.stats.errors,
+            "computed": self.stats.computed,
+            "coalesced": self.stats.coalesced,
+            "disk_tier_hits": self.stats.disk_hits,
+            "inflight": len(self._inflight),
+            "lru": self.lru.stats(),
+            "disk": disk,
+            "executor": {
+                "kind": "thread" if self.degraded else self.executor,
+                "max_workers": self.max_workers,
+                "degraded": self.degraded,
+            },
+        }
+
+    # -- HTTP plumbing ---------------------------------------------------
+
+    async def _dispatch(self, method: str, path: str, body: bytes):
+        """Route one parsed request to its handler → (status, payload)."""
+        path = path.split("?", 1)[0]
+        known_paths = {route.path for route in ROUTES}
+        route = {(r.method, r.path): r for r in ROUTES}.get((method, path))
+        if route is None:
+            if path in known_paths:
+                return 405, {
+                    "error": f"{method} not allowed on {path}",
+                    "allowed": [r.method for r in ROUTES if r.path == path],
+                }
+            return 404, {
+                "error": f"no route for {path}",
+                "routes": [
+                    {"method": r.method, "path": r.path} for r in ROUTES
+                ],
+            }
+        self.stats.count(path)
+        if path == "/healthz":
+            return 200, self._healthz_payload()
+        if path == "/stats":
+            return 200, self.stats_payload()
+        if path == "/shutdown":
+            # Respond first, then let the loop see the event: the
+            # handler returns, the response drains, the callback fires.
+            asyncio.get_running_loop().call_soon(self.request_shutdown)
+            return 200, {"status": "shutting-down"}
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            self.stats.errors += 1
+            return 400, {"error": f"request body is not valid JSON: {error}"}
+        handler = {
+            "/v1/plan": self._post_plan,
+            "/v1/sweep": self._post_sweep,
+            "/v1/scenarios": self._post_scenarios,
+        }[path]
+        try:
+            return 200, await handler(payload)
+        except RequestError as error:
+            self.stats.errors += 1
+            return 400, {"error": str(error)}
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:  # noqa: BLE001 - the service must not die
+            self.stats.errors += 1
+            logger.exception("unhandled error serving %s %s", method, path)
+            return 500, {"error": f"{type(error).__name__}: {error}"}
+
+    @staticmethod
+    def _render(status: int, payload: dict, *, close: bool) -> bytes:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'close' if close else 'keep-alive'}\r\n"
+            "\r\n"
+        )
+        return head.encode("ascii") + body
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        """Parse one HTTP/1.1 request → (method, path, body, close) or None.
+
+        The *whole* read — request line, headers and body — runs under
+        one ``KEEPALIVE_TIMEOUT_S`` budget (enforced by the caller's
+        ``wait_for``), so an idle keep-alive connection and a stalled
+        mid-request client (slowloris, short body) both get reclaimed
+        instead of leaking a connection task forever.
+        """
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            raise RequestError(f"malformed request line {request_line!r}")
+        method, path, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+            if len(headers) > 100:
+                raise RequestError("too many headers")
+        raw_length = headers.get("content-length", "0") or "0"
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise RequestError(
+                f"invalid Content-Length {raw_length!r}"
+            ) from None
+        if length > MAX_BODY_BYTES:
+            raise RequestError(f"request body of {length} bytes is too large")
+        body = await reader.readexactly(length) if length > 0 else b""
+        close = headers.get("connection", "").lower() == "close"
+        return method.upper(), path, body, close
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._clients.add(task)
+            task.add_done_callback(self._clients.discard)
+        try:
+            while True:
+                try:
+                    parsed = await asyncio.wait_for(
+                        self._read_request(reader), KEEPALIVE_TIMEOUT_S
+                    )
+                except RequestError as error:
+                    writer.write(
+                        self._render(400, {"error": str(error)}, close=True)
+                    )
+                    await writer.drain()
+                    break
+                except (
+                    asyncio.TimeoutError,
+                    asyncio.IncompleteReadError,
+                    ConnectionError,
+                ):
+                    break
+                if parsed is None:
+                    break
+                method, path, body, client_close = parsed
+                status, payload = await self._dispatch(method, path, body)
+                shutting_down = (
+                    self._shutdown_event is not None
+                    and self._shutdown_event.is_set()
+                ) or path.split("?", 1)[0] == "/shutdown"
+                close = client_close or shutting_down
+                writer.write(self._render(status, payload, close=close))
+                await writer.drain()
+                if close:
+                    break
+        except ConnectionError:
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # -- lifecycle --------------------------------------------------------
+
+    def request_shutdown(self) -> None:
+        """Begin graceful shutdown (threadsafe; idempotent)."""
+        loop, event = self._loop, self._shutdown_event
+        if loop is None or event is None or loop.is_closed():
+            return
+        try:
+            loop.call_soon_threadsafe(event.set)
+        except RuntimeError:
+            pass  # loop closed between the check and the call
+
+    async def serve_async(self, ready=None) -> None:
+        """Serve until shutdown is requested; drains in-flight work.
+
+        ``ready`` (if given) is called with the service once the socket
+        is bound — ``self.port`` then holds the real port (useful with
+        ``port=0``).
+        """
+        self._loop = asyncio.get_running_loop()
+        self._shutdown_event = asyncio.Event()
+        server = await asyncio.start_server(
+            self._handle_client, self.host, self.port
+        )
+        self.port = server.sockets[0].getsockname()[1]
+        self.started_at = time.monotonic()
+        try:
+            async with server:
+                if ready is not None:
+                    ready(self)
+                await self._shutdown_event.wait()
+        finally:
+            # Stop accepting (the async-with close), then drain: first
+            # the computations clients are awaiting, then the client
+            # connections themselves.
+            pending = list(self._inflight.values()) + list(self._clients)
+            if pending:
+                done, not_done = await asyncio.wait(pending, timeout=30.0)
+                for task in not_done:
+                    task.cancel()
+                if not_done:
+                    await asyncio.wait(not_done, timeout=5.0)
+
+    def run(self, ready=None) -> int:
+        """Blocking entry point for the CLI: serve, then clean up.
+
+        Installs SIGINT/SIGTERM handlers for graceful shutdown and
+        returns the process exit code: ``0`` on a clean exit, ``1``
+        when worker processes were left alive after the pools were
+        shut down (a leak a supervisor must know about).
+        """
+
+        async def _main() -> None:
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(signum, self.request_shutdown)
+                except (NotImplementedError, RuntimeError):
+                    pass  # platform without signal support in loops
+            await self.serve_async(ready=ready)
+
+        try:
+            asyncio.run(_main())
+        except KeyboardInterrupt:  # pragma: no cover - signal-handler gap
+            pass
+        return shutdown_and_check_workers()
+
+
+def shutdown_and_check_workers(join_timeout_s: float = 5.0) -> int:
+    """Shut the persistent pools down and verify no worker leaked.
+
+    Returns the exit code the ``serve`` subcommand reports: ``1`` when
+    any pool worker process is still alive after the join timeout —
+    the condition CI's service-smoke job exists to catch.
+    """
+    import multiprocessing
+
+    shutdown_pools()
+    leaked = []
+    for process in multiprocessing.active_children():
+        process.join(timeout=join_timeout_s)
+        if process.is_alive():
+            leaked.append(process)
+    if leaked:
+        print(
+            f"error: {len(leaked)} worker process(es) still alive after "
+            "shutdown: " + ", ".join(str(p.pid) for p in leaked),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+class ServiceThread:
+    """Run a :class:`PlanningService` on a background thread.
+
+    The harness tests, benchmarks and the load generator use this to
+    get a live server in-process::
+
+        service = PlanningService(port=0, executor="thread")
+        with ServiceThread(service) as live:
+            url = f"http://{live.host}:{live.port}"
+
+    Exiting the context requests graceful shutdown and joins the
+    thread.  The shared worker pools are *not* torn down here (they
+    persist across sweeps and services by design); call
+    :func:`shutdown_and_check_workers` for a full teardown.
+    """
+
+    def __init__(self, service: PlanningService):
+        self.service = service
+        self._ready = threading.Event()
+        self._error: BaseException | None = None
+        self._thread: threading.Thread | None = None
+
+    def __enter__(self) -> PlanningService:
+        def runner() -> None:
+            try:
+                asyncio.run(
+                    self.service.serve_async(ready=lambda _s: self._ready.set())
+                )
+            except BaseException as error:  # noqa: BLE001 - surfaced below
+                self._error = error
+            finally:
+                self._ready.set()
+
+        self._thread = threading.Thread(
+            target=runner, name="planning-service", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):
+            raise RuntimeError("planning service did not start within 30s")
+        if self._error is not None:
+            raise RuntimeError("planning service failed to start") from self._error
+        return self.service
+
+    def __exit__(self, *_exc) -> None:
+        self.service.request_shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+        if self._error is not None:
+            raise RuntimeError("planning service crashed") from self._error

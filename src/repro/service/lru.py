@@ -1,0 +1,85 @@
+"""Bounded in-process LRU tier over digest-keyed planning results.
+
+The hottest tier of the service's cache hierarchy: a fixed-capacity
+least-recently-used map from the planner's whole-plan digests (and the
+service's request digests for sweep/scenario queries) to the finished
+result objects.  Sits in front of the disk-backed
+:class:`~repro.planner.cache.PlanCache` — a hit returns in microseconds
+with no pickle load, no pool round-trip and no planning.
+
+Unlike :class:`~repro.planner.cache.PlanCache`'s oldest-first bound,
+this tier is *recency*-ordered: a ``get`` refreshes the entry, so a hot
+working set survives a stream of one-off queries.  Accesses are
+expected from one thread (the service's event loop); the structure is a
+plain :class:`~collections.OrderedDict` with O(1) get/put.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any
+
+
+class LRUPlanTier:
+    """Fixed-capacity LRU of planning results, keyed by digest.
+
+    ``hits``/``misses``/``evictions`` counters feed the service's
+    ``/stats`` endpoint.  Values are treated as immutable (the planner's
+    contract for cached :class:`~repro.planner.planner.RankedPlans`),
+    so hits return the stored object itself.
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: OrderedDict[str, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        """Membership without touching recency or counters."""
+        return key in self._entries
+
+    def get(self, key: str) -> Any | None:
+        """The stored value (refreshed to most-recent), or ``None``."""
+        value = self._entries.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Insert/refresh ``key``; evicts the least-recent beyond capacity."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def keys(self) -> list[str]:
+        """Keys from least- to most-recently used (for tests/stats)."""
+        return list(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot for the ``/stats`` endpoint."""
+        return {
+            "capacity": self.capacity,
+            "size": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

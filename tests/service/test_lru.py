@@ -1,0 +1,97 @@
+"""The bounded LRU tier: capacity, eviction order, counters, keying."""
+
+import pytest
+
+from repro.service import LRUPlanTier
+
+
+class TestBounds:
+    def test_capacity_is_enforced(self):
+        lru = LRUPlanTier(capacity=3)
+        for i in range(10):
+            lru.put(f"k{i}", i)
+        assert len(lru) == 3
+        assert lru.evictions == 7
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LRUPlanTier(capacity=0)
+        with pytest.raises(ValueError):
+            LRUPlanTier(capacity=-5)
+
+    def test_put_existing_does_not_evict(self):
+        lru = LRUPlanTier(capacity=2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.put("a", 3)  # refresh, not insert
+        assert len(lru) == 2
+        assert lru.evictions == 0
+        assert lru.get("a") == 3
+
+
+class TestEvictionOrder:
+    def test_least_recently_used_goes_first(self):
+        lru = LRUPlanTier(capacity=3)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.put("c", 3)
+        assert lru.get("a") == 1  # refresh a: b is now least recent
+        lru.put("d", 4)
+        assert "b" not in lru
+        assert lru.get("b") is None
+        assert lru.get("a") == 1
+        assert lru.get("c") == 3
+        assert lru.get("d") == 4
+
+    def test_put_refreshes_recency(self):
+        lru = LRUPlanTier(capacity=2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        lru.put("a", 10)  # a most recent; b evicts next
+        lru.put("c", 3)
+        assert lru.get("b") is None
+        assert lru.get("a") == 10
+
+    def test_keys_ordered_least_to_most_recent(self):
+        lru = LRUPlanTier(capacity=4)
+        for key in ("a", "b", "c"):
+            lru.put(key, key)
+        lru.get("a")
+        assert lru.keys() == ["b", "c", "a"]
+
+
+class TestCounters:
+    def test_hit_miss_eviction_counters(self):
+        lru = LRUPlanTier(capacity=1)
+        assert lru.get("x") is None
+        lru.put("x", 1)
+        assert lru.get("x") == 1
+        lru.put("y", 2)  # evicts x
+        assert lru.get("x") is None
+        stats = lru.stats()
+        assert stats == {
+            "capacity": 1,
+            "size": 1,
+            "hits": 1,
+            "misses": 2,
+            "evictions": 1,
+        }
+
+    def test_contains_does_not_touch_counters_or_recency(self):
+        lru = LRUPlanTier(capacity=2)
+        lru.put("a", 1)
+        lru.put("b", 2)
+        assert "a" in lru
+        lru.put("c", 3)  # a is still least recent despite the `in`
+        assert "a" not in lru
+        assert lru.misses == 0
+
+    def test_clear_resets_everything(self):
+        lru = LRUPlanTier(capacity=2)
+        lru.put("a", 1)
+        lru.get("a")
+        lru.get("zz")
+        lru.clear()
+        assert len(lru) == 0
+        assert lru.stats()["hits"] == 0
+        assert lru.stats()["misses"] == 0

@@ -24,6 +24,7 @@ def test_docs_pages_exist():
     assert (REPO / "docs" / "schedules.md").is_file()
     assert (REPO / "docs" / "scenarios.md").is_file()
     assert (REPO / "docs" / "performance.md").is_file()
+    assert (REPO / "docs" / "service.md").is_file()
 
 
 def test_docs_link_checker_passes():
@@ -56,7 +57,9 @@ def test_readme_documents_every_subcommand():
     text = (REPO / "README.md").read_text() + (
         REPO / "docs" / "schedules.md"
     ).read_text()
-    for name in ("fig2", "table5", "table6", "schedules", "plan", "scenarios"):
+    for name in (
+        "fig2", "table5", "table6", "schedules", "plan", "scenarios", "serve"
+    ):
         assert name in SUBCOMMANDS and name in text
 
 
@@ -77,7 +80,10 @@ class TestCheckerCatchesDrift:
         page = tmp_path / "page.md"
         page.write_text(text)
         problems = checker.check_file(
-            page, checker.cli_surface(), checker.known_callables()
+            page,
+            checker.cli_surface(),
+            checker.known_callables(),
+            checker.service_routes(),
         )
         return [p for p in problems if "missing file reference" not in p]
 
@@ -132,6 +138,39 @@ class TestCheckerCatchesDrift:
             tmp_path, "```python\nplan(model,, parallel)\n```\n"
         )
         assert any("does not parse" in p for p in problems)
+
+    def test_flags_unknown_http_endpoint(self, tmp_path):
+        problems = self.check_text(
+            tmp_path,
+            "Call `POST /v1/frobnicate` or `GET /healthz-extra` to plan.\n",
+        )
+        assert any("/v1/frobnicate" in p for p in problems)
+        assert any("/healthz-extra" in p for p in problems)
+
+    def test_flags_wrong_method_on_real_route(self, tmp_path):
+        problems = self.check_text(tmp_path, "Use `GET /v1/plan`.\n")
+        assert any("GET /v1/plan" in p for p in problems)
+
+    def test_accepts_valid_endpoints(self, tmp_path):
+        problems = self.check_text(
+            tmp_path,
+            "`POST /v1/plan`, `GET /healthz`, `GET /stats` and "
+            "`POST /shutdown` are all live.\n",
+        )
+        assert problems == []
+
+    def test_route_coverage_flags_undocumented_route(self):
+        checker = load_checker()
+        routes = checker.service_routes()
+        assert ("POST", "/v1/plan") in routes
+        problems = checker.check_route_coverage(
+            routes, "Only `GET /healthz` is documented here.\n"
+        )
+        assert any("/v1/plan" in p for p in problems)
+        full_text = "\n".join(
+            f"`{method} {path}`" for method, path in routes
+        )
+        assert checker.check_route_coverage(routes, full_text) == []
 
     def test_accepts_valid_kwargs(self, tmp_path):
         problems = self.check_text(

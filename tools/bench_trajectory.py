@@ -27,6 +27,20 @@ the **compiled** engine (:mod:`repro.sim.compiled`):
   :meth:`~repro.sim.compiled.CompiledGraph.execute_many_summary` pass
   over the same matrices.
 
+With ``--service`` the *serving* trajectory is measured instead (and
+written to ``BENCH_service.json``), driving a live in-process
+:class:`~repro.service.app.PlanningService` over HTTP:
+
+* ``service_hot_cache_*`` — steady-state latency of a request the LRU
+  tier answers; the "reference" side is one cold ``plan_point`` with
+  every process-wide cache cleared (what each CLI invocation used to
+  pay);
+* ``service_coalesced_burst_*`` — N synchronized duplicate requests on
+  a never-seen digest; the "reference" side is N× the measured
+  single-request cost (what the burst would cost un-coalesced), and
+  ``cost_ratio`` records burst wall time over one request (~1 when
+  coalescing works).
+
 Every entry records reference seconds, compiled seconds and the
 speedup (for the two sweep-era classes, "reference" means the
 unbatched/uncached equivalent path, not the reference *engine*).  A ``calibration_s`` scalar (a fixed pure-Python workload)
@@ -39,10 +53,12 @@ Usage::
     PYTHONPATH=src python tools/bench_trajectory.py             # full + quick, write BENCH_sim.json
     PYTHONPATH=src python tools/bench_trajectory.py --quick     # quick classes only, no write
     PYTHONPATH=src python tools/bench_trajectory.py --quick --check BENCH_sim.json
+    PYTHONPATH=src python tools/bench_trajectory.py --service   # write BENCH_service.json
+    PYTHONPATH=src python tools/bench_trajectory.py --service --quick --check BENCH_service.json
 
 ``--check`` exits non-zero when any current quick entry is more than
 ``--threshold`` (default 2×) slower than the committed baseline after
-calibration normalization — the CI perf-smoke gate.
+calibration normalization — the CI perf-smoke gate (both baselines).
 """
 
 from __future__ import annotations
@@ -86,6 +102,10 @@ SWEEP_BUDGETS = (24.0, 32.0, 40.0, 48.0, 56.0, 64.0, 72.0, 80.0)
 #: Best-of rounds: the quick class gates CI on millisecond timings, so
 #: it takes more rounds to suppress shared-runner noise.
 ROUNDS = {"full": 3, "quick": 5}
+#: Synchronized duplicate requests of the service coalesced-burst class.
+SERVICE_DUPLICATES = 8
+#: Sequential hot requests averaged per service hot-cache round.
+SERVICE_HOT_REQUESTS = 25
 
 
 def best_of(fn, rounds: int) -> float:
@@ -335,6 +355,110 @@ def measure_class(
     return entries
 
 
+def measure_service_class(
+    klass: str, with_reference: bool = True
+) -> dict[str, dict[str, float]]:
+    """Service trajectory entries for one class ('full' or 'quick').
+
+    Drives a live in-process service over real HTTP (thread executor —
+    the classes measure the serving tiers, not pool spawn noise).  The
+    hot-cache "reference" is a cold ``plan_point`` with all process
+    caches cleared: the per-invocation price of the pre-service CLI.
+    """
+    sys.path.insert(0, str(REPO / "tools"))
+    import loadtest_service as lt
+
+    from repro.planner import PlannerConstraints, SweepPoint, plan_point
+    from repro.service import PlanningService, ServiceThread
+
+    m = MICROBATCHES[klass]
+    rounds = ROUNDS[klass]
+    entries: dict[str, dict[str, float]] = {}
+    devices, vocab = 8, 256 * 1024
+    tag = "tab5_8gpu"
+
+    def add(name: str, reference_s: float | None, compiled_s: float, **extra) -> None:
+        entries[name] = {"compiled_s": compiled_s, **extra}
+        if reference_s is None:
+            print(f"  {name:28s} compiled {compiled_s * 1e3:9.2f} ms")
+            return
+        entries[name]["reference_s"] = reference_s
+        entries[name]["speedup"] = (
+            reference_s / compiled_s if compiled_s > 0 else 0.0
+        )
+        print(
+            f"  {name:28s} reference {reference_s * 1e3:9.2f} ms   "
+            f"compiled {compiled_s * 1e3:9.2f} ms   "
+            f"{entries[name]['speedup']:5.1f}x"
+        )
+
+    point = SweepPoint(devices, vocab, 2048, m)
+    constraints = PlannerConstraints()
+
+    def cold_plan() -> None:
+        clear_all_planner_caches()
+        plan_point(point, constraints)
+
+    cold_s = best_of(cold_plan, rounds) if with_reference else None
+    clear_all_planner_caches()
+
+    service = PlanningService(port=0, executor="thread", lru_size=512)
+    with ServiceThread(service) as live:
+        payload = {"devices": devices, "vocab_size": vocab, "microbatches": m}
+
+        def request(body: dict) -> None:
+            status, response = lt.request_json(
+                live.host, live.port, "POST", "/v1/plan", body
+            )
+            assert status == 200, response
+
+        request(payload)  # prime the LRU
+
+        def hot_requests() -> None:
+            for _ in range(SERVICE_HOT_REQUESTS):
+                request(payload)
+
+        hot_s = best_of(hot_requests, rounds) / SERVICE_HOT_REQUESTS
+        add(
+            f"service_hot_cache_{tag}", cold_s, hot_s,
+            requests=SERVICE_HOT_REQUESTS,
+        )
+
+        # Fresh digests that still cost a real plan: each distinct
+        # pass_overhead binding forces fresh estimate/metrics entries
+        # (a top-k re-simulation) while schedule structures and
+        # compiled graphs stay warm — the steady-state price of one
+        # never-seen query, not just an LRU-miss re-rank.
+        overheads = iter(1e-12 * (i + 1) for i in range(8 * max(rounds, 1) * 4))
+
+        def fresh_payload() -> dict:
+            return dict(payload, pass_overhead=next(overheads))
+
+        def single_request() -> None:
+            request(fresh_payload())
+
+        single_s = best_of(single_request, rounds)
+
+        def burst_round() -> float:
+            latencies, bodies, errors = lt.run_duplicate_burst(
+                live.host, live.port, fresh_payload(), SERVICE_DUPLICATES
+            )
+            assert not errors and len(bodies) == 1, (errors, len(bodies))
+            return max(latencies)
+
+        burst_s = min(burst_round() for _ in range(rounds))
+        add(
+            f"service_coalesced_burst_{tag}",
+            SERVICE_DUPLICATES * single_s if with_reference else None,
+            burst_s,
+            duplicates=SERVICE_DUPLICATES,
+            single_request_s=single_s,
+            cost_ratio=burst_s / single_s if single_s > 0 else 0.0,
+        )
+    clear_all_planner_caches()
+    return entries
+
+
 def check(current: dict, baseline: dict, threshold: float) -> list[str]:
     """Normalized-regression failures of ``current`` vs ``baseline``."""
     problems = []
@@ -370,6 +494,11 @@ def main(argv: list[str] | None = None) -> int:
         help="measure only the quick class (smaller m); skip writing output",
     )
     parser.add_argument(
+        "--service", action="store_true",
+        help="measure the planning-service classes instead "
+        "(writes/checks BENCH_service.json)",
+    )
+    parser.add_argument(
         "--check", metavar="BASELINE", default=None,
         help="compare against a committed BENCH_sim.json; exit 1 on regression",
     )
@@ -378,10 +507,16 @@ def main(argv: list[str] | None = None) -> int:
         help="allowed normalized slowdown vs baseline (default 2.0x)",
     )
     parser.add_argument(
-        "--output", default=str(REPO / "BENCH_sim.json"),
-        help="where to write the trajectory JSON (full runs only)",
+        "--output", default=None,
+        help="where to write the trajectory JSON (full runs only; "
+        "default BENCH_sim.json, or BENCH_service.json with --service)",
     )
     args = parser.parse_args(argv)
+    if args.output is None:
+        args.output = str(
+            REPO / ("BENCH_service.json" if args.service else "BENCH_sim.json")
+        )
+    measure = measure_service_class if args.service else measure_class
 
     result: dict = {
         "schema": 1,
@@ -392,10 +527,10 @@ def main(argv: list[str] | None = None) -> int:
     with_reference = args.check is None
     print(f"calibration: {result['calibration_s'] * 1e3:.2f} ms")
     print(f"quick class (m={MICROBATCHES['quick']}):")
-    result["quick"] = measure_class("quick", with_reference=with_reference)
+    result["quick"] = measure("quick", with_reference=with_reference)
     if not args.quick:
         print(f"full class (m={MICROBATCHES['full']}):")
-        result["full"] = measure_class("full", with_reference=with_reference)
+        result["full"] = measure("full", with_reference=with_reference)
 
     if args.check is not None:
         baseline = json.loads(Path(args.check).read_text())

@@ -17,7 +17,11 @@ Checks, over ``README.md`` and every ``docs/*.md``:
   argument passed to a known public callable (``plan``, ``sweep``,
   ``grid``, ``ClusterScenario``, ``RobustnessObjective``, …) exists in
   that callable's real signature — so documented kwargs cannot drift
-  from the API.
+  from the API;
+* every backticked HTTP endpoint (``POST /v1/plan``) names a live
+  route of the planning service — introspected from
+  :data:`repro.service.ROUTES` — and, conversely, every served route
+  is documented in ``docs/service.md``.
 
 Exit code 0 when clean, 1 with a list of problems otherwise.  Run
 from the repository root (CI does)::
@@ -43,6 +47,8 @@ BACKTICK_PATH = re.compile(r"`([A-Za-z0-9_./-]+\.(?:py|md|toml|yml))`")
 CLI_COMMAND = re.compile(r"repro-experiments\s+([a-z0-9-]+)([^`\n]*)")
 CLI_OPTION = re.compile(r"(--[a-z][a-z0-9-]*)")
 PYTHON_FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+# Backticked endpoint mentions like `POST /v1/plan` or `GET /healthz`.
+HTTP_ENDPOINT = re.compile(r"`(GET|POST|PUT|DELETE|PATCH)\s+(/[^\s`]*)`")
 
 
 def doc_files() -> list[Path]:
@@ -78,6 +84,25 @@ def cli_surface() -> dict[str, set[str]]:
                     options.update(sub_action.option_strings)
                 surface[name] = options
     return surface
+
+
+def service_routes() -> set[tuple[str, str]]:
+    """(method, path) pairs the planning service actually serves."""
+    from repro.service import ROUTES
+
+    return {(route.method, route.path) for route in ROUTES}
+
+
+def check_route_coverage(routes: set[tuple[str, str]], text: str) -> list[str]:
+    """Routes the service serves but ``docs/service.md`` never mentions."""
+    documented = {
+        (match.group(1), match.group(2))
+        for match in HTTP_ENDPOINT.finditer(text)
+    }
+    return [
+        f"docs/service.md: served route `{method} {path}` is undocumented"
+        for method, path in sorted(routes - documented)
+    ]
 
 
 def known_callables() -> dict[str, object]:
@@ -164,6 +189,7 @@ def check_file(
     path: Path,
     cli: dict[str, set[str]],
     known: dict[str, object],
+    routes: set[tuple[str, str]] | None = None,
 ) -> list[str]:
     """All problems found in one markdown file.
 
@@ -199,6 +225,14 @@ def check_file(
                     f"{rel}: repro-experiments {command} has no option "
                     f"{option}"
                 )
+    if routes is not None:
+        for match in HTTP_ENDPOINT.finditer(text):
+            endpoint = (match.group(1), match.group(2))
+            if endpoint not in routes:
+                problems.append(
+                    f"{rel}: documented endpoint `{endpoint[0]} "
+                    f"{endpoint[1]}` is not in the service route table"
+                )
     for match in PYTHON_FENCE.finditer(text):
         problems.extend(check_python_block(match.group(1), rel, known))
     return problems
@@ -208,13 +242,21 @@ def main() -> int:
     sys.path.insert(0, str(REPO / "src"))
     cli = cli_surface()
     known = known_callables()
+    routes = service_routes()
 
     problems: list[str] = []
     files = doc_files()
     if len(files) < 2:
         problems.append("expected README.md plus docs/*.md pages")
     for path in files:
-        problems.extend(check_file(path, cli, known))
+        problems.extend(check_file(path, cli, known, routes))
+    service_page = REPO / "docs" / "service.md"
+    if service_page.exists():
+        problems.extend(
+            check_route_coverage(routes, service_page.read_text())
+        )
+    else:
+        problems.append("docs/service.md is missing (the service reference)")
     if problems:
         print("\n".join(problems))
         return 1

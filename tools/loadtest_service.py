@@ -1,0 +1,506 @@
+#!/usr/bin/env python
+"""Closed-loop load generator for the planning service.
+
+Drives a live ``repro-experiments serve`` process with a configurable
+mix of plan / sweep / scenario queries from N concurrent closed-loop
+workers (each worker issues its next request as soon as the previous
+one returns), plus a synchronized *duplicate burst* that exercises
+request coalescing.  Records throughput and p50/p95/p99 latency per
+request class and validates the service's behavioural contract:
+
+* ``/healthz`` answers OK before and after the load;
+* every response is 200 with a well-formed body;
+* the coalesce counter is positive after the duplicate burst, and the
+  burst's responses are bit-identical;
+* the server shuts down cleanly on ``POST /shutdown`` and its exit
+  code is propagated — ``repro-experiments serve`` exits non-zero when
+  worker processes leak past pool shutdown, and so does this tool.
+
+Usage (CI's service-smoke job runs the first form)::
+
+    PYTHONPATH=src python tools/loadtest_service.py --quick
+    PYTHONPATH=src python tools/loadtest_service.py --concurrency 16 --requests 40
+    PYTHONPATH=src python tools/loadtest_service.py --url http://127.0.0.1:8181
+
+Without ``--url`` the tool spawns its own server subprocess (an
+ephemeral port, ``--executor`` selects its pool type).  The per-class
+latency summary can be written with ``--json``; the committed
+``BENCH_service.json`` trajectory numbers come from
+``tools/bench_trajectory.py --service``, which reuses this module's
+client primitives.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import re
+import select
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+# ---------------------------------------------------------------------------
+# Client primitives (also used by tools/bench_trajectory.py --service)
+# ---------------------------------------------------------------------------
+
+
+def request_json(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload: dict | None = None,
+    timeout: float = 300.0,
+) -> tuple[int, dict]:
+    """One HTTP request → (status, decoded JSON body)."""
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        body = None if payload is None else json.dumps(payload)
+        conn.request(method, path, body=body)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def percentile(latencies: list[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of a latency sample."""
+    if not latencies:
+        return 0.0
+    ordered = sorted(latencies)
+    rank = max(0, min(len(ordered) - 1, round(q / 100.0 * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def summarize(latencies: list[float], wall_s: float) -> dict:
+    """Throughput + latency percentiles for one request class."""
+    return {
+        "requests": len(latencies),
+        "wall_s": wall_s,
+        "throughput_rps": len(latencies) / wall_s if wall_s > 0 else 0.0,
+        "mean_s": sum(latencies) / len(latencies) if latencies else 0.0,
+        "p50_s": percentile(latencies, 50.0),
+        "p95_s": percentile(latencies, 95.0),
+        "p99_s": percentile(latencies, 99.0),
+    }
+
+
+class ServerHandle:
+    """A spawned ``repro-experiments serve`` subprocess."""
+
+    def __init__(self, process: subprocess.Popen, host: str, port: int):
+        self.process = process
+        self.host = host
+        self.port = port
+
+    def shutdown(self, timeout: float = 60.0) -> int:
+        """Graceful shutdown; returns the server's exit code."""
+        try:
+            request_json(self.host, self.port, "POST", "/shutdown", timeout=30.0)
+        except OSError:
+            pass  # already gone
+        try:
+            return self.process.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.process.kill()
+            self.process.wait(timeout=10.0)
+            return -1
+
+
+def spawn_server(
+    executor: str = "process",
+    workers: int | None = None,
+    cache_dir: str | None = None,
+    lru_size: int = 256,
+    startup_timeout: float = 60.0,
+) -> ServerHandle:
+    """Start a server subprocess on an ephemeral port and wait for it."""
+    import os
+
+    command = [
+        sys.executable, "-m", "repro.harness.cli", "serve",
+        "--port", "0", "--executor", executor,
+    ]
+    if workers is not None:
+        command += ["--workers", str(workers)]
+    if cache_dir is not None:
+        command += ["--cache-dir", cache_dir]
+    command += ["--lru-size", str(lru_size)]
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    process = subprocess.Popen(
+        command, stdout=subprocess.PIPE, text=True, env=env, cwd=str(REPO)
+    )
+    deadline = time.monotonic() + startup_timeout
+    pattern = re.compile(r"serving on http://([^:]+):(\d+)")
+    while True:
+        # select() before readline(): a subprocess that hangs before
+        # announcing its port (with stdout still open) must fail this
+        # call after startup_timeout, not block CI forever.
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            break
+        readable, _, _ = select.select([process.stdout], [], [], remaining)
+        if not readable:
+            break
+        line = process.stdout.readline()
+        if not line:
+            raise RuntimeError(
+                f"server exited during startup (code {process.poll()})"
+            )
+        match = pattern.search(line)
+        if match:
+            return ServerHandle(process, match.group(1), int(match.group(2)))
+    process.kill()
+    raise RuntimeError(f"server did not announce a port in {startup_timeout}s")
+
+
+# ---------------------------------------------------------------------------
+# Workload
+# ---------------------------------------------------------------------------
+
+
+def build_mix(args: argparse.Namespace) -> list[tuple[str, str, dict]]:
+    """The deterministic request classes: (class name, path, payload).
+
+    ``hot`` repeats one configuration (LRU-hit steady state), ``cold``
+    walks distinct memory budgets over one schedule structure (planner
+    aux caches do the heavy lifting, every digest is new), ``sweep``
+    and ``scenarios`` exercise the other two endpoints at a size that
+    keeps the closed loop interactive.
+    """
+    base = {
+        "devices": args.devices,
+        "vocab_size": args.vocab_size,
+        "microbatches": args.microbatches,
+        "simulate_top_k": args.top_k,
+    }
+    classes = [("plan_hot", "/v1/plan", dict(base))]
+    classes.append(
+        (
+            "plan_cold",
+            "/v1/plan",
+            dict(base, memory_budget_gib="COLD"),  # placeholder per request
+        )
+    )
+    classes.append(
+        (
+            "sweep",
+            "/v1/sweep",
+            {
+                "devices": [args.devices],
+                "vocab_sizes": [args.vocab_size],
+                "microbatches": [args.microbatches],
+                "memory_budgets_gib": [40.0, 80.0],
+                "simulate_top_k": args.top_k,
+            },
+        )
+    )
+    classes.append(
+        (
+            "scenarios",
+            "/v1/scenarios",
+            {
+                "scenario": "slow-node",
+                "method": "vocab-1",
+                "devices": args.devices,
+                "vocab_size": args.vocab_size,
+                "microbatches": args.microbatches,
+                "samples": args.samples,
+            },
+        )
+    )
+    return classes
+
+
+def run_closed_loop(
+    host: str,
+    port: int,
+    classes: list[tuple[str, str, dict]],
+    concurrency: int,
+    requests_per_worker: int,
+    hot_ratio: float,
+) -> tuple[dict[str, list[float]], float, list[str]]:
+    """N workers, each issuing its next request when the last returns.
+
+    The request stream is deterministic per worker: a ``hot_ratio``
+    fraction of slots replay the hot-plan class, the rest round-robin
+    over the remaining classes.  Cold plan slots draw a
+    worker-and-slot-unique memory budget so every one is a fresh
+    digest.
+    """
+    latencies: dict[str, list[float]] = {name: [] for name, _, _ in classes}
+    errors: list[str] = []
+    lock = threading.Lock()
+    others = [c for c in classes if c[0] != "plan_hot"]
+
+    def schedule(worker: int, slot: int) -> tuple[str, str, dict]:
+        # Bresenham-style interleave: a hot_ratio fraction of slots is
+        # hot with hot/cold evenly mixed even for tiny slot counts.
+        if int((slot + 1) * hot_ratio) > int(slot * hot_ratio):
+            return classes[0]
+        name, path, payload = others[(worker + slot) % len(others)]
+        if name == "plan_cold":
+            payload = dict(payload)
+            payload["memory_budget_gib"] = (
+                30.0 + (worker * requests_per_worker + slot) * 0.125
+            )
+        return name, path, payload
+
+    def run_worker(worker: int) -> None:
+        for slot in range(requests_per_worker):
+            name, path, payload = schedule(worker, slot)
+            start = time.perf_counter()
+            try:
+                status, body = request_json(host, port, "POST", path, payload)
+            except OSError as error:
+                with lock:
+                    errors.append(f"{name}: transport error {error}")
+                continue
+            elapsed = time.perf_counter() - start
+            with lock:
+                if status != 200:
+                    errors.append(
+                        f"{name}: HTTP {status}: {body.get('error', body)}"
+                    )
+                else:
+                    latencies[name].append(elapsed)
+
+    threads = [
+        threading.Thread(target=run_worker, args=(w,)) for w in range(concurrency)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return latencies, time.perf_counter() - start, errors
+
+
+def run_duplicate_burst(
+    host: str, port: int, payload: dict, duplicates: int
+) -> tuple[list[float], set[str], list[str]]:
+    """Fire N identical requests through a barrier (the coalesce probe).
+
+    The payload must be a digest the service has not seen (otherwise
+    the LRU answers and nothing coalesces).  Returns latencies, the
+    set of distinct response bodies (must be exactly one) and errors.
+    """
+    barrier = threading.Barrier(duplicates)
+    latencies: list[float] = []
+    bodies: set[str] = set()
+    errors: list[str] = []
+    lock = threading.Lock()
+
+    def run_one() -> None:
+        barrier.wait()
+        start = time.perf_counter()
+        try:
+            status, body = request_json(host, port, "POST", "/v1/plan", payload)
+        except OSError as error:
+            with lock:
+                errors.append(f"burst: transport error {error}")
+            return
+        elapsed = time.perf_counter() - start
+        with lock:
+            if status != 200:
+                errors.append(f"burst: HTTP {status}: {body.get('error', body)}")
+            else:
+                latencies.append(elapsed)
+                bodies.add(json.dumps(body["plan"], sort_keys=True))
+
+    threads = [threading.Thread(target=run_one) for _ in range(duplicates)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return latencies, bodies, errors
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def parse_url(url: str) -> tuple[str, int]:
+    match = re.fullmatch(r"(?:https?://)?([^:/]+):(\d+)/?", url.strip())
+    if not match:
+        raise SystemExit(f"loadtest: cannot parse --url {url!r} (host:port)")
+    return match.group(1), int(match.group(2))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--url", default=None,
+        help="target an already-running service (default: spawn one)",
+    )
+    parser.add_argument(
+        "--executor", choices=["process", "thread"], default="process",
+        help="pool type for the spawned server (ignored with --url)",
+    )
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--cache-dir", default=None)
+    parser.add_argument("--concurrency", type=int, default=8)
+    parser.add_argument(
+        "--requests", type=int, default=25,
+        help="closed-loop requests per worker",
+    )
+    parser.add_argument(
+        "--hot-ratio", type=float, default=0.6,
+        help="fraction of slots replaying the hot plan config",
+    )
+    parser.add_argument(
+        "--duplicates", type=int, default=8,
+        help="size of the synchronized duplicate burst",
+    )
+    parser.add_argument("--devices", type=int, default=4)
+    parser.add_argument("--vocab-size", default="32k")
+    parser.add_argument("--microbatches", type=int, default=16)
+    parser.add_argument("--top-k", type=int, default=1)
+    parser.add_argument(
+        "--samples", type=int, default=16,
+        help="Monte Carlo samples of the scenario request class",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small CI profile: few workers/requests, assertions on",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="OUT",
+        help="write the latency/throughput report as JSON",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.concurrency = min(args.concurrency, 6)
+        args.requests = min(args.requests, 5)
+        args.microbatches = min(args.microbatches, 8)
+        args.samples = min(args.samples, 8)
+
+    problems: list[str] = []
+    server: ServerHandle | None = None
+    if args.url is not None:
+        host, port = parse_url(args.url)
+    else:
+        print(f"spawning service (executor={args.executor}) ...", flush=True)
+        server = spawn_server(
+            executor=args.executor,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+        )
+        host, port = server.host, server.port
+        print(f"spawned http://{host}:{port}", flush=True)
+
+    exit_code = 0
+    try:
+        status, health = request_json(host, port, "GET", "/healthz")
+        if status != 200 or health.get("status") not in ("ok", "degraded"):
+            problems.append(f"/healthz before load: HTTP {status} {health}")
+        else:
+            print(f"healthz: {health['status']} (executor {health['executor']})")
+
+        classes = build_mix(args)
+        latencies, wall_s, errors = run_closed_loop(
+            host, port, classes, args.concurrency, args.requests,
+            args.hot_ratio,
+        )
+        problems.extend(errors)
+
+        # The coalesce probe: a never-seen digest, N synchronized
+        # duplicates.  The distinct microbatch count keeps the digest
+        # out of every class above.
+        burst_payload = {
+            "devices": args.devices,
+            "vocab_size": args.vocab_size,
+            "microbatches": args.microbatches + 1,
+            "simulate_top_k": args.top_k,
+        }
+        burst, bodies, errors = run_duplicate_burst(
+            host, port, burst_payload, args.duplicates
+        )
+        problems.extend(errors)
+        if len(bodies) > 1:
+            problems.append(
+                f"duplicate burst returned {len(bodies)} distinct plans "
+                "(expected bit-identical responses)"
+            )
+
+        status, stats = request_json(host, port, "GET", "/stats")
+        if status != 200:
+            problems.append(f"/stats: HTTP {status}")
+            stats = {}
+        coalesced = stats.get("coalesced", 0)
+        if burst and coalesced < 1:
+            problems.append(
+                "coalesce counter is 0 after a synchronized duplicate burst"
+            )
+        status, health = request_json(host, port, "GET", "/healthz")
+        if status != 200:
+            problems.append(f"/healthz after load: HTTP {status}")
+
+        total = sum(len(v) for v in latencies.values()) + len(burst)
+        print(
+            f"\n{total} requests over {wall_s:.2f}s closed-loop wall "
+            f"({args.concurrency} workers x {args.requests}); "
+            f"computed={stats.get('computed')} coalesced={coalesced} "
+            f"lru_hits={stats.get('lru', {}).get('hits')}"
+        )
+        report = {"classes": {}, "stats": stats}
+        for name, values in latencies.items():
+            if not values:
+                continue
+            summary = summarize(values, wall_s)
+            report["classes"][name] = summary
+            print(
+                f"  {name:12s} n={summary['requests']:4d}  "
+                f"p50 {summary['p50_s'] * 1e3:8.1f} ms  "
+                f"p95 {summary['p95_s'] * 1e3:8.1f} ms  "
+                f"p99 {summary['p99_s'] * 1e3:8.1f} ms"
+            )
+        if burst:
+            summary = summarize(burst, max(burst))
+            report["classes"]["coalesced_burst"] = summary
+            print(
+                f"  {'burst':12s} n={summary['requests']:4d}  "
+                f"p50 {summary['p50_s'] * 1e3:8.1f} ms  "
+                f"p95 {summary['p95_s'] * 1e3:8.1f} ms  "
+                f"p99 {summary['p99_s'] * 1e3:8.1f} ms"
+            )
+        if args.json:
+            Path(args.json).write_text(
+                json.dumps(report, indent=2, sort_keys=True) + "\n"
+            )
+            print(f"wrote {args.json}")
+    finally:
+        if server is not None:
+            code = server.shutdown()
+            if code != 0:
+                problems.append(
+                    f"server exited with code {code} (leaked workers or "
+                    "unclean shutdown)"
+                )
+            else:
+                print("server shut down cleanly (exit 0)")
+
+    if problems:
+        print("\nloadtest FAILED:")
+        for problem in problems:
+            print(f"  - {problem}")
+        exit_code = 1
+    else:
+        print("loadtest OK")
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())
