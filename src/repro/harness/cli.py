@@ -15,6 +15,9 @@ Subcommands:
 * ``scenarios`` — cluster scenarios (:mod:`repro.scenarios`): list and
   describe the registry, and price schedule robustness on non-ideal
   clusters with seeded Monte Carlo jitter;
+* ``whatif`` — price one single-device slowdown incrementally
+  (:func:`repro.planner.whatif`): cone-limited delta replay over a
+  resident compiled graph instead of a full re-plan;
 * ``serve`` — the long-running planning service (:mod:`repro.service`):
   plan/sweep/scenario queries over HTTP with request coalescing and
   tiered caches (see ``docs/service.md``);
@@ -36,6 +39,7 @@ Examples::
     repro-experiments scenarios describe --scenario slow-node
     repro-experiments scenarios run --scenario high-jitter --method vocab-1
     repro-experiments scenarios compare --scenario slow-node
+    repro-experiments whatif --devices 8 --method vocab-1 --device -1 --factor 1.3
     repro-experiments serve --port 8181 --cache-dir /tmp/plans
     repro-experiments all
 """
@@ -56,6 +60,7 @@ SUBCOMMANDS = {
     "schedules": "ASCII schedule timelines (Figures 1/10)",
     "plan": "rank schedule families for a config (planner)",
     "scenarios": "cluster scenarios: robustness on non-ideal clusters",
+    "whatif": "incremental single-device what-if (delta replay)",
     "serve": "HTTP planning service: coalescing + tiered caches",
     "all": "everything (several minutes)",
 }
@@ -395,6 +400,66 @@ def _cmd_scenarios(args: argparse.Namespace) -> None:
         print(f"  skipped {method:15s} {reason}")
 
 
+def _cmd_whatif(args: argparse.Namespace) -> None:
+    import json
+
+    from repro.harness.tables import format_table
+    from repro.planner import PlanCache, whatif
+
+    try:
+        model, parallel = _scenario_model(args)
+        cache = (
+            PlanCache(args.cache_dir) if args.cache_dir is not None else None
+        )
+        result = whatif(
+            model,
+            parallel,
+            method=args.method,
+            device=args.device,
+            factor=args.factor,
+            pass_overhead=args.pass_overhead,
+            scenario=args.scenario,
+            cache=cache,
+        )
+    except (ValueError, KeyError) as error:
+        message = (
+            error.args[0]
+            if isinstance(error, KeyError) and error.args
+            else error
+        )
+        raise SystemExit(
+            f"repro-experiments whatif: error: {message}"
+        ) from None
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2))
+        return
+    title = (
+        f"What-if — {result.method}: device {result.device} at "
+        f"{result.factor:g}x duration, {args.devices} devices, "
+        f"vocab {args.vocab // 1024}k, seq {args.seq}, "
+        f"m={args.microbatches}"
+    )
+    print(
+        format_table(
+            [
+                "baseline(s)", "whatif(s)", "slowdown", "bubble%",
+                "whatif bubble%", "support",
+            ],
+            [
+                [
+                    f"{result.baseline_time:.4f}",
+                    f"{result.whatif_time:.4f}",
+                    f"{result.slowdown:.4f}",
+                    round(100.0 * result.baseline_bubble, 2),
+                    round(100.0 * result.whatif_bubble, 2),
+                    result.support,
+                ]
+            ],
+            title=title,
+        )
+    )
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import PlanningService
 
@@ -580,6 +645,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit machine-readable JSON instead of the ASCII table",
     )
 
+    wi = sub.add_parser("whatif", help=SUBCOMMANDS["whatif"])
+    wi.add_argument(
+        "--devices", type=int, default=8, help="pipeline device count"
+    )
+    wi.add_argument(
+        "--vocab", type=_parse_vocab, default=128 * 1024, metavar="SIZE",
+        help="vocabulary size, e.g. 128k or 131072",
+    )
+    wi.add_argument("--seq", type=int, default=2048, help="sequence length")
+    wi.add_argument(
+        "--method", default="vocab-1", metavar="METHOD",
+        help="schedule family to perturb (default vocab-1)",
+    )
+    wi.add_argument(
+        "--device", type=int, default=-1,
+        help="device whose passes slow down; negative counts from the "
+        "end of the pipeline (default -1, the last device)",
+    )
+    wi.add_argument(
+        "--factor", type=float, default=1.3,
+        help="duration multiplier for the perturbed device (default 1.3)",
+    )
+    wi.add_argument(
+        "--pass-overhead", type=float, default=None, metavar="S",
+        help="per-pass host overhead binding in seconds",
+    )
+    wi.add_argument(
+        "--scenario", default=None, metavar="NAME",
+        help="price the baseline under a registered cluster scenario",
+    )
+    wi.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="disk-backed plan cache shared with plan/serve runs",
+    )
+    wi.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of the ASCII table",
+    )
+    _add_common(wi)
+
     sv = sub.add_parser("serve", help=SUBCOMMANDS["serve"])
     sv.add_argument(
         "--host", default="127.0.0.1",
@@ -627,6 +732,7 @@ def main(argv: list[str] | None = None) -> int:
         "schedules": _cmd_schedules,
         "plan": _cmd_plan,
         "scenarios": _cmd_scenarios,
+        "whatif": _cmd_whatif,
         "serve": _cmd_serve,
         "all": _cmd_all,
     }

@@ -12,6 +12,8 @@ peak-memory constraint.
 Programmatic entry points:
 
 * :func:`plan` — rank schedule families for one configuration;
+* :func:`whatif` — price a single-device slowdown incrementally via
+  cone-limited delta replay on a resident compiled graph;
 * :func:`sweep` / :func:`grid` — plan whole (devices, vocab,
   microbatches, memory budget) grids in parallel;
 * :class:`PlannerConstraints` — memory budget, family restriction and
@@ -52,6 +54,12 @@ from repro.planner.sweep import (
     shutdown_pools,
     sweep,
 )
+from repro.planner.whatif import (
+    WhatifResult,
+    clear_whatif_graphs,
+    whatif,
+    whatif_cache_key,
+)
 
 __all__ = [
     "CandidateEstimate",
@@ -61,9 +69,11 @@ __all__ = [
     "RankedPlans",
     "SweepOutcome",
     "SweepPoint",
+    "WhatifResult",
     "best_method_table",
     "clear_plan_cache",
     "clear_probe_cache",
+    "clear_whatif_graphs",
     "config_digest",
     "default_chunk_size",
     "default_plan_cache",
@@ -79,4 +89,6 @@ __all__ = [
     "plan_points",
     "shutdown_pools",
     "sweep",
+    "whatif",
+    "whatif_cache_key",
 ]

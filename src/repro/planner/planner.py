@@ -52,7 +52,10 @@ from repro.sim import SimulationSetup
 #: 3: cluster scenarios — every whole-plan and metrics digest carries
 #: the scenario signature (``None`` for the nominal cluster), and the
 #: robustness ranking mode adds Monte Carlo aux entries.
-PLANNER_VERSION = 3
+#: 4: incremental what-if queries (the ``whatif`` aux namespace) and
+#: the ``jitter_devices`` scenario field, which changes the shape of
+#: every scenario signature.
+PLANNER_VERSION = 4
 
 #: Module-level default cache used when ``plan(..., cache=None)``.
 _DEFAULT_CACHE = PlanCache()

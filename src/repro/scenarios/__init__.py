@@ -36,6 +36,7 @@ from repro.scenarios.perturb import (
     QUANTILES,
     RobustnessObjective,
     RobustnessStats,
+    delta_support,
     method_robustness,
     perturbation_factors,
     perturbed_rows,
@@ -57,6 +58,7 @@ __all__ = [
     "RobustnessObjective",
     "RobustnessStats",
     "ScenarioRuntime",
+    "delta_support",
     "get_scenario",
     "list_scenarios",
     "method_robustness",

@@ -75,6 +75,14 @@ class ClusterScenario:
         Relative spread of multiplicative duration noise on compute
         passes / on collectives and P2P lags (0.05 ≈ 5 % kernel-time
         variation).  Zero disables jitter for that class.
+    jitter_devices:
+        Devices whose compute passes jitter (negative indices count
+        from the end of the pipeline); empty means every device.  A
+        narrow set — one thermally unstable straggler — confines the
+        jitter support to that device's passes, which is what lets
+        :func:`repro.scenarios.perturb.robustness_stats` route the
+        Monte Carlo sweep through the incremental delta-replay path.
+        Communication jitter is unaffected (it has no home device).
     jitter_distribution:
         ``"normal"`` (a 4-uniform Bates approximation — arithmetic
         only, so the NumPy and pure-Python generators are
@@ -99,6 +107,7 @@ class ClusterScenario:
     inter_latency_scale: float = 1.0
     pass_jitter: float = 0.0
     comm_jitter: float = 0.0
+    jitter_devices: tuple[int, ...] = ()
     jitter_distribution: str = "normal"
     min_jitter_factor: float = 0.05
     seed: int = 0
@@ -127,6 +136,11 @@ class ClusterScenario:
                 f"jitter spreads must be >= 0, got pass={self.pass_jitter}, "
                 f"comm={self.comm_jitter}"
             )
+        for device in self.jitter_devices:
+            if not isinstance(device, int):
+                raise ValueError(
+                    f"jitter_devices must be device indices, got {device!r}"
+                )
         if self.jitter_distribution not in JITTER_DISTRIBUTIONS:
             raise ValueError(
                 f"jitter_distribution must be one of {JITTER_DISTRIBUTIONS}, "
@@ -188,10 +202,18 @@ class ClusterScenario:
             self.inter_latency_scale,
             self.pass_jitter,
             self.comm_jitter,
+            self.jitter_devices,
             self.jitter_distribution,
             self.min_jitter_factor,
             self.seed,
         )
+
+    def jitter_device_set(self, num_devices: int) -> frozenset[int]:
+        """Concrete device indices whose passes jitter, for a pipeline
+        of ``num_devices`` (empty ``jitter_devices`` ⇒ all of them)."""
+        if not self.jitter_devices:
+            return frozenset(range(num_devices))
+        return frozenset(d % num_devices for d in self.jitter_devices)
 
     # ------------------------------------------------------------------
     # Lowering onto the nominal model
@@ -288,6 +310,10 @@ class ClusterScenario:
                 f"±{self.comm_jitter:.0%} ({self.jitter_distribution}, "
                 f"seed {self.seed})"
             )
+            if self.jitter_devices:
+                lines.append(
+                    f"  jitter confined to devices {self.jitter_devices}"
+                )
         if self.is_nominal:
             lines.append("  nominal homogeneous cluster (no perturbation)")
         if parallel is not None:

@@ -33,7 +33,7 @@ except ImportError:  # pragma: no cover - exercised via the fallback tests
     _np = None
 
 from repro.scenarios.cluster import ClusterScenario
-from repro.sim.compiled import CompiledGraph
+from repro.sim.compiled import CompiledGraph, Perturbation
 
 #: SplitMix64 constants (Steele, Lea & Flood 2014).
 _GOLDEN = 0x9E3779B97F4A7C15
@@ -148,12 +148,26 @@ def perturbation_factors(
     num_edges = len(graph.succ_node)
     stream = _stream_seed(scenario.seed, seed)
     lag_start = samples * num_nodes * _DRAWS
+    # Devices outside the scenario's jitter set draw from the stream
+    # like everyone else (the counter advances identically) but with
+    # zero sigma, so their factors are exactly 1.0 — narrowing the
+    # support never shifts anyone else's draws.
+    jittered = scenario.jitter_device_set(len(graph.device_nodes))
+    node_device = graph.node_device
     if _np is not None:
         sigma_nodes = _np.where(
             _np.arange(num_nodes) < num_passes,
             scenario.pass_jitter,
             scenario.comm_jitter,
         )
+        if scenario.jitter_devices:
+            muted = _np.asarray(
+                [
+                    i < num_passes and node_device[i] not in jittered
+                    for i in range(num_nodes)
+                ]
+            )
+            sigma_nodes = _np.where(muted, 0.0, sigma_nodes)
         dur = _factor_block_np(scenario, stream, 0, samples, num_nodes, sigma_nodes)
         lag = _factor_block_np(
             scenario,
@@ -165,10 +179,13 @@ def perturbation_factors(
         )
         return dur, lag
     pass_sigma, comm_sigma = scenario.pass_jitter, scenario.comm_jitter
-    dur = _factor_block_py(
-        scenario, stream, 0, samples, num_nodes,
-        lambda j: pass_sigma if j < num_passes else comm_sigma,
-    )
+
+    def sigma_of(j: int) -> float:
+        if j >= num_passes:
+            return comm_sigma
+        return pass_sigma if node_device[j] in jittered else 0.0
+
+    dur = _factor_block_py(scenario, stream, 0, samples, num_nodes, sigma_of)
     lag = _factor_block_py(
         scenario, stream, lag_start, samples, num_edges, lambda j: comm_sigma
     )
@@ -218,6 +235,140 @@ def perturbed_rows(
     ]
     lags = [[b * f for b, f in zip(base_lag, row)] for row in lag_factors]
     return durations, lags
+
+
+def delta_support(
+    graph: CompiledGraph, scenario: ClusterScenario
+) -> tuple[int, ...] | None:
+    """Node ids the scenario's jitter can touch, when that support is
+    narrow enough for incremental delta replay; ``None`` ⇒ dense.
+
+    Narrow means: jitter is confined to an explicit device subset
+    (``jitter_devices``) covering at most half the pipeline, and there
+    is no communication jitter (which would spread the support over
+    every collective barrier and edge lag).  Wide-support scenarios
+    keep the batched ``execute_many`` kernel — re-relaxing most of the
+    graph per sample would just be a slower full sweep.
+    """
+    if not scenario.has_jitter or not scenario.jitter_devices:
+        return None
+    if scenario.comm_jitter > 0:
+        return None
+    num_devices = len(graph.device_nodes)
+    devices = scenario.jitter_device_set(num_devices)
+    if 2 * len(devices) > num_devices:
+        return None
+    return tuple(
+        sorted(i for d in devices for i in graph.device_nodes[d])
+    )
+
+
+def _uniform_at_py(seed: int, draw: int) -> float:
+    """The uniform at absolute stream position ``draw`` — equal, bit
+    for bit, to ``_uniforms_py(seed, 0, draw + 1)[-1]``."""
+    z = (seed + (draw + 1) * _GOLDEN) & _MASK
+    z = (z + _GOLDEN) & _MASK
+    z = ((z ^ (z >> 30)) * _MIX1) & _MASK
+    z = ((z ^ (z >> 27)) * _MIX2) & _MASK
+    z = z ^ (z >> 31)
+    return (z >> 11) * 2.0**-53
+
+
+def _support_factors_py(
+    scenario: ClusterScenario,
+    seed: int,
+    num_nodes: int,
+    samples: int,
+    support: tuple[int, ...],
+) -> list[list[float]]:
+    """K×|support| pass-jitter factors — the same columns, bit for
+    bit, as the dense ``perturbation_factors`` duration matrix, pulled
+    from the counter-based stream at the columns' own draw offsets."""
+    sigma = scenario.pass_jitter
+    floor = scenario.min_jitter_factor
+    normal = scenario.jitter_distribution == "normal"
+    out = []
+    for k in range(samples):
+        base = k * num_nodes
+        row = []
+        for j in support:
+            at = (base + j) * _DRAWS
+            if normal:
+                z = (
+                    (
+                        (_uniform_at_py(seed, at) + _uniform_at_py(seed, at + 1))
+                        + _uniform_at_py(seed, at + 2)
+                    )
+                    + _uniform_at_py(seed, at + 3)
+                    - 2.0
+                ) * _SQRT3
+            else:
+                z = 2.0 * _uniform_at_py(seed, at) - 1.0
+            row.append(max(1.0 + sigma * z, floor))
+        out.append(row)
+    return out
+
+
+def _support_factors_np(
+    scenario: ClusterScenario,
+    seed: int,
+    num_nodes: int,
+    samples: int,
+    support: tuple[int, ...],
+):
+    """NumPy twin of :func:`_support_factors_py` — bit-identical."""
+    idx = _np.asarray(support, dtype=_np.uint64)[None, :]
+    base = _np.arange(samples, dtype=_np.uint64)[:, None] * _np.uint64(num_nodes)
+    at = (base + idx) * _np.uint64(_DRAWS)
+
+    def uniform(offset: int):
+        z = _np.uint64(seed) + (at + _np.uint64(offset + 1)) * _np.uint64(_GOLDEN)
+        z = z + _np.uint64(_GOLDEN)
+        z = (z ^ (z >> _np.uint64(30))) * _np.uint64(_MIX1)
+        z = (z ^ (z >> _np.uint64(27))) * _np.uint64(_MIX2)
+        z = z ^ (z >> _np.uint64(31))
+        return (z >> _np.uint64(11)).astype(_np.float64) * 2.0**-53
+
+    if scenario.jitter_distribution == "normal":
+        z = (((uniform(0) + uniform(1)) + uniform(2)) + uniform(3) - 2.0) * _SQRT3
+    else:
+        z = 2.0 * uniform(0) - 1.0
+    return _np.maximum(
+        1.0 + scenario.pass_jitter * z, scenario.min_jitter_factor
+    )
+
+
+def _delta_summaries(
+    graph: CompiledGraph,
+    scenario: ClusterScenario,
+    samples: int,
+    seed: int,
+    support: tuple[int, ...],
+) -> list:
+    """One delta replay per Monte Carlo sample, over the resident
+    checkpoint — cost scales with the perturbation's cone, not the
+    graph.  Bit-identical to pushing the same samples through the
+    dense ``execute_many_summary`` kernel: muted columns are exactly
+    1.0 there, and ``base * factor`` is the same IEEE multiply here.
+    """
+    stream = _stream_seed(scenario.seed, seed)
+    factors = (
+        _support_factors_np if _np is not None else _support_factors_py
+    )(scenario, stream, graph.num_nodes, samples, support)
+    graph.checkpoint()
+    base = graph.durations
+    summaries = []
+    for row in factors:
+        values = row.tolist() if _np is not None else row
+        perturbation = Perturbation(
+            durations=tuple(
+                (i, base[i] * f)
+                for i, f in zip(support, values)
+                if f != 1.0
+            )
+        )
+        summaries.append(graph.execute_delta_summary(perturbation))
+    return summaries
 
 
 def _quantile(sorted_values: list[float], q: float) -> float:
@@ -337,6 +488,14 @@ def robustness_stats(
     identical whichever kernel backend ran the sweep.  A jitter-free
     scenario degenerates to the nominal execution (every quantile
     equals ``nominal_time`` exactly).
+
+    Scenarios whose jitter support is narrow (:func:`delta_support` —
+    an explicit small ``jitter_devices`` subset, no communication
+    jitter) route each sample through
+    :meth:`~repro.sim.compiled.CompiledGraph.execute_delta_summary`
+    instead: per-sample cost then scales with the perturbed cone, not
+    the graph, and the statistics are bit-identical to the dense
+    kernel's either way.
     """
     nominal = graph.execute()
     nominal_time = nominal.iteration_time
@@ -355,8 +514,12 @@ def robustness_stats(
             nominal_bubble=nominal_bubble,
             p95_bubble=nominal_bubble,
         )
-    durations, lags = perturbed_rows(graph, scenario, samples, seed)
-    summaries = graph.execute_many_summary(durations, lags)
+    support = delta_support(graph, scenario)
+    if support is not None:
+        summaries = _delta_summaries(graph, scenario, samples, seed, support)
+    else:
+        durations, lags = perturbed_rows(graph, scenario, samples, seed)
+        summaries = graph.execute_many_summary(durations, lags)
     times = sorted(s.iteration_time for s in summaries)
     bubbles = sorted(s.mean_bubble_fraction() for s in summaries)
     mean = sum(times) / len(times)

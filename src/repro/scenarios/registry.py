@@ -13,7 +13,11 @@ name a well-understood cluster instead of hand-building one:
 * ``bandwidth-asymmetric`` — nominal compute, but inter-node links at
   35 % bandwidth and 3× latency (oversubscribed fabric);
 * ``high-jitter`` — heavy runtime noise on compute and communication
-  (busy multi-tenant cluster).
+  (busy multi-tenant cluster);
+* ``straggler-device`` — kernel-time jitter confined to the last
+  pipeline device (one thermally unstable card); its narrow support
+  routes Monte Carlo robustness through the incremental delta-replay
+  path.
 
 :func:`register_scenario` adds user scenarios; lookups are
 case-sensitive by ``name``.
@@ -60,6 +64,14 @@ _BUILTINS = (
         "30% communication jitter.",
         pass_jitter=0.15,
         comm_jitter=0.30,
+    ),
+    ClusterScenario(
+        name="straggler-device",
+        description="One thermally unstable device (last in the "
+        "pipeline) with 10% kernel-time jitter; narrow support drives "
+        "the incremental delta-replay path.",
+        pass_jitter=0.10,
+        jitter_devices=(-1,),
     ),
 )
 

@@ -12,8 +12,8 @@ Programmatic entry points:
   blocks (CLI), :class:`ServiceThread` hosts it on a thread (tests,
   benchmarks, the load generator);
 * :class:`PlanRequest` / :class:`SweepRequest` /
-  :class:`ScenarioRequest` — validated request bodies, each
-  normalizing to a cache digest;
+  :class:`ScenarioRequest` / :class:`WhatifRequest` — validated
+  request bodies, each normalizing to a cache digest;
 * :class:`~repro.service.lru.LRUPlanTier` — the bounded in-process hot
   tier;
 * :data:`ROUTES` — the served route table (ground truth for docs
@@ -35,9 +35,11 @@ from repro.service.requests import (
     RequestError,
     ScenarioRequest,
     SweepRequest,
+    WhatifRequest,
     execute_plan_request,
     execute_scenario_request,
     execute_sweep_request,
+    execute_whatif_request,
     plans_to_json,
     sweep_to_json,
 )
@@ -54,9 +56,11 @@ __all__ = [
     "ServiceStats",
     "ServiceThread",
     "SweepRequest",
+    "WhatifRequest",
     "execute_plan_request",
     "execute_scenario_request",
     "execute_sweep_request",
+    "execute_whatif_request",
     "plans_to_json",
     "shutdown_and_check_workers",
     "sweep_to_json",

@@ -56,9 +56,11 @@ from repro.service.requests import (
     RequestError,
     ScenarioRequest,
     SweepRequest,
+    WhatifRequest,
     execute_plan_request,
     execute_scenario_request,
     execute_sweep_request,
+    execute_whatif_request,
     plans_to_json,
     sweep_to_json,
 )
@@ -103,6 +105,10 @@ ROUTES: tuple[Route, ...] = (
     Route(
         "POST", "/v1/scenarios",
         "Monte Carlo robustness under a cluster scenario",
+    ),
+    Route(
+        "POST", "/v1/whatif",
+        "price a single-device slowdown by incremental delta replay",
     ),
     Route("POST", "/shutdown", "graceful shutdown (drains in-flight work)"),
 )
@@ -280,6 +286,21 @@ class PlanningService:
         )
         return {"tier": tier, "digest": key, "scenarios": result}
 
+    async def _post_whatif(self, payload) -> dict:
+        request = WhatifRequest.from_payload(payload)
+        key = request.digest()
+        # Same tiering as /v1/plan: the worker stores the rendered
+        # payload under the same digest, so the disk probe can hit.
+        tier, result = await self._resolve(
+            key,
+            functools.partial(
+                execute_whatif_request, request, self.cache_dir,
+                self.max_cache_entries,
+            ),
+            disk=True,
+        )
+        return {"tier": tier, "digest": key, "whatif": result}
+
     def _healthz_payload(self) -> dict:
         return {
             "status": "degraded" if self.degraded else "ok",
@@ -363,6 +384,7 @@ class PlanningService:
             "/v1/plan": self._post_plan,
             "/v1/sweep": self._post_sweep,
             "/v1/scenarios": self._post_scenarios,
+            "/v1/whatif": self._post_whatif,
         }[path]
         try:
             return 200, await handler(payload)

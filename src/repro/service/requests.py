@@ -1,8 +1,8 @@
 """Request layer of the planning service: validate, normalize, execute.
 
 Every HTTP body is parsed into a frozen request dataclass
-(:class:`PlanRequest`, :class:`SweepRequest`, :class:`ScenarioRequest`)
-with strict validation — unknown fields, wrong types and out-of-range
+(:class:`PlanRequest`, :class:`SweepRequest`, :class:`ScenarioRequest`,
+:class:`WhatifRequest`) with strict validation — unknown fields, wrong types and out-of-range
 values all raise :class:`RequestError`, which the HTTP layer renders as
 a 400 instead of a traceback.  A validated request *normalizes to a
 digest*: plan requests resolve to the planner's own whole-plan cache
@@ -42,6 +42,8 @@ from repro.planner import (
     plan,
     plan_cache_key,
     plan_points,
+    whatif,
+    whatif_cache_key,
 )
 from repro.planner.planner import PLANNER_VERSION
 from repro.scenarios import (
@@ -513,6 +515,155 @@ def execute_sweep_request(
     for position, outcome in zip(order, outcomes):
         by_input[position] = outcome
     return by_input
+
+
+# ---------------------------------------------------------------------------
+# /v1/whatif
+# ---------------------------------------------------------------------------
+
+_WHATIF_FIELDS = (
+    "devices", "vocab_size", "seq_length", "microbatches", "method",
+    "device", "factor", "pass_overhead", "scenario", "refine",
+)
+
+
+@dataclass(frozen=True)
+class WhatifRequest:
+    """One normalized ``POST /v1/whatif`` body — an incremental query.
+
+    Prices "what if ``device`` ran ``factor``× slower?" against
+    ``method``'s schedule via :func:`repro.planner.whatif` — the
+    cone-limited delta-replay path over a worker-resident compiled
+    graph, not a re-plan.  The model shape derives from
+    ``devices``/``vocab_size``/``seq_length`` exactly like
+    :class:`PlanRequest`, and the digest is the planner's own what-if
+    cache key, so the service tiers and the planner's ``"whatif"``
+    auxiliary cache address the same entry.
+    """
+
+    devices: int
+    vocab_size: int
+    method: str
+    device: int
+    factor: float
+    seq_length: int = 2048
+    microbatches: int = 128
+    pass_overhead: float | None = None
+    scenario: str | None = None
+    refine: bool = True
+
+    @classmethod
+    def from_payload(cls, payload: Any) -> WhatifRequest:
+        if not isinstance(payload, dict):
+            raise RequestError("request body must be a JSON object")
+        _reject_unknown(payload, _WHATIF_FIELDS, "whatif")
+        method = _field(payload, "method", str)
+        if method not in KNOWN_METHODS:
+            raise RequestError(
+                f"unknown method {method!r}; expected one of {KNOWN_METHODS}"
+            )
+        request = cls(
+            devices=_field(payload, "devices", int, convert=_positive),
+            vocab_size=_field(
+                payload, "vocab_size", (int, str), convert=_coerce_vocab
+            ),
+            method=method,
+            device=_field(payload, "device", int),
+            factor=float(
+                _field(payload, "factor", (int, float), convert=_positive)
+            ),
+            seq_length=_field(
+                payload, "seq_length", int, 2048, convert=_positive
+            ),
+            microbatches=_field(
+                payload, "microbatches", int, 128, convert=_positive
+            ),
+            pass_overhead=_field(
+                payload, "pass_overhead", (int, float), None,
+                convert=_non_negative,
+            ),
+            scenario=_scenario_name(payload),
+            refine=_field(payload, "refine", bool, True),
+        )
+        try:
+            request.digest()  # device range, config validity
+        except (ValueError, KeyError) as error:
+            if isinstance(error, RequestError):
+                raise
+            message = error.args[0] if error.args else error
+            raise RequestError(str(message)) from None
+        return request
+
+    def resolve(
+        self,
+    ) -> tuple[ModelConfig, ParallelConfig, ClusterScenario | None]:
+        """The planner-level objects this request denotes."""
+        model = model_for_devices(self.devices, self.seq_length, self.vocab_size)
+        parallel = ParallelConfig(
+            pipeline_size=self.devices,
+            num_microbatches=self.microbatches,
+            microbatch_size=1,
+        )
+        scenario = None if self.scenario is None else get_scenario(self.scenario)
+        return model, parallel, scenario
+
+    def digest(self) -> str:
+        """The planner's what-if cache key for this request.
+
+        Identical to the ``cache_key`` :func:`repro.planner.whatif`
+        stamps on its result — same normalization (scenario resolved to
+        its signature, negative device indexes wrapped), so the
+        service's LRU/disk tiers and the planner's auxiliary cache
+        never double-compute one query.
+        """
+        model, parallel, scenario = self.resolve()
+        return whatif_cache_key(
+            model,
+            parallel,
+            method=self.method,
+            device=self.device,
+            factor=self.factor,
+            pass_overhead=self.pass_overhead,
+            scenario=scenario,
+            refine=self.refine,
+        )
+
+
+def execute_whatif_request(
+    request: WhatifRequest,
+    cache_dir: str | None = None,
+    max_cache_entries: int | None = None,
+) -> dict:
+    """Worker body for one what-if request (top-level: pool-picklable).
+
+    Returns the JSON-ready result dict.  Besides the planner's
+    ``"whatif"`` auxiliary entry (written by :func:`repro.planner.whatif`
+    itself), the rendered payload is stored under the main digest so
+    the service's *disk* tier can answer repeats without a worker
+    round-trip — the same two-level arrangement ``/v1/plan`` gets from
+    :func:`~repro.planner.plan`.
+    """
+    model, parallel, scenario = request.resolve()
+    cache = (
+        PlanCache(cache_dir, max_entries=max_cache_entries)
+        if cache_dir is not None
+        else None
+    )
+    result = whatif(
+        model,
+        parallel,
+        method=request.method,
+        device=request.device,
+        factor=request.factor,
+        pass_overhead=request.pass_overhead,
+        scenario=scenario,
+        refine=request.refine,
+        cache=cache,
+    )
+    payload = result.as_dict()
+    if cache is not None:
+        cache.put(result.cache_key, payload)
+    return payload
 
 
 # ---------------------------------------------------------------------------

@@ -19,7 +19,13 @@ from repro.sim.executor import (
     refine_schedule_order,
     simulation_engine,
 )
-from repro.sim.compiled import CompiledGraph, ExecutionSummary, compile_schedule
+from repro.sim.compiled import (
+    CompiledGraph,
+    ExecutionSummary,
+    LevelState,
+    Perturbation,
+    compile_schedule,
+)
 from repro.sim.memory import MemoryReport, memory_report, live_microbatch_peaks
 from repro.sim.trace import render_timeline, render_order
 
@@ -35,6 +41,8 @@ __all__ = [
     "compile_schedule",
     "ExecutionResult",
     "ExecutionSummary",
+    "LevelState",
+    "Perturbation",
     "DeadlockError",
     "MemoryReport",
     "memory_report",

@@ -155,8 +155,9 @@ class TestRegistry:
             "slow-node",
             "bandwidth-asymmetric",
             "high-jitter",
+            "straggler-device",
         }
-        assert [s.name for s in list_scenarios()[:5]] == list(BUILTIN_SCENARIOS)
+        assert [s.name for s in list_scenarios()[:6]] == list(BUILTIN_SCENARIOS)
         assert get_scenario("homogeneous").is_nominal
 
     def test_unknown_name_raises_with_candidates(self):

@@ -1,0 +1,232 @@
+"""Checkpoint invariants of the resident :class:`LevelState`.
+
+The delta path mutates the checkpointed arrays in place behind an undo
+log, so the properties that keep it safe to leave resident inside the
+planner's graph cache are: re-applying the same delta is idempotent,
+rollback restores the baseline bit for bit, and interleaving delta
+queries with full executions (``execute`` / ``execute_many`` / the
+batched summary path) never corrupts either side.
+"""
+
+import random
+
+import pytest
+
+import repro.sim.compiled as compiled_mod
+from repro.config import ModelConfig, ParallelConfig
+from repro.harness.experiments import build_schedule
+from repro.sim import (
+    RuntimeModel,
+    SimulationSetup,
+    compile_schedule,
+)
+
+MODEL = ModelConfig(
+    num_layers=16,
+    hidden_size=512,
+    num_attention_heads=8,
+    seq_length=512,
+    vocab_size=32 * 1024,
+)
+PARALLEL = ParallelConfig(pipeline_size=4, num_microbatches=6, microbatch_size=1)
+
+
+@pytest.fixture(scope="module")
+def setup() -> SimulationSetup:
+    return SimulationSetup(MODEL, PARALLEL)
+
+
+def _graph(setup, method="vocab-1"):
+    schedule = build_schedule(method, setup, refine=False)
+    runtime = RuntimeModel(setup, schedule)
+    return schedule, runtime, compile_schedule(schedule, runtime)
+
+
+def _snapshot(state):
+    return (
+        list(state.dur),
+        list(state.lag),
+        list(state.ready),
+        list(state.end),
+        tuple(state.busy),
+    )
+
+
+class TestIdempotence:
+    def test_same_delta_twice_is_identical(self, setup):
+        _, _, graph = _graph(setup)
+        perturbation = graph.device_perturbation(2, 1.4)
+        first = graph.execute_delta(perturbation)
+        second = graph.execute_delta(perturbation)
+        assert first.pass_times == second.pass_times
+        assert first.collective_times == second.collective_times
+        assert first.iteration_time == second.iteration_time
+        assert first.device_busy == second.device_busy
+        summary_a = graph.execute_delta_summary(perturbation)
+        summary_b = graph.execute_delta_summary(perturbation)
+        assert summary_a == summary_b
+
+    def test_queries_price_absolute_not_compounding(self, setup):
+        """Two what-ifs with the same factor answer the same question —
+        the second is not 'factor squared' on top of the first."""
+        _, _, graph = _graph(setup)
+        perturbation = graph.device_perturbation(1, 2.0)
+        first = graph.execute_delta_summary(perturbation)
+        second = graph.execute_delta_summary(perturbation)
+        assert first.iteration_time == second.iteration_time
+
+
+class TestRollback:
+    def test_rollback_restores_baseline_exactly(self, setup):
+        _, _, graph = _graph(setup)
+        state = graph.checkpoint()
+        baseline = _snapshot(state)
+        perturbation = graph.device_perturbation(0, 3.0)
+        graph.execute_delta(perturbation, rollback=False)
+        assert not state.pristine
+        assert _snapshot(state) != baseline
+        state.rollback()
+        assert state.pristine
+        assert _snapshot(state) == baseline
+
+    def test_rollback_is_idempotent(self, setup):
+        _, _, graph = _graph(setup)
+        state = graph.checkpoint()
+        baseline = _snapshot(state)
+        state.rollback()
+        state.rollback()
+        assert _snapshot(state) == baseline
+
+    def test_composed_deltas_roll_back_to_baseline(self, setup):
+        """rollback undoes the whole composition, not just the last
+        delta — and a default (rollback=True) query after a kept one
+        also returns the state to the baseline."""
+        schedule, runtime, graph = _graph(setup)
+        state = graph.checkpoint()
+        baseline = _snapshot(state)
+        first = graph.device_perturbation(0, 1.5)
+        second = graph.device_perturbation(3, 0.5)
+        graph.execute_delta(first, rollback=False)
+        composed = graph.execute_delta(second, rollback=False)
+        # Ground truth for the composition: a fresh full execution.
+        fresh = compile_schedule(schedule, runtime)
+        dur = list(fresh.durations)
+        for i, value in first.durations:
+            dur[i] = value
+        for i, value in second.durations:
+            dur[i] = value
+        full = fresh.execute_many([dur])[0]
+        assert composed.pass_times == full.pass_times
+        assert composed.iteration_time == full.iteration_time
+        state.rollback()
+        assert _snapshot(state) == baseline
+        graph.execute_delta(first, rollback=False)
+        graph.execute_delta(second)  # default rollback → baseline
+        assert state.pristine
+        assert _snapshot(state) == baseline
+
+    def test_graph_binding_never_mutated(self, setup):
+        _, _, graph = _graph(setup)
+        durations = list(graph.durations)
+        lags = list(graph.succ_lag)
+        graph.execute_delta(graph.device_perturbation(1, 2.0), rollback=False)
+        assert graph.durations == durations
+        assert graph.succ_lag == lags
+        graph.checkpoint().rollback()
+
+
+class TestInterleaving:
+    def test_delta_full_delta_is_stable(self, setup):
+        _, _, graph = _graph(setup)
+        perturbation = graph.device_perturbation(2, 1.8)
+        first = graph.execute_delta(perturbation)
+        baseline = graph.execute()
+        rows = [list(graph.durations)] * 2
+        for result in graph.execute_many(rows):
+            assert result.pass_times == baseline.pass_times
+        again = graph.execute_delta(perturbation)
+        assert first.pass_times == again.pass_times
+        assert graph.execute().pass_times == baseline.pass_times
+
+    def test_rebind_drops_stale_checkpoint(self, setup):
+        """A rebound graph prices the new runtime — its checkpoint is
+        rebuilt, and the original graph's state is untouched."""
+
+        class Doubled:
+            def __init__(self, inner):
+                self.inner = inner
+
+            def pass_duration(self, p):
+                return 2.0 * self.inner.pass_duration(p)
+
+            def collective_duration(self, kind):
+                return 2.0 * self.inner.collective_duration(kind)
+
+            def p2p_duration(self, src, dst):
+                return 2.0 * self.inner.p2p_duration(src, dst)
+
+        _, runtime, graph = _graph(setup)
+        state = graph.checkpoint()
+        rebound = graph.rebind(Doubled(runtime))
+        rebound_state = rebound.checkpoint()
+        assert rebound_state is not state
+        assert rebound_state.dur != state.dur
+        perturbation = rebound.device_perturbation(0, 1.5)
+        fresh = compile_schedule(rebound.schedule, Doubled(runtime))
+        dur = list(fresh.durations)
+        for i, value in perturbation.durations:
+            dur[i] = value
+        assert (
+            rebound.execute_delta(perturbation).pass_times
+            == fresh.execute_many([dur])[0].pass_times
+        )
+        assert graph.checkpoint() is state
+
+
+class TestK1FastPath:
+    """execute_many's K=1 lane reuses the resident LevelState; results
+    stay pinned — bit for bit — to the batched (and plain-sweep) path."""
+
+    def _rows(self, graph, seed):
+        rng = random.Random(seed)
+        row = list(graph.durations)
+        device = rng.randrange(len(graph.device_nodes))
+        factor = rng.uniform(0.5, 2.0)
+        for i in graph.device_nodes[device]:
+            row[i] = factor * row[i]
+        return row
+
+    def test_k1_matches_batched_path(self, setup):
+        if compiled_mod._np is None:
+            pytest.skip("batched path needs NumPy")
+        _, _, graph = _graph(setup, "vhalf-vocab-1")
+        graph.checkpoint()
+        row = self._rows(graph, "k1")
+        via_delta = graph.execute_many([row])[0]
+        assert graph.checkpoint().pristine  # resident state survives
+        batched = graph.execute_many([row, row])  # K=2 → vectorized lane
+        for result in batched:
+            assert via_delta.pass_times == result.pass_times
+            assert via_delta.collective_times == result.collective_times
+            assert via_delta.iteration_time == result.iteration_time
+            assert via_delta.device_busy == result.device_busy
+
+    def test_k1_matches_plain_sweep_without_checkpoint(self, setup):
+        schedule, runtime, graph = _graph(setup, "redis")
+        row = self._rows(graph, "sweep")
+        cold = compile_schedule(schedule, runtime)
+        plain = cold.execute_many([row])[0]  # no resident state
+        graph.checkpoint()
+        via_delta = graph.execute_many([row])[0]
+        assert via_delta.pass_times == plain.pass_times
+        assert via_delta.iteration_time == plain.iteration_time
+        assert via_delta.device_busy == plain.device_busy
+
+    def test_k1_summary_matches(self, setup):
+        _, _, graph = _graph(setup, "interlaced")
+        graph.checkpoint()
+        row = self._rows(graph, "summary")
+        with_state = graph.execute_many_summary([row])[0]
+        graph._levelstate = None
+        without_state = graph.execute_many_summary([row])[0]
+        assert with_state == without_state

@@ -25,7 +25,15 @@ the **compiled** engine (:mod:`repro.sim.compiled`):
   "reference" side executes the perturbed bindings one at a time, the
   "compiled" side is one batched
   :meth:`~repro.sim.compiled.CompiledGraph.execute_many_summary` pass
-  over the same matrices.
+  over the same matrices;
+* ``incremental_whatif_*`` — one single-device what-if (the last
+  device 1.25× slower): the "reference" side is the reference engine
+  fully re-relaxing the perturbed binding from scratch, the "compiled"
+  side answers from the resident checkpoint via the adaptive delta
+  path (:meth:`~repro.sim.compiled.CompiledGraph.execute_delta_summary`);
+  ``resweep_s``/``tail_s`` record the compiled full-resweep
+  alternative and a transient (last-two-microbatch) variant whose
+  narrow cone stays on the incremental walk.
 
 With ``--service`` the *serving* trajectory is measured instead (and
 written to ``BENCH_service.json``), driving a live in-process
@@ -315,6 +323,62 @@ def measure_class(
             best_of(batched_robustness, rounds),
             samples=MC_SAMPLES,
             scenario=MC_SCENARIO,
+        )
+
+        # Incremental what-if: one single-device perturbation (the last
+        # device 1.25x slower) answered from the resident checkpoint by
+        # the adaptive delta path, vs the reference engine fully
+        # re-relaxing the perturbed binding from scratch.  resweep_s
+        # additionally records the strongest compiled alternative (a
+        # fresh rebind clone re-sweeping the perturbed row, no resident
+        # state); tail_s records a *transient* variant of the same
+        # straggler — only the last two microbatches slow down — whose
+        # narrow cone stays on the incremental walk.
+        from repro.scenarios.cluster import ScenarioRuntime
+        from repro.sim.compiled import Perturbation
+
+        whatif_device, whatif_factor = gpus - 1, 1.25
+        whatif_pert = graph.device_perturbation(whatif_device, whatif_factor)
+        whatif_row = list(graph.durations)
+        for node, value in whatif_pert.durations:
+            whatif_row[node] = value
+        whatif_runtime = ScenarioRuntime(
+            runtime,
+            tuple(
+                1 / whatif_factor if d == whatif_device else 1.0
+                for d in range(gpus)
+            ),
+        )
+        full_graph = graph.rebind(runtime)
+        graph.checkpoint()
+        tail_pert = Perturbation.from_maps(durations={
+            node: whatif_factor * graph.durations[node]
+            for node in graph.device_nodes[whatif_device]
+            if graph.node_pass[node].microbatch >= m - 2
+        })
+
+        def full_whatif() -> None:
+            reference_execute_schedule(schedule, whatif_runtime)
+
+        def resweep_whatif() -> None:
+            full_graph.execute_many_summary([whatif_row])
+
+        def delta_whatif() -> None:
+            graph.execute_delta_summary(whatif_pert)
+
+        def tail_whatif() -> None:
+            graph.execute_delta_summary(tail_pert)
+
+        add(
+            f"incremental_whatif_{tag}",
+            best_of(full_whatif, rounds) if with_reference else None,
+            best_of(delta_whatif, rounds),
+            device=whatif_device,
+            factor=whatif_factor,
+            support=whatif_pert.support,
+            resweep_s=best_of(resweep_whatif, rounds),
+            tail_s=best_of(tail_whatif, rounds),
+            tail_support=tail_pert.support,
         )
 
         # Sweep throughput: an 8-budget grid over one schedule structure.

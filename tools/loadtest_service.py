@@ -2,8 +2,8 @@
 """Closed-loop load generator for the planning service.
 
 Drives a live ``repro-experiments serve`` process with a configurable
-mix of plan / sweep / scenario queries from N concurrent closed-loop
-workers (each worker issues its next request as soon as the previous
+mix of plan / sweep / scenario / what-if queries from N concurrent
+closed-loop workers (each worker issues its next request as soon as the previous
 one returns), plus a synchronized *duplicate burst* that exercises
 request coalescing.  Records throughput and p50/p95/p99 latency per
 request class and validates the service's behavioural contract:
@@ -176,8 +176,10 @@ def build_mix(args: argparse.Namespace) -> list[tuple[str, str, dict]]:
     ``hot`` repeats one configuration (LRU-hit steady state), ``cold``
     walks distinct memory budgets over one schedule structure (planner
     aux caches do the heavy lifting, every digest is new), ``sweep``
-    and ``scenarios`` exercise the other two endpoints at a size that
-    keeps the closed loop interactive.
+    and ``scenarios`` exercise those two endpoints at a size that
+    keeps the closed loop interactive, and ``whatif`` walks distinct
+    slowdown factors so every delta query is a fresh digest answered
+    by the resident compiled graph.
     """
     base = {
         "devices": args.devices,
@@ -220,6 +222,20 @@ def build_mix(args: argparse.Namespace) -> list[tuple[str, str, dict]]:
             },
         )
     )
+    classes.append(
+        (
+            "whatif",
+            "/v1/whatif",
+            {
+                "devices": args.devices,
+                "vocab_size": args.vocab_size,
+                "microbatches": args.microbatches,
+                "method": "vocab-1",
+                "device": -1,
+                "factor": "COLD",  # placeholder per request
+            },
+        )
+    )
     return classes
 
 
@@ -254,6 +270,11 @@ def run_closed_loop(
             payload = dict(payload)
             payload["memory_budget_gib"] = (
                 30.0 + (worker * requests_per_worker + slot) * 0.125
+            )
+        elif name == "whatif":
+            payload = dict(payload)
+            payload["factor"] = (
+                1.05 + (worker * requests_per_worker + slot) * 0.01
             )
         return name, path, payload
 
