@@ -472,6 +472,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             cache_dir=args.cache_dir,
             lru_size=args.lru_size,
             max_cache_entries=args.max_cache_entries,
+            max_inflight=args.max_inflight,
+            tenant_rate=args.tenant_rate,
+            tenant_burst=args.tenant_burst,
+            default_deadline_ms=args.default_deadline_ms,
+            breaker_backoff_s=args.breaker_backoff,
+            faults=args.faults,
         )
     except ValueError as error:
         raise SystemExit(
@@ -713,6 +719,35 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument(
         "--max-cache-entries", type=int, default=1024, metavar="N",
         help="per-kind bound on the disk cache tier (default 1024)",
+    )
+    sv.add_argument(
+        "--max-inflight", type=int, default=64, metavar="N",
+        help="admission control: in-flight compute budget per request "
+        "class before shedding with 429 (default 64)",
+    )
+    sv.add_argument(
+        "--tenant-rate", type=float, default=None, metavar="R",
+        help="admission control: per-tenant token-bucket rate in "
+        "requests/s, keyed on the X-Tenant header (default: off)",
+    )
+    sv.add_argument(
+        "--tenant-burst", type=float, default=None, metavar="B",
+        help="per-tenant bucket capacity (default: 2x --tenant-rate)",
+    )
+    sv.add_argument(
+        "--default-deadline-ms", type=float, default=None, metavar="MS",
+        help="deadline applied to requests that carry no deadline_ms "
+        "field (default: none)",
+    )
+    sv.add_argument(
+        "--breaker-backoff", type=float, default=0.5, metavar="S",
+        help="circuit breaker: base backoff in seconds before probing "
+        "a broken worker pool, doubled per failed probe (default 0.5)",
+    )
+    sv.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="arm deterministic fault injection (same spec format as "
+        "the REPRO_FAULTS environment variable; chaos testing only)",
     )
 
     al = sub.add_parser("all", help=SUBCOMMANDS["all"])

@@ -18,6 +18,16 @@ planner keys per-method analytic estimates and simulated metrics on a
 signature, so neighbouring sweep grid points — same structure,
 different memory budget or runtime binding — skip analytic pricing and
 simulation entirely and only re-rank.
+
+Disk entries are **crash-safe**: every file is written to a temp path
+and atomically renamed into place, and carries a header with the
+SHA-256 of its pickle payload, verified on every read.  A corrupt or
+truncated entry (a torn write from a crashed process, bit rot, a
+concurrent writer's partial state) is *quarantined* — moved into a
+``quarantine/`` sidecar directory for post-mortem — and reported as a
+miss, so callers recompute instead of crashing or deserializing
+garbage.  Pre-checksum files (no header) are still read as legacy raw
+pickles and quarantined on any load failure.
 """
 
 from __future__ import annotations
@@ -29,6 +39,14 @@ import os
 import pickle
 from pathlib import Path
 from typing import Any
+
+from repro import faultinject
+
+#: Header magic of checksummed disk entries.  Files not starting with
+#: this are legacy raw pickles (still readable, not verifiable).
+_MAGIC = b"RPLC1\n"
+#: Name of the sidecar directory corrupt entries are moved into.
+QUARANTINE_DIR = "quarantine"
 
 
 def _canonical(obj: Any) -> Any:
@@ -107,6 +125,8 @@ class PlanCache:
         self.aux_hits = 0
         self.aux_misses = 0
         self.evictions = 0
+        #: Corrupt/truncated disk entries moved aside (never served).
+        self.quarantined = 0
 
     def __len__(self) -> int:
         """Number of whole-plan entries (aux entries are not counted)."""
@@ -116,6 +136,69 @@ class PlanCache:
         assert self.directory is not None
         return self.directory / f"{key}.{kind}.pkl"
 
+    @property
+    def quarantine_directory(self) -> Path | None:
+        """Where corrupt entries are moved (``None`` without a disk dir)."""
+        if self.directory is None:
+            return None
+        return self.directory / QUARANTINE_DIR
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt/truncated entry aside instead of serving it.
+
+        The file lands in ``quarantine/`` next to the cache (same
+        filesystem, so the move is an atomic rename) for post-mortem;
+        a sibling process that already removed or re-wrote the path is
+        fine — the goal is only that *this* reader never trusts it.
+        """
+        target_dir = self.quarantine_directory
+        assert target_dir is not None
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target_dir / path.name)
+        except OSError:
+            # Renamed/removed underneath us, or the sidecar is not
+            # writable: fall back to deleting so the bad entry cannot
+            # be re-read forever.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self.quarantined += 1
+
+    def _read_entry(self, path: Path) -> Any | None:
+        """Load one disk entry, verifying its checksum header.
+
+        Returns ``None`` (a miss) when the file is absent; quarantines
+        and returns ``None`` when it is present but corrupt, truncated
+        or fails to unpickle — the one contract the service's chaos
+        suite leans on: a bad byte on disk costs a recompute, never an
+        exception and never a wrong plan.
+        """
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return None  # missing (or unreadable): a plain miss
+        if blob.startswith(_MAGIC):
+            header_len = len(_MAGIC) + 65  # 64 hex chars + newline
+            header = blob[len(_MAGIC):header_len]
+            payload = blob[header_len:]
+            if (
+                len(blob) < header_len
+                or not header.endswith(b"\n")
+                or hashlib.sha256(payload).hexdigest().encode("ascii")
+                != header[:-1]
+            ):
+                self._quarantine(path)
+                return None
+        else:
+            payload = blob  # legacy pre-checksum entry
+        try:
+            return pickle.loads(payload)
+        except Exception:  # noqa: BLE001 - any garbage must quarantine
+            self._quarantine(path)
+            return None
+
     def _fetch(
         self, store: dict[str, Any], store_key: str, key: str, kind: str
     ) -> Any | None:
@@ -123,15 +206,8 @@ class PlanCache:
         if store_key in store:
             return store[store_key]
         if self.directory is not None:
-            path = self._path(key, kind)
-            try:
-                with path.open("rb") as handle:
-                    value = pickle.load(handle)
-            except (OSError, EOFError, pickle.UnpicklingError):
-                # Missing, or a concurrent writer's file we cannot read:
-                # either way, a miss — never a crash.
-                pass
-            else:
+            value = self._read_entry(self._path(key, kind))
+            if value is not None:
                 store[store_key] = value
                 if self.max_entries is not None:
                     # Reads must not grow a bounded cache either: a
@@ -151,15 +227,42 @@ class PlanCache:
 
         Disk writes go to a temp file first and are renamed into place,
         so concurrent readers of a shared directory never observe a
-        half-written pickle.
+        half-written pickle; the checksum header makes even a torn
+        *rename target* (a crashed writer, injected via the
+        ``torn-cache-write`` fault site) detectable on read.
         """
         store[store_key] = value
         if self.directory is not None:
             path = self._path(key, kind)
             temp = path.with_suffix(f".tmp.{os.getpid()}")
-            with temp.open("wb") as handle:
-                pickle.dump(value, handle)
+            payload = pickle.dumps(value)
+            blob = (
+                _MAGIC
+                + hashlib.sha256(payload).hexdigest().encode("ascii")
+                + b"\n"
+                + payload
+            )
+            injector = faultinject.get_injector()
+            if injector and injector.should_fire("torn-cache-write"):
+                # Simulate a writer that died mid-write: the entry on
+                # disk is truncated.  This process keeps its in-memory
+                # value (it did compute the result); only readers of
+                # the shared directory see the tear — and the checksum
+                # sends them to recompute instead of unpickling junk.
+                blob = blob[: max(len(_MAGIC), len(blob) // 2)]
+            temp.write_bytes(blob)
             os.replace(temp, path)
+            if injector and injector.should_fire("corrupt-cache-entry"):
+                # Flip one payload byte in place after the rename —
+                # bit rot / a hostile write the next read must catch.
+                try:
+                    path.write_bytes(
+                        faultinject.corrupt_bytes(
+                            blob, seed=len(payload)
+                        )
+                    )
+                except OSError:
+                    pass
             # Unknown kinds stay unknown so the next _evict scans and
             # establishes the real count (overwrites may overcount; the
             # error is in the safe direction — an extra scan).
@@ -197,11 +300,18 @@ class PlanCache:
         if count is not None and count <= self.max_entries:
             return
         stamped = []
-        for path in self.directory.glob(f"*.{kind}.pkl"):
-            try:
-                stamped.append((path.stat().st_mtime_ns, path.name, path))
-            except OSError:
-                continue
+        try:
+            # Two processes bounding one directory race each other
+            # freely: every step of the scan-and-unlink below must
+            # tolerate a sibling having removed the file (ENOENT) — or
+            # the directory itself — between syscalls.
+            for path in self.directory.glob(f"*.{kind}.pkl"):
+                try:
+                    stamped.append((path.stat().st_mtime_ns, path.name, path))
+                except OSError:
+                    continue
+        except OSError:
+            return
         stamped.sort()
         for _, _, path in stamped[: max(0, len(stamped) - self.max_entries)]:
             try:
@@ -252,3 +362,4 @@ class PlanCache:
         self.aux_hits = 0
         self.aux_misses = 0
         self.evictions = 0
+        self.quarantined = 0

@@ -427,6 +427,18 @@ def discard_pool(executor: str, max_workers: int | None = None) -> None:
     _discard_pool(executor, max_workers)
 
 
+def respawn_pool(executor: str, max_workers: int | None = None):
+    """Discard any existing pool for this configuration and build fresh.
+
+    The resurrection path of the service's circuit breaker: a probe
+    must never reuse a possibly-broken cached pool object, so it
+    discards first and returns the newly built pool (or ``None`` when
+    one cannot be created in this environment).
+    """
+    _discard_pool(executor, max_workers)
+    return get_pool(executor, max_workers)
+
+
 def _discard_pool(executor: str, max_workers: int | None) -> None:
     """Forget (and best-effort shut down) a broken persistent pool."""
     pool = _POOLS.pop((executor, max_workers), None)

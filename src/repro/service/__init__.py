@@ -16,6 +16,10 @@ Programmatic entry points:
   request bodies, each normalizing to a cache digest;
 * :class:`~repro.service.lru.LRUPlanTier` — the bounded in-process hot
   tier;
+* :class:`~repro.service.resilience.AdmissionController` /
+  :class:`~repro.service.resilience.CircuitBreaker` — the resilience
+  machinery (deadlines, load shedding, supervised pool recovery; see
+  the "Resilience" section of ``docs/service.md``);
 * :data:`ROUTES` — the served route table (ground truth for docs
   validation).
 """
@@ -41,10 +45,19 @@ from repro.service.requests import (
     execute_sweep_request,
     execute_whatif_request,
     plans_to_json,
+    pop_deadline,
     sweep_to_json,
+)
+from repro.service.resilience import (
+    AdmissionController,
+    CircuitBreaker,
+    Shed,
+    TokenBucket,
 )
 
 __all__ = [
+    "AdmissionController",
+    "CircuitBreaker",
     "LRUPlanTier",
     "MAX_SWEEP_POINTS",
     "PlanRequest",
@@ -55,13 +68,16 @@ __all__ = [
     "ScenarioRequest",
     "ServiceStats",
     "ServiceThread",
+    "Shed",
     "SweepRequest",
+    "TokenBucket",
     "WhatifRequest",
     "execute_plan_request",
     "execute_scenario_request",
     "execute_sweep_request",
     "execute_whatif_request",
     "plans_to_json",
+    "pop_deadline",
     "shutdown_and_check_workers",
     "sweep_to_json",
 ]

@@ -41,6 +41,7 @@ import asyncio
 import functools
 import json
 import logging
+import math
 import signal
 import sys
 import threading
@@ -48,8 +49,14 @@ import time
 from concurrent.futures import BrokenExecutor
 from dataclasses import dataclass, field
 
+from repro import faultinject
 from repro.planner import PlanCache
-from repro.planner.sweep import discard_pool, get_pool, shutdown_pools
+from repro.planner.sweep import (
+    discard_pool,
+    get_pool,
+    respawn_pool,
+    shutdown_pools,
+)
 from repro.service.lru import LRUPlanTier
 from repro.service.requests import (
     PlanRequest,
@@ -62,8 +69,10 @@ from repro.service.requests import (
     execute_sweep_request,
     execute_whatif_request,
     plans_to_json,
+    pop_deadline,
     sweep_to_json,
 )
+from repro.service.resilience import AdmissionController, CircuitBreaker, Shed
 
 logger = logging.getLogger(__name__)
 
@@ -81,8 +90,10 @@ _REASONS = {
     404: "Not Found",
     405: "Method Not Allowed",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
@@ -123,6 +134,14 @@ class ServiceStats:
     computed: int = 0
     coalesced: int = 0
     disk_hits: int = 0
+    #: Requests refused by admission control (429).
+    shed: int = 0
+    #: Requests whose ``deadline_ms`` expired (504); the underlying
+    #: computation keeps running and lands in the caches.
+    deadline_timeouts: int = 0
+    #: Connections deliberately reset mid-response by the
+    #: ``drop-connection-mid-response`` fault site.
+    dropped_connections: int = 0
 
     def count(self, endpoint: str) -> None:
         self.requests[endpoint] = self.requests.get(endpoint, 0) + 1
@@ -148,10 +167,21 @@ class PlanningService:
         cache_dir: str | None = None,
         lru_size: int = 256,
         max_cache_entries: int | None = 1024,
+        max_inflight: int = 64,
+        tenant_rate: float | None = None,
+        tenant_burst: float | None = None,
+        default_deadline_ms: float | None = None,
+        breaker_backoff_s: float = 0.5,
+        faults: str | None = None,
     ):
         if executor not in ("process", "thread"):
             raise ValueError(
                 f"executor must be 'process' or 'thread', got {executor!r}"
+            )
+        if default_deadline_ms is not None and default_deadline_ms <= 0:
+            raise ValueError(
+                "default_deadline_ms must be > 0, "
+                f"got {default_deadline_ms}"
             )
         self.host = host
         self.port = port
@@ -166,6 +196,15 @@ class PlanningService:
             else None
         )
         self.stats = ServiceStats()
+        self.admission = AdmissionController(
+            max_inflight=max_inflight,
+            tenant_rate=tenant_rate,
+            tenant_burst=tenant_burst,
+        )
+        self.breaker = CircuitBreaker(backoff_s=breaker_backoff_s)
+        self.default_deadline_ms = default_deadline_ms
+        if faults:
+            faultinject.install(faults)
         self.degraded: str | None = None
         self.started_at: float | None = None
         self._inflight: dict[str, asyncio.Task] = {}
@@ -175,14 +214,22 @@ class PlanningService:
 
     # -- tiered lookup + coalescing -------------------------------------
 
-    async def _resolve(self, key: str, compute, *, disk: bool):
-        """One result through the tiers: LRU → coalesce → disk → pool.
+    async def _resolve(self, key: str, compute, *, disk: bool, klass: str,
+                       tenant: str = ""):
+        """One result through the tiers: LRU → coalesce → admit → pool.
 
         ``compute`` is a zero-argument callable (already bound to its
         request) executed on the worker pool on a full miss.  Returns
         ``(tier, value)`` where ``tier`` names where the value came
         from; followers of an in-flight computation report
         ``"coalesced"`` regardless of the tier the leader lands on.
+
+        Admission control is charged *here*, after the LRU probe and
+        the coalesce check and only for would-be leaders — the service
+        sheds work, not lookups: cache hits and riders on someone
+        else's computation always go through, even at full budget.
+        The budget unit is released when the leader finishes, whether
+        or not the client that started it is still waiting.
         """
         value = self.lru.get(key)
         if value is not None:
@@ -192,11 +239,14 @@ class PlanningService:
             self.stats.coalesced += 1
             _tier, value = await asyncio.shield(task)
             return "coalesced", value
+        self.admission.admit(klass, tenant)  # raises Shed → HTTP 429
         task = asyncio.ensure_future(self._lead(key, compute, disk))
+        task.add_done_callback(lambda _t: self.admission.release(klass))
         self._inflight[key] = task
         task.add_done_callback(functools.partial(self._retire, key))
-        # Shield the leader too: one cancelled client (connection reset)
-        # must not kill a computation other awaiters are riding.
+        # Shield the leader too: one cancelled client (connection reset,
+        # deadline expiry) must not kill a computation other awaiters
+        # are riding — a timed-out leader never poisons the group.
         return await asyncio.shield(task)
 
     def _retire(self, key: str, task: asyncio.Task) -> None:
@@ -220,35 +270,79 @@ class PlanningService:
     async def _run_on_pool(self, compute):
         """Run one CPU-bound computation on the configured executor.
 
-        A process pool that breaks mid-request (a worker OOM-killed, a
-        restricted sandbox) degrades the whole service to threads — the
-        request is retried there, subsequent requests skip the pool,
-        and ``/stats`` reports the degradation reason.
+        The process pool sits behind :class:`CircuitBreaker`: a pool
+        that breaks mid-request (a worker OOM-killed, a restricted
+        sandbox, the ``kill-pool-worker`` fault site) trips the breaker
+        and the request — like every request while the breaker is open
+        — runs on the thread fallback instead of failing.  Once the
+        breaker's backoff expires, one request probes a freshly
+        respawned pool (:func:`~repro.planner.sweep.respawn_pool`); a
+        successful probe closes the breaker and restores process
+        execution, so a transient crash no longer degrades the service
+        for its whole lifetime.
         """
         loop = asyncio.get_running_loop()
-        if self.executor == "process" and self.degraded is None:
-            pool = get_pool("process", self.max_workers)
-            if pool is not None:
-                try:
-                    return await loop.run_in_executor(pool, compute)
-                except BrokenExecutor as exc:
-                    self.degraded = (
-                        f"process pool failed ({type(exc).__name__}: {exc}); "
-                        "serving from threads"
-                    )
-                    logger.warning("service degraded: %s", self.degraded)
-                    discard_pool("process", self.max_workers)
-            else:
-                self.degraded = (
-                    "process pool unavailable in this environment; "
-                    "serving from threads"
+        injector = faultinject.get_injector()
+        slow = injector.fault("slow-worker")
+        if slow is not None and injector.should_fire("slow-worker"):
+            await asyncio.sleep(slow.delay_ms / 1000.0)
+        if self.executor == "process":
+            was_open = self.breaker.state == CircuitBreaker.OPEN
+            if self.breaker.allow():
+                # ``allow`` flipping open → half-open makes this request
+                # the resurrection probe: never reuse the cached (still
+                # broken) pool object for it.
+                pool = (
+                    respawn_pool("process", self.max_workers)
+                    if was_open
+                    else get_pool("process", self.max_workers)
                 )
-                logger.warning("service degraded: %s", self.degraded)
+                if pool is None:
+                    self._pool_failed(
+                        "process pool unavailable in this environment"
+                    )
+                else:
+                    try:
+                        if injector.should_fire("kill-pool-worker"):
+                            # Deliberately crash one worker; the broken
+                            # pool surfaces as BrokenExecutor below and
+                            # the real computation retries on threads.
+                            await loop.run_in_executor(
+                                pool, faultinject._exit_now
+                            )
+                        result = await loop.run_in_executor(pool, compute)
+                    except BrokenExecutor as exc:
+                        self._pool_failed(
+                            f"process pool failed "
+                            f"({type(exc).__name__}: {exc})"
+                        )
+                        discard_pool("process", self.max_workers)
+                    else:
+                        self._pool_recovered()
+                        return result
         return await asyncio.to_thread(compute)
+
+    def _pool_failed(self, reason: str) -> None:
+        """Trip the breaker and record the degradation for operators."""
+        self.breaker.record_failure(reason)
+        self.degraded = (
+            f"{reason}; serving from threads until the breaker closes"
+        )
+        logger.warning("service degraded: %s", self.degraded)
+
+    def _pool_recovered(self) -> None:
+        """A pool run succeeded: close the breaker if it was probing."""
+        if self.breaker.state != CircuitBreaker.CLOSED:
+            logger.warning(
+                "service recovered: process pool restored after %d "
+                "attempt(s)", self.breaker.counters.recovery_attempts,
+            )
+        self.breaker.record_success()
+        self.degraded = None
 
     # -- endpoint handlers ----------------------------------------------
 
-    async def _post_plan(self, payload) -> dict:
+    async def _post_plan(self, payload, tenant: str = "") -> dict:
         request = PlanRequest.from_payload(payload)
         key = request.digest()
         tier, plans = await self._resolve(
@@ -258,10 +352,12 @@ class PlanningService:
                 self.max_cache_entries,
             ),
             disk=True,
+            klass="/v1/plan",
+            tenant=tenant,
         )
         return {"tier": tier, "digest": key, "plan": plans_to_json(plans)}
 
-    async def _post_sweep(self, payload) -> dict:
+    async def _post_sweep(self, payload, tenant: str = "") -> dict:
         request = SweepRequest.from_payload(payload)
         key = request.digest()
         # No whole-request disk tier: the per-point plans inside the
@@ -273,20 +369,24 @@ class PlanningService:
                 self.max_cache_entries,
             ),
             disk=False,
+            klass="/v1/sweep",
+            tenant=tenant,
         )
         return {"tier": tier, "digest": key, "sweep": sweep_to_json(outcomes)}
 
-    async def _post_scenarios(self, payload) -> dict:
+    async def _post_scenarios(self, payload, tenant: str = "") -> dict:
         request = ScenarioRequest.from_payload(payload)
         key = request.digest()
         tier, result = await self._resolve(
             key,
             functools.partial(execute_scenario_request, request),
             disk=False,
+            klass="/v1/scenarios",
+            tenant=tenant,
         )
         return {"tier": tier, "digest": key, "scenarios": result}
 
-    async def _post_whatif(self, payload) -> dict:
+    async def _post_whatif(self, payload, tenant: str = "") -> dict:
         request = WhatifRequest.from_payload(payload)
         key = request.digest()
         # Same tiering as /v1/plan: the worker stores the rendered
@@ -298,6 +398,8 @@ class PlanningService:
                 self.max_cache_entries,
             ),
             disk=True,
+            klass="/v1/whatif",
+            tenant=tenant,
         )
         return {"tier": tier, "digest": key, "whatif": result}
 
@@ -310,6 +412,7 @@ class PlanningService:
             ),
             "executor": "thread" if self.degraded else self.executor,
             "degraded": self.degraded,
+            "breaker": self.breaker.state,
         }
 
     def stats_payload(self) -> dict:
@@ -323,6 +426,7 @@ class PlanningService:
                     "entries": len(self.disk),
                     "max_entries": self.disk.max_entries,
                     "evictions": self.disk.evictions,
+                    "quarantined": self.disk.quarantined,
                     "directory": str(self.disk.directory),
                 }
             )
@@ -344,12 +448,30 @@ class PlanningService:
                 "max_workers": self.max_workers,
                 "degraded": self.degraded,
             },
+            "resilience": {
+                "shed": self.stats.shed,
+                "deadline_timeouts": self.stats.deadline_timeouts,
+                "dropped_connections": self.stats.dropped_connections,
+                "admission": self.admission.snapshot(),
+                "breaker": self.breaker.snapshot(),
+                "faults": faultinject.get_injector().snapshot(),
+            },
         }
 
     # -- HTTP plumbing ---------------------------------------------------
 
-    async def _dispatch(self, method: str, path: str, body: bytes):
-        """Route one parsed request to its handler → (status, payload)."""
+    async def _dispatch(self, method: str, path: str, body: bytes,
+                        tenant: str = ""):
+        """Route one parsed request → (status, payload, extra_headers).
+
+        Planning endpoints run under the request's ``deadline_ms`` (or
+        the service default): expiry cancels *this client's wait* and
+        answers 504 — the shielded leader computation keeps running and
+        lands in the caches, so a timed-out client retrying later hits
+        the LRU, and coalesced riders with laxer deadlines are never
+        poisoned.  Admission refusals surface as 429 with a
+        ``Retry-After`` header.
+        """
         path = path.split("?", 1)[0]
         known_paths = {route.path for route in ROUTES}
         route = {(r.method, r.path): r for r in ROUTES}.get((method, path))
@@ -358,28 +480,35 @@ class PlanningService:
                 return 405, {
                     "error": f"{method} not allowed on {path}",
                     "allowed": [r.method for r in ROUTES if r.path == path],
-                }
+                }, {}
             return 404, {
                 "error": f"no route for {path}",
                 "routes": [
                     {"method": r.method, "path": r.path} for r in ROUTES
                 ],
-            }
+            }, {}
         self.stats.count(path)
         if path == "/healthz":
-            return 200, self._healthz_payload()
+            return 200, self._healthz_payload(), {}
         if path == "/stats":
-            return 200, self.stats_payload()
+            return 200, self.stats_payload(), {}
         if path == "/shutdown":
             # Respond first, then let the loop see the event: the
             # handler returns, the response drains, the callback fires.
             asyncio.get_running_loop().call_soon(self.request_shutdown)
-            return 200, {"status": "shutting-down"}
+            return 200, {"status": "shutting-down"}, {}
+        if self._shutdown_event is not None and self._shutdown_event.is_set():
+            # Draining: in-flight work completes, new work is refused.
+            return 503, {"error": "service is shutting down"}, {
+                "Retry-After": "1"
+            }
         try:
             payload = json.loads(body.decode("utf-8")) if body else {}
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
             self.stats.errors += 1
-            return 400, {"error": f"request body is not valid JSON: {error}"}
+            return 400, {
+                "error": f"request body is not valid JSON: {error}"
+            }, {}
         handler = {
             "/v1/plan": self._post_plan,
             "/v1/sweep": self._post_sweep,
@@ -387,28 +516,53 @@ class PlanningService:
             "/v1/whatif": self._post_whatif,
         }[path]
         try:
-            return 200, await handler(payload)
+            deadline_s = pop_deadline(payload, self.default_deadline_ms)
+            work = handler(payload, tenant)
+            if deadline_s is not None:
+                result = await asyncio.wait_for(work, deadline_s)
+            else:
+                result = await work
+            return 200, result, {}
+        except Shed as shed:
+            self.stats.shed += 1
+            retry_after = max(1, math.ceil(shed.retry_after_s))
+            return 429, {
+                "error": shed.reason,
+                "retry_after_s": shed.retry_after_s,
+            }, {"Retry-After": str(retry_after)}
+        except asyncio.TimeoutError:
+            self.stats.deadline_timeouts += 1
+            return 504, {
+                "error": (
+                    f"deadline of {deadline_s * 1000:g} ms exceeded; the "
+                    "computation continues and will be served from cache"
+                ),
+            }, {}
         except RequestError as error:
             self.stats.errors += 1
-            return 400, {"error": str(error)}
+            return 400, {"error": str(error)}, {}
         except asyncio.CancelledError:
             raise
         except Exception as error:  # noqa: BLE001 - the service must not die
             self.stats.errors += 1
             logger.exception("unhandled error serving %s %s", method, path)
-            return 500, {"error": f"{type(error).__name__}: {error}"}
+            return 500, {"error": f"{type(error).__name__}: {error}"}, {}
 
     @staticmethod
-    def _render(status: int, payload: dict, *, close: bool) -> bytes:
+    def _render(
+        status: int, payload: dict, *, close: bool,
+        extra: dict[str, str] | None = None,
+    ) -> bytes:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
-        head = (
-            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-            "Content-Type: application/json\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            f"Connection: {'close' if close else 'keep-alive'}\r\n"
-            "\r\n"
-        )
-        return head.encode("ascii") + body
+        lines = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'close' if close else 'keep-alive'}",
+        ]
+        for name, value in (extra or {}).items():
+            lines.append(f"{name}: {value}")
+        return "\r\n".join(lines).encode("ascii") + b"\r\n\r\n" + body
 
     async def _read_request(self, reader: asyncio.StreamReader):
         """Parse one HTTP/1.1 request → (method, path, body, close) or None.
@@ -446,7 +600,7 @@ class PlanningService:
             raise RequestError(f"request body of {length} bytes is too large")
         body = await reader.readexactly(length) if length > 0 else b""
         close = headers.get("connection", "").lower() == "close"
-        return method.upper(), path, body, close
+        return method.upper(), path, body, close, headers
 
     async def _handle_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -475,14 +629,36 @@ class PlanningService:
                     break
                 if parsed is None:
                     break
-                method, path, body, client_close = parsed
-                status, payload = await self._dispatch(method, path, body)
+                method, path, body, client_close, headers = parsed
+                tenant = headers.get("x-tenant", "")
+                status, payload, extra = await self._dispatch(
+                    method, path, body, tenant
+                )
                 shutting_down = (
                     self._shutdown_event is not None
                     and self._shutdown_event.is_set()
                 ) or path.split("?", 1)[0] == "/shutdown"
                 close = client_close or shutting_down
-                writer.write(self._render(status, payload, close=close))
+                data = self._render(
+                    status, payload, close=close, extra=extra
+                )
+                if (
+                    status == 200
+                    and path.split("?", 1)[0].startswith("/v1/")
+                    and faultinject.should_fire(
+                        "drop-connection-mid-response"
+                    )
+                ):
+                    # Write half the bytes, then reset the connection:
+                    # the client observes a torn response and must
+                    # retry (the result is cached, so the retry is
+                    # cheap and bit-identical).
+                    self.stats.dropped_connections += 1
+                    writer.write(data[: max(1, len(data) // 2)])
+                    await writer.drain()
+                    writer.transport.abort()
+                    break
+                writer.write(data)
                 await writer.drain()
                 if close:
                     break

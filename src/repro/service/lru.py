@@ -55,6 +55,15 @@ class LRUPlanTier:
         self.hits += 1
         return value
 
+    def peek(self, key: str) -> Any | None:
+        """The stored value without touching recency or hit/miss counters.
+
+        For observers — admission-control decisions, tests, tools
+        probing tier state — that must not perturb the eviction order
+        or the ``/stats`` numbers the way a real lookup would.
+        """
+        return self._entries.get(key)
+
     def put(self, key: str, value: Any) -> None:
         """Insert/refresh ``key``; evicts the least-recent beyond capacity."""
         if key in self._entries:

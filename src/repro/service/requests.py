@@ -132,6 +132,35 @@ def _non_negative(name: str, value: int | float) -> int | float:
     return value
 
 
+def pop_deadline(payload: Any, default_ms: float | None = None) -> float | None:
+    """Extract ``deadline_ms`` from a parsed body → deadline in *seconds*.
+
+    Every ``POST /v1/*`` body may carry ``deadline_ms`` (a positive
+    number of milliseconds the client is willing to wait); the HTTP
+    layer enforces it with a 504 on expiry.  The field is **popped**
+    before the request dataclass ever sees the payload, so a deadline
+    never changes a request's digest — two clients asking the same
+    question with different patience share one cache entry and one
+    coalesced computation.  Returns ``default_ms`` (converted) when the
+    field is absent; raises :class:`RequestError` (→ 400) on a
+    non-positive or non-numeric value.
+    """
+    if not isinstance(payload, dict) or "deadline_ms" not in payload:
+        raw = default_ms
+    else:
+        raw = payload.pop("deadline_ms")
+        if raw is None:
+            raw = default_ms
+    if raw is None:
+        return None
+    if isinstance(raw, bool) or not isinstance(raw, (int, float)) or raw <= 0:
+        raise RequestError(
+            f"field 'deadline_ms' must be a positive number of "
+            f"milliseconds, got {raw!r}"
+        )
+    return float(raw) / 1000.0
+
+
 def _reject_unknown(payload: dict, known: tuple[str, ...], what: str) -> None:
     unknown = sorted(set(payload) - set(known))
     if unknown:

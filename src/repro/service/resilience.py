@@ -1,0 +1,299 @@
+"""Resilience primitives for the planning service.
+
+Three small, independently testable machines that
+:class:`~repro.service.app.PlanningService` threads through its request
+path, each with an injectable clock so tests drive the state machines
+deterministically:
+
+* :class:`TokenBucket` / :class:`AdmissionController` — **admission
+  control**.  Work that would reach the compute tier is charged against
+  a bounded per-class in-flight budget and (optionally) a per-tenant
+  token bucket keyed on the ``X-Tenant`` header; anything over budget
+  is *shed* with a :class:`Shed` exception the HTTP layer renders as
+  ``429`` + ``Retry-After``.  Cache hits and coalesced riders are never
+  charged — the service sheds *work*, not lookups.
+
+* :class:`CircuitBreaker` — supervised recovery around the worker
+  pool.  A broken process pool trips the breaker ``closed → open``;
+  requests degrade to threads while it is open; after an
+  exponentially-growing backoff one request probes the resurrected
+  pool (``half-open``), and a successful probe closes the breaker —
+  transient worker crashes no longer degrade the service for its whole
+  lifetime.  The state machine is visible in ``/healthz`` and
+  ``/stats`` (``degraded_since``, ``recovery_attempts``, …).
+
+Deadline extraction (``deadline_ms``) lives with the rest of request
+validation in :func:`repro.service.requests.pop_deadline`; the fault
+injection that exercises all of these paths is
+:mod:`repro.faultinject`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+class Shed(Exception):
+    """A request refused by admission control (rendered as HTTP 429)."""
+
+    def __init__(self, reason: str, retry_after_s: float):
+        super().__init__(reason)
+        self.reason = reason
+        #: Client guidance: seconds until capacity is plausible again.
+        self.retry_after_s = retry_after_s
+
+
+class TokenBucket:
+    """A standard token bucket: ``rate`` tokens/s, ``burst`` capacity.
+
+    ``try_acquire`` returns ``0.0`` on success or the seconds until
+    enough tokens will have accrued — the number the HTTP layer turns
+    into ``Retry-After``.  Time comes from the injected ``clock`` so
+    tests advance it manually.
+    """
+
+    def __init__(self, rate: float, burst: float, clock=time.monotonic):
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._updated = clock()
+
+    def try_acquire(self, amount: float = 1.0) -> float:
+        """Take ``amount`` tokens; 0.0 if taken, else seconds to wait."""
+        now = self._clock()
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._updated) * self.rate
+        )
+        self._updated = now
+        if self._tokens >= amount:
+            self._tokens -= amount
+            return 0.0
+        return (amount - self._tokens) / self.rate
+
+
+#: Hard cap on distinct tenant buckets kept alive (oldest dropped
+#: first) — an attacker inventing tenant names must not grow memory.
+MAX_TENANT_BUCKETS = 1024
+
+
+class AdmissionController:
+    """Bounded in-flight budget per request class + per-tenant buckets.
+
+    A *class* is the endpoint path (``/v1/plan``, ``/v1/sweep``, …);
+    each class may have at most ``max_inflight`` leaders in the compute
+    tier at once.  Tenants (the ``X-Tenant`` header; missing header =
+    the ``""`` tenant) are additionally rate-limited by token buckets
+    when ``tenant_rate`` is set.  :meth:`admit` raises :class:`Shed`
+    instead of returning so call sites cannot forget to check; every
+    successful admit must be paired with :meth:`release`.
+    """
+
+    def __init__(
+        self,
+        max_inflight: int = 64,
+        tenant_rate: float | None = None,
+        tenant_burst: float | None = None,
+        clock=time.monotonic,
+    ):
+        if max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        self.max_inflight = max_inflight
+        self.tenant_rate = tenant_rate if tenant_rate else None
+        self.tenant_burst = (
+            float(tenant_burst)
+            if tenant_burst
+            else (max(1.0, 2.0 * tenant_rate) if self.tenant_rate else None)
+        )
+        self._clock = clock
+        self._inflight: dict[str, int] = {}
+        self._buckets: dict[str, TokenBucket] = {}
+        self.admitted = 0
+        self.shed_inflight = 0
+        self.shed_tenant = 0
+        self.shed_by_class: dict[str, int] = {}
+
+    def admit(self, klass: str, tenant: str = "") -> None:
+        """Charge one unit of compute-tier work, or raise :class:`Shed`."""
+        inflight = self._inflight.get(klass, 0)
+        if inflight >= self.max_inflight:
+            self.shed_inflight += 1
+            self.shed_by_class[klass] = self.shed_by_class.get(klass, 0) + 1
+            raise Shed(
+                f"{klass} is at its in-flight budget "
+                f"({inflight}/{self.max_inflight}); shedding",
+                retry_after_s=1.0,
+            )
+        if self.tenant_rate is not None:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                while len(self._buckets) >= MAX_TENANT_BUCKETS:
+                    self._buckets.pop(next(iter(self._buckets)))
+                bucket = TokenBucket(
+                    self.tenant_rate, self.tenant_burst, clock=self._clock
+                )
+                self._buckets[tenant] = bucket
+            wait = bucket.try_acquire()
+            if wait > 0.0:
+                self.shed_tenant += 1
+                self.shed_by_class[klass] = (
+                    self.shed_by_class.get(klass, 0) + 1
+                )
+                raise Shed(
+                    f"tenant {tenant or '<default>'} is over its rate "
+                    f"({self.tenant_rate}/s); shedding",
+                    retry_after_s=wait,
+                )
+        self._inflight[klass] = inflight + 1
+        self.admitted += 1
+
+    def release(self, klass: str) -> None:
+        """Return one unit of ``klass`` budget (pairs with :meth:`admit`)."""
+        remaining = self._inflight.get(klass, 0) - 1
+        if remaining > 0:
+            self._inflight[klass] = remaining
+        else:
+            self._inflight.pop(klass, None)
+
+    def snapshot(self) -> dict:
+        """Counter snapshot for the ``/stats`` endpoint."""
+        return {
+            "max_inflight": self.max_inflight,
+            "tenant_rate": self.tenant_rate,
+            "tenant_burst": self.tenant_burst,
+            "inflight": dict(sorted(self._inflight.items())),
+            "admitted": self.admitted,
+            "shed_inflight": self.shed_inflight,
+            "shed_tenant": self.shed_tenant,
+            "shed_by_class": dict(sorted(self.shed_by_class.items())),
+            "tenants": len(self._buckets),
+        }
+
+
+@dataclass
+class _BreakerCounters:
+    """The observable history of one breaker (exported on ``/stats``)."""
+
+    trips: int = 0
+    recoveries: int = 0
+    recovery_attempts: int = 0
+    last_failure: str | None = None
+    degraded_since: float | None = field(default=None)
+
+
+class CircuitBreaker:
+    """Closed → open → half-open breaker with exponential backoff.
+
+    * ``closed`` — the protected resource (the process pool) is
+      healthy; :meth:`allow` returns ``True``.
+    * ``open`` — a failure tripped the breaker; :meth:`allow` returns
+      ``False`` until the current backoff expires, then transitions to
+      ``half-open`` (counting a *recovery attempt*) and lets one
+      request probe.
+    * ``half-open`` — a probe is in flight.  :meth:`record_success`
+      closes the breaker (a *recovery*); :meth:`record_failure`
+      re-opens it with a doubled backoff (capped).
+
+    The service keeps serving throughout — open/half-open requests that
+    are not probes run on the thread fallback — so the breaker governs
+    *where* work runs, never *whether* it runs.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        backoff_s: float = 0.5,
+        max_backoff_s: float = 30.0,
+        clock=time.monotonic,
+    ):
+        if backoff_s <= 0:
+            raise ValueError(f"backoff_s must be > 0, got {backoff_s}")
+        self.state = self.CLOSED
+        self.base_backoff_s = backoff_s
+        self.max_backoff_s = max(backoff_s, max_backoff_s)
+        self._clock = clock
+        self._backoff_s = backoff_s
+        self._retry_at: float | None = None
+        self.counters = _BreakerCounters()
+
+    def allow(self) -> bool:
+        """Whether the protected resource may be used right now.
+
+        In ``open`` state this is also the transition edge: once the
+        backoff has expired the breaker moves to ``half-open`` and the
+        caller becomes the probe.
+        """
+        if self.state == self.CLOSED:
+            return True
+        if self.state == self.OPEN:
+            if self._retry_at is not None and self._clock() >= self._retry_at:
+                self.state = self.HALF_OPEN
+                self.counters.recovery_attempts += 1
+                return True
+            return False
+        return True  # half-open: the probe (and any riders) proceed
+
+    def record_failure(self, reason: str) -> None:
+        """The protected resource failed: trip (or re-open) the breaker."""
+        tripped_from_closed = self.state == self.CLOSED
+        self.counters.last_failure = reason
+        if tripped_from_closed:
+            self.counters.trips += 1
+        if self.counters.degraded_since is None:
+            self.counters.degraded_since = self._clock()
+        self.state = self.OPEN
+        self._retry_at = self._clock() + self._backoff_s
+        # Double *after* scheduling: first retry waits the base backoff,
+        # each failed probe doubles the next wait, capped.
+        self._backoff_s = min(self._backoff_s * 2.0, self.max_backoff_s)
+
+    def record_success(self) -> None:
+        """The protected resource worked: close the breaker (if open)."""
+        if self.state == self.CLOSED:
+            return
+        if self.state == self.HALF_OPEN:
+            self.counters.recoveries += 1
+        self.state = self.CLOSED
+        self.counters.degraded_since = None
+        self._backoff_s = self.base_backoff_s
+        self._retry_at = None
+
+    def snapshot(self) -> dict:
+        """State + counters for ``/healthz`` and ``/stats``.
+
+        ``degraded_since`` is reported as *seconds spent degraded so
+        far* (``null`` when healthy) so operators can tell a transient
+        blip from a permanently broken pool at a glance;
+        ``retry_in_s`` is how long until the next resurrection probe.
+        """
+        now = self._clock()
+        degraded_for = (
+            None
+            if self.counters.degraded_since is None
+            else max(0.0, now - self.counters.degraded_since)
+        )
+        retry_in = (
+            None
+            if self.state != self.OPEN or self._retry_at is None
+            else max(0.0, self._retry_at - now)
+        )
+        return {
+            "state": self.state,
+            "trips": self.counters.trips,
+            "recoveries": self.counters.recoveries,
+            "recovery_attempts": self.counters.recovery_attempts,
+            "degraded_since": degraded_for,
+            "retry_in_s": retry_in,
+            "backoff_s": self._backoff_s,
+            "last_failure": self.counters.last_failure,
+        }

@@ -1,0 +1,365 @@
+"""Resilience machinery: deadlines, admission control, the breaker.
+
+Unit tests drive the state machines with an injected fake clock;
+HTTP-level tests run thread-executor services (the process-pool
+breaker cycle is covered end-to-end by CI's chaos-smoke job via
+``tools/loadtest_service.py --chaos``).
+"""
+
+import http.client
+import json
+import time
+
+import pytest
+
+from repro import faultinject
+from repro.service import (
+    AdmissionController,
+    CircuitBreaker,
+    PlanningService,
+    RequestError,
+    ServiceThread,
+    Shed,
+    TokenBucket,
+    pop_deadline,
+)
+
+SMALL_PLAN = {
+    "devices": 4,
+    "vocab_size": "32k",
+    "microbatches": 8,
+    "simulate_top_k": 1,
+}
+
+
+@pytest.fixture(autouse=True)
+def disarm():
+    faultinject.reset()
+    yield
+    faultinject.reset()
+
+
+class FakeClock:
+    def __init__(self, now: float = 100.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def request_raw(service, method, path, payload=None, headers=None):
+    """One request returning (status, body, response headers)."""
+    conn = http.client.HTTPConnection(service.host, service.port, timeout=120)
+    try:
+        body = None if payload is None else json.dumps(payload)
+        conn.request(method, path, body=body, headers=headers or {})
+        response = conn.getresponse()
+        return (
+            response.status,
+            json.loads(response.read()),
+            {k.lower(): v for k, v in response.getheaders()},
+        )
+    finally:
+        conn.close()
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2.0, clock=clock)
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() == 0.0
+        wait = bucket.try_acquire()
+        assert wait == pytest.approx(1.0)
+        clock.advance(1.0)  # one token accrues
+        assert bucket.try_acquire() == 0.0
+
+    def test_tokens_cap_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+        clock.advance(3600.0)
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=2.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestAdmissionController:
+    def test_inflight_budget_sheds_and_releases(self):
+        admission = AdmissionController(max_inflight=2)
+        admission.admit("/v1/plan")
+        admission.admit("/v1/plan")
+        with pytest.raises(Shed) as caught:
+            admission.admit("/v1/plan")
+        assert caught.value.retry_after_s > 0
+        # Classes are budgeted independently.
+        admission.admit("/v1/sweep")
+        admission.release("/v1/plan")
+        admission.admit("/v1/plan")
+        snap = admission.snapshot()
+        assert snap["shed_inflight"] == 1
+        assert snap["shed_by_class"] == {"/v1/plan": 1}
+        assert snap["inflight"] == {"/v1/plan": 2, "/v1/sweep": 1}
+
+    def test_tenant_buckets_are_isolated(self):
+        clock = FakeClock()
+        admission = AdmissionController(
+            max_inflight=100, tenant_rate=1.0, tenant_burst=1.0, clock=clock
+        )
+        admission.admit("/v1/plan", tenant="alice")
+        with pytest.raises(Shed):
+            admission.admit("/v1/plan", tenant="alice")
+        # A different tenant has its own bucket; so does the default.
+        admission.admit("/v1/plan", tenant="bob")
+        admission.admit("/v1/plan")
+        clock.advance(1.0)
+        admission.admit("/v1/plan", tenant="alice")
+        assert admission.snapshot()["shed_tenant"] == 1
+        assert admission.snapshot()["tenants"] == 3
+
+    def test_shed_carries_bucket_wait(self):
+        clock = FakeClock()
+        admission = AdmissionController(
+            max_inflight=100, tenant_rate=0.5, tenant_burst=1.0, clock=clock
+        )
+        admission.admit("/v1/plan", tenant="t")
+        with pytest.raises(Shed) as caught:
+            admission.admit("/v1/plan", tenant="t")
+        assert caught.value.retry_after_s == pytest.approx(2.0)
+
+    def test_tenant_bucket_count_is_bounded(self):
+        from repro.service.resilience import MAX_TENANT_BUCKETS
+
+        admission = AdmissionController(
+            max_inflight=10**6, tenant_rate=10**6, tenant_burst=10**6
+        )
+        for i in range(MAX_TENANT_BUCKETS + 50):
+            admission.admit("/v1/plan", tenant=f"t{i}")
+        assert admission.snapshot()["tenants"] == MAX_TENANT_BUCKETS
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_inflight=0)
+
+
+class TestCircuitBreaker:
+    def test_full_cycle(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(backoff_s=0.5, clock=clock)
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+        breaker.record_failure("worker crashed")
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()  # backoff not expired
+        snap = breaker.snapshot()
+        assert snap["trips"] == 1
+        assert snap["degraded_since"] == pytest.approx(0.0)
+        assert snap["retry_in_s"] == pytest.approx(0.5)
+        assert snap["last_failure"] == "worker crashed"
+
+        clock.advance(0.6)
+        assert breaker.allow()  # the probe
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.snapshot()["recovery_attempts"] == 1
+
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        snap = breaker.snapshot()
+        assert snap["recoveries"] == 1
+        assert snap["degraded_since"] is None
+        assert snap["backoff_s"] == pytest.approx(0.5)  # reset to base
+
+    def test_failed_probe_doubles_backoff(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(backoff_s=0.5, max_backoff_s=1.5, clock=clock)
+        breaker.record_failure("first")
+        clock.advance(0.6)
+        assert breaker.allow()
+        breaker.record_failure("probe failed")  # re-open, doubled wait
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.snapshot()["trips"] == 1  # re-opens are not trips
+        assert breaker.snapshot()["retry_in_s"] == pytest.approx(1.0)
+        clock.advance(0.6)
+        assert not breaker.allow()  # 0.6 < 1.0: still waiting
+        clock.advance(0.5)
+        assert breaker.allow()
+        breaker.record_failure("again")
+        # Capped at max_backoff_s.
+        assert breaker.snapshot()["retry_in_s"] == pytest.approx(1.5)
+
+    def test_degraded_since_spans_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(backoff_s=0.5, clock=clock)
+        breaker.record_failure("first")
+        clock.advance(0.6)
+        breaker.allow()
+        breaker.record_failure("probe failed")
+        clock.advance(1.4)
+        # Degradation is measured from the *first* failure, not the
+        # latest re-open — the operator-facing "how long has this been
+        # broken" number.
+        assert breaker.snapshot()["degraded_since"] == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(backoff_s=0.0)
+
+
+class TestPopDeadline:
+    def test_absent_uses_default(self):
+        assert pop_deadline({}) is None
+        assert pop_deadline({}, default_ms=250) == pytest.approx(0.25)
+
+    def test_popped_before_validation(self):
+        payload = dict(SMALL_PLAN, deadline_ms=1500)
+        assert pop_deadline(payload) == pytest.approx(1.5)
+        assert payload == SMALL_PLAN  # digest input unchanged
+
+    def test_explicit_null_falls_back_to_default(self):
+        payload = {"deadline_ms": None}
+        assert pop_deadline(payload, default_ms=100) == pytest.approx(0.1)
+
+    @pytest.mark.parametrize("bad", [0, -5, "fast", True])
+    def test_invalid_values_rejected(self, bad):
+        with pytest.raises(RequestError):
+            pop_deadline({"deadline_ms": bad})
+
+
+class TestDeadlinesOverHttp:
+    def test_expiry_is_504_and_leader_survives(self):
+        # A slow computation (the injected delay dwarfs the plan) under
+        # a short deadline: the client gets 504, but the shielded
+        # leader finishes and lands in the caches — the retry is an
+        # LRU hit even though the first client gave up.
+        faultinject.install("slow-worker:rate=1,limit=1,delay_ms=2000")
+        service = PlanningService(port=0, executor="thread", lru_size=32)
+        with ServiceThread(service) as live:
+            status, body, _ = request_raw(
+                live, "POST", "/v1/plan", dict(SMALL_PLAN, deadline_ms=100)
+            )
+            assert status == 504
+            assert "deadline" in body["error"]
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                status, body, _ = request_raw(
+                    live, "POST", "/v1/plan", dict(SMALL_PLAN)
+                )
+                assert status == 200
+                if body["tier"] == "lru":
+                    break
+                time.sleep(0.05)
+            assert body["tier"] == "lru"
+            stats = service.stats_payload()
+            assert stats["resilience"]["deadline_timeouts"] == 1
+            # One computation total: the 504'd leader's, reused.
+            assert stats["computed"] == 1
+
+    def test_deadline_does_not_change_digest(self):
+        service = PlanningService(port=0, executor="thread", lru_size=32)
+        with ServiceThread(service) as live:
+            _, patient, _ = request_raw(
+                live, "POST", "/v1/plan", dict(SMALL_PLAN, deadline_ms=60000)
+            )
+            _, unbounded, _ = request_raw(live, "POST", "/v1/plan", SMALL_PLAN)
+            assert patient["digest"] == unbounded["digest"]
+            assert unbounded["tier"] == "lru"
+
+    def test_bad_deadline_is_400(self):
+        service = PlanningService(port=0, executor="thread", lru_size=32)
+        with ServiceThread(service) as live:
+            status, body, _ = request_raw(
+                live, "POST", "/v1/plan", dict(SMALL_PLAN, deadline_ms=-1)
+            )
+            assert status == 400
+            assert "deadline_ms" in body["error"]
+
+
+class TestAdmissionOverHttp:
+    def test_tenant_over_rate_is_429_with_retry_after(self):
+        service = PlanningService(
+            port=0, executor="thread", lru_size=32,
+            tenant_rate=0.001, tenant_burst=1.0,
+        )
+        with ServiceThread(service) as live:
+            fresh = dict(SMALL_PLAN, pass_overhead=1e-9)
+            status, _, _ = request_raw(
+                live, "POST", "/v1/plan", fresh,
+                headers={"X-Tenant": "alice"},
+            )
+            assert status == 200
+            status, body, headers = request_raw(
+                live, "POST", "/v1/plan",
+                dict(SMALL_PLAN, pass_overhead=2e-9),
+                headers={"X-Tenant": "alice"},
+            )
+            assert status == 429
+            assert "alice" in body["error"]
+            assert int(headers["retry-after"]) >= 1
+            # Another tenant is unaffected.
+            status, _, _ = request_raw(
+                live, "POST", "/v1/plan",
+                dict(SMALL_PLAN, pass_overhead=3e-9),
+                headers={"X-Tenant": "bob"},
+            )
+            assert status == 200
+            # Cache reads are never charged: the over-budget tenant can
+            # still read what is already computed.
+            status, body, _ = request_raw(
+                live, "POST", "/v1/plan", fresh,
+                headers={"X-Tenant": "alice"},
+            )
+            assert status == 200
+            assert body["tier"] == "lru"
+            snap = service.stats_payload()["resilience"]
+            assert snap["shed"] == 1
+            assert snap["admission"]["shed_tenant"] == 1
+
+
+class TestObservability:
+    def test_stats_and_healthz_expose_resilience(self):
+        service = PlanningService(port=0, executor="thread", lru_size=32)
+        with ServiceThread(service) as live:
+            status, health, _ = request_raw(live, "GET", "/healthz")
+            assert status == 200
+            assert health["breaker"] == "closed"
+            status, stats, _ = request_raw(live, "GET", "/stats")
+            assert status == 200
+            resilience = stats["resilience"]
+            assert resilience["breaker"]["state"] == "closed"
+            assert resilience["breaker"]["degraded_since"] is None
+            assert resilience["breaker"]["recovery_attempts"] == 0
+            assert resilience["admission"]["max_inflight"] == 64
+            assert resilience["faults"] == {}
+            assert stats["disk"]["enabled"] is False
+
+    def test_degradation_surfaces_in_stats(self):
+        service = PlanningService(port=0, executor="thread", lru_size=32)
+        service.breaker.record_failure("injected for the test")
+        with ServiceThread(service) as live:
+            _, health, _ = request_raw(live, "GET", "/healthz")
+            assert health["breaker"] == "open"
+            _, stats, _ = request_raw(live, "GET", "/stats")
+            breaker = stats["resilience"]["breaker"]
+            assert breaker["state"] == "open"
+            assert breaker["trips"] == 1
+            assert breaker["degraded_since"] >= 0.0
+            assert breaker["retry_in_s"] is not None
+            assert breaker["last_failure"] == "injected for the test"
+
+    def test_armed_faults_visible_in_stats(self):
+        faultinject.install("slow-worker:rate=0.5,delay_ms=10")
+        service = PlanningService(port=0, executor="thread", lru_size=32)
+        with ServiceThread(service) as live:
+            _, stats, _ = request_raw(live, "GET", "/stats")
+            assert stats["resilience"]["faults"] == {
+                "slow-worker": {"rate": 0.5, "events": 0, "fires": 0}
+            }

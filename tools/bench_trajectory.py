@@ -47,7 +47,12 @@ written to ``BENCH_service.json``), driving a live in-process
   a never-seen digest; the "reference" side is N× the measured
   single-request cost (what the burst would cost un-coalesced), and
   ``cost_ratio`` records burst wall time over one request (~1 when
-  coalescing works).
+  coalescing works);
+* ``service_chaos_*`` — tail latency under the deterministic quick
+  chaos profile (slow workers, corrupted/torn cache writes, dropped
+  connections) against a tiny-LRU service with a throwaway disk tier:
+  ``compiled_s`` is the p99 of successful requests and
+  ``availability`` the non-shed success rate.
 
 Every entry records reference seconds, compiled seconds and the
 speedup (for the two sweep-era classes, "reference" means the
@@ -114,6 +119,17 @@ ROUNDS = {"full": 3, "quick": 5}
 SERVICE_DUPLICATES = 8
 #: Sequential hot requests averaged per service hot-cache round.
 SERVICE_HOT_REQUESTS = 25
+#: Requests of the service chaos class (p99 wants a real sample).
+SERVICE_CHAOS_REQUESTS = 40
+#: Fault profile of the service chaos class: the quick subset of the
+#: loadtest's chaos spec (no worker kill — the class runs a thread
+#: executor and measures serving cost, not pool resurrection).
+SERVICE_CHAOS_FAULTS = (
+    "slow-worker:rate=0.25,seed=5,delay_ms=20;"
+    "corrupt-cache-entry:rate=0.9,seed=7;"
+    "torn-cache-write:rate=0.4,seed=11;"
+    "drop-connection-mid-response:rate=0.15,seed=3"
+)
 
 
 def best_of(fn, rounds: int) -> float:
@@ -519,6 +535,67 @@ def measure_service_class(
             single_request_s=single_s,
             cost_ratio=burst_s / single_s if single_s > 0 else 0.0,
         )
+
+    # Chaos class: tail latency + availability while the deterministic
+    # quick fault profile is live — slow workers, corrupted and torn
+    # cache writes, dropped connections.  A fresh service with a tiny
+    # LRU over a throwaway disk tier, so repeats are forced through the
+    # checksum/quarantine/recompute path; ``compiled_s`` is the p99 of
+    # successful requests (the perf-smoke gate), ``availability`` the
+    # non-shed success rate (deliberately < 1 under dropped
+    # connections; see tools/loadtest_service.py --chaos for the full
+    # contract run).
+    import http.client
+    import tempfile
+
+    from repro import faultinject
+
+    with tempfile.TemporaryDirectory() as chaos_dir:
+        faultinject.install(SERVICE_CHAOS_FAULTS)
+        try:
+            chaos_service = PlanningService(
+                port=0, executor="thread", lru_size=2, cache_dir=chaos_dir,
+            )
+            with ServiceThread(chaos_service) as live:
+                latencies: list[float] = []
+                attempts = shed = failed = 0
+                for i in range(SERVICE_CHAOS_REQUESTS):
+                    body = dict(payload, microbatches=m + (i % 6))
+                    attempts += 1
+                    start = time.perf_counter()
+                    try:
+                        status, _response = lt.request_json(
+                            live.host, live.port, "POST", "/v1/plan", body
+                        )
+                    except (
+                        OSError,
+                        http.client.HTTPException,
+                        json.JSONDecodeError,
+                    ):
+                        failed += 1  # a deliberately dropped connection
+                        continue
+                    if status == 200:
+                        latencies.append(time.perf_counter() - start)
+                    elif status == 429:
+                        shed += 1
+                    else:
+                        failed += 1
+                availability = (
+                    len(latencies) / (attempts - shed)
+                    if attempts > shed
+                    else 0.0
+                )
+                add(
+                    f"service_chaos_{tag}",
+                    None,
+                    lt.percentile(latencies, 99.0),
+                    availability=availability,
+                    requests=attempts,
+                    shed=shed,
+                    failed=failed,
+                )
+        finally:
+            faultinject.reset()
     clear_all_planner_caches()
     return entries
 

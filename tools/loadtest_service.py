@@ -120,8 +120,16 @@ def spawn_server(
     cache_dir: str | None = None,
     lru_size: int = 256,
     startup_timeout: float = 60.0,
+    faults: str | None = None,
+    extra_args: list[str] | None = None,
 ) -> ServerHandle:
-    """Start a server subprocess on an ephemeral port and wait for it."""
+    """Start a server subprocess on an ephemeral port and wait for it.
+
+    ``faults`` sets (or, when ``None``, strips) ``REPRO_FAULTS`` in the
+    child's environment — the env route, not ``--faults``, so pool
+    *worker* processes inherit the spec and cache-write fault sites
+    fire inside them too.
+    """
     import os
 
     command = [
@@ -133,7 +141,11 @@ def spawn_server(
     if cache_dir is not None:
         command += ["--cache-dir", cache_dir]
     command += ["--lru-size", str(lru_size)]
+    command += extra_args or []
     env = dict(os.environ)
+    env.pop("REPRO_FAULTS", None)
+    if faults:
+        env["REPRO_FAULTS"] = faults
     src = str(REPO / "src")
     env["PYTHONPATH"] = (
         src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
@@ -349,6 +361,304 @@ def run_duplicate_burst(
 
 
 # ---------------------------------------------------------------------------
+# Chaos mode
+# ---------------------------------------------------------------------------
+
+#: The fixed fault schedule of ``--chaos`` (CI's chaos-smoke job).
+#: Seeded and counter-based, so the same spec yields the same fault
+#: schedule every run: the 2nd pool submission crashes a worker (the
+#: breaker must trip, then recover), ~90% of cache writes are
+#: corrupted and ~40% torn (every disk read-back must checksum,
+#: quarantine and recompute), a bounded number of responses are cut
+#: mid-body (clients must retry), and some computations run slow.
+CHAOS_SPEC = (
+    "kill-pool-worker:rate=1,after=1,limit=1;"
+    "slow-worker:rate=0.25,seed=5,delay_ms=100;"
+    "corrupt-cache-entry:rate=0.9,seed=7;"
+    "torn-cache-write:rate=0.4,seed=11;"
+    "drop-connection-mid-response:rate=0.25,seed=3,limit=6"
+)
+
+#: Response statuses the chaos contract allows.  Anything else — any
+#: 500, any unexplained status — is a violation.
+CHAOS_ALLOWED = (200, 429, 503, 504)
+
+_BODY_KEYS = {
+    "/v1/plan": "plan",
+    "/v1/whatif": "whatif",
+    "/v1/scenarios": "scenarios",
+    "/v1/sweep": "sweep",
+}
+
+
+def chaos_requests(args: argparse.Namespace) -> list[tuple[str, dict]]:
+    """The deterministic chaos request list: (path, payload) pairs.
+
+    Several distinct plan digests (more than the chaos server's tiny
+    LRU holds, so repeats *must* probe the possibly-corrupt disk
+    tier), a couple of what-ifs, and one scenario query.
+    """
+    plans = 4 if args.quick else 6
+    base = {
+        "devices": args.devices,
+        "vocab_size": args.vocab_size,
+        "simulate_top_k": args.top_k,
+    }
+    requests: list[tuple[str, dict]] = [
+        ("/v1/plan", dict(base, microbatches=args.microbatches + i))
+        for i in range(plans)
+    ]
+    requests += [
+        (
+            "/v1/whatif",
+            {
+                "devices": args.devices,
+                "vocab_size": args.vocab_size,
+                "microbatches": args.microbatches,
+                "method": "vocab-1",
+                "device": -1,
+                "factor": factor,
+            },
+        )
+        for factor in (1.1, 1.2)
+    ]
+    requests.append(
+        (
+            "/v1/scenarios",
+            {
+                "scenario": "slow-node",
+                "method": "vocab-1",
+                "devices": args.devices,
+                "vocab_size": args.vocab_size,
+                "microbatches": args.microbatches,
+                "samples": args.samples,
+            },
+        )
+    )
+    return requests
+
+
+def fetch_with_retries(
+    host: str,
+    port: int,
+    path: str,
+    payload: dict,
+    problems: list[str],
+    attempts: int = 6,
+) -> dict | None:
+    """One request under chaos: retry torn connections and shed/timeout.
+
+    Returns the 200 body, or ``None`` after appending the violation
+    (an unexpected status, or no success within ``attempts``).
+    Dropped connections surface as transport/parse errors; 429 honours
+    ``retry_after_s``; 503/504 back off briefly.
+    """
+    last = "no attempt"
+    for _ in range(attempts):
+        try:
+            status, body = request_json(
+                host, port, "POST", path, payload, timeout=120.0
+            )
+        except (OSError, http.client.HTTPException,
+                json.JSONDecodeError) as error:
+            last = f"torn response ({type(error).__name__})"
+            time.sleep(0.1)
+            continue
+        if status == 200:
+            return body
+        if status == 429:
+            last = "shed (429)"
+            time.sleep(min(float(body.get("retry_after_s", 1.0)), 1.0))
+            continue
+        if status in (503, 504):
+            last = f"HTTP {status}"
+            time.sleep(0.3)
+            continue
+        problems.append(
+            f"chaos: {path}: unexpected HTTP {status}: "
+            f"{body.get('error', body)}"
+        )
+        return None
+    problems.append(
+        f"chaos: {path}: no 200 after {attempts} attempts (last: {last})"
+    )
+    return None
+
+
+def run_chaos(args: argparse.Namespace) -> int:
+    """The ``--chaos`` entry point: oracle run, then run under faults.
+
+    Asserts the resilience contract end to end: under injected worker
+    kills, cache corruption, torn writes and dropped connections, every
+    completed response is bit-identical to the fault-free oracle run,
+    only deliberate 429/503/504 appear, corrupt cache entries are
+    quarantined, and the circuit breaker is observed tripping and then
+    recovering (process pool restored from thread degradation).
+    """
+    import tempfile
+
+    problems: list[str] = []
+    requests = chaos_requests(args)
+    # A digest the main list never computes: the final breaker probe
+    # must reach the pool (a disk hit would bypass it).
+    probe = ("/v1/plan", {
+        "devices": args.devices,
+        "vocab_size": args.vocab_size,
+        "simulate_top_k": args.top_k,
+        "microbatches": args.microbatches + 50,
+    })
+    expected: dict[str, tuple[str, str]] = {}
+
+    with tempfile.TemporaryDirectory() as oracle_dir, \
+            tempfile.TemporaryDirectory() as chaos_dir:
+        print("chaos: oracle run (fault-free) ...", flush=True)
+        oracle = spawn_server(
+            executor="process", workers=args.workers, cache_dir=oracle_dir
+        )
+        try:
+            for path, payload in requests + [probe]:
+                body = fetch_with_retries(
+                    oracle.host, oracle.port, path, payload, problems
+                )
+                if body is None:
+                    problems.append("chaos: oracle run failed; aborting")
+                    return _report_chaos(problems)
+                key = json.dumps([path, payload], sort_keys=True)
+                expected[key] = (
+                    body["digest"],
+                    json.dumps(body[_BODY_KEYS[path]], sort_keys=True),
+                )
+        finally:
+            code = oracle.shutdown()
+            if code != 0:
+                problems.append(f"chaos: oracle server exited {code}")
+
+        print(
+            f"chaos: fault run (spec: {CHAOS_SPEC}) ...", flush=True
+        )
+        server = spawn_server(
+            executor="process",
+            workers=args.workers,
+            cache_dir=chaos_dir,
+            lru_size=2,  # tiny hot tier: repeats must read the disk tier
+            faults=CHAOS_SPEC,
+            extra_args=["--breaker-backoff", "0.2"],
+        )
+        matched = 0
+        try:
+            # Two passes: pass 1 computes (writes corrupt/torn disk
+            # entries, crashes a worker), pass 2 re-requests the same
+            # digests through the tiny LRU so the disk tier's
+            # checksum/quarantine/recompute path runs for real.
+            for sweep in range(2):
+                for path, payload in requests:
+                    body = fetch_with_retries(
+                        server.host, server.port, path, payload, problems
+                    )
+                    if body is None:
+                        continue
+                    key = json.dumps([path, payload], sort_keys=True)
+                    digest, rendered = expected[key]
+                    if body["digest"] != digest:
+                        problems.append(
+                            f"chaos: {path}: digest diverged from oracle"
+                        )
+                    elif (
+                        json.dumps(body[_BODY_KEYS[path]], sort_keys=True)
+                        != rendered
+                    ):
+                        problems.append(
+                            f"chaos: {path}: response bytes diverged from "
+                            f"the fault-free oracle (tier {body['tier']})"
+                        )
+                    else:
+                        matched += 1
+            # Past the breaker backoff, force one computation that can
+            # only be answered by the pool: the resurrection probe.
+            time.sleep(0.5)
+            body = fetch_with_retries(
+                server.host, server.port, probe[0], probe[1], problems
+            )
+            if body is not None:
+                digest, rendered = expected[
+                    json.dumps([probe[0], probe[1]], sort_keys=True)
+                ]
+                if (
+                    body["digest"] != digest
+                    or json.dumps(body["plan"], sort_keys=True) != rendered
+                ):
+                    problems.append("chaos: probe response diverged")
+                else:
+                    matched += 1
+
+            status, stats = request_json(
+                server.host, server.port, "GET", "/stats"
+            )
+            if status != 200:
+                problems.append(f"chaos: /stats: HTTP {status}")
+                stats = {}
+            resilience = stats.get("resilience", {})
+            breaker = resilience.get("breaker", {})
+            fires = resilience.get("faults", {})
+            quarantined = stats.get("disk", {}).get("quarantined", 0)
+            print(
+                f"chaos: matched={matched} "
+                f"breaker={breaker.get('state')} "
+                f"trips={breaker.get('trips')} "
+                f"recoveries={breaker.get('recoveries')} "
+                f"quarantined={quarantined} "
+                f"dropped={resilience.get('dropped_connections')} "
+                f"executor={stats.get('executor', {}).get('kind')}"
+            )
+            if breaker.get("trips", 0) < 1:
+                problems.append(
+                    "chaos: breaker never tripped (kill-pool-worker fired "
+                    f"{fires.get('kill-pool-worker', {}).get('fires')} times)"
+                )
+            if breaker.get("recoveries", 0) < 1:
+                problems.append(
+                    "chaos: breaker never recovered (state "
+                    f"{breaker.get('state')!r}, "
+                    f"{breaker.get('recovery_attempts')} attempts)"
+                )
+            if stats.get("executor", {}).get("kind") != "process":
+                problems.append(
+                    "chaos: process pool not restored after recovery "
+                    f"(executor {stats.get('executor')})"
+                )
+            if quarantined < 1:
+                problems.append(
+                    "chaos: no corrupt cache entry was quarantined (disk "
+                    "tier never caught the injected corruption)"
+                )
+            if resilience.get("dropped_connections", 0) < 1:
+                problems.append(
+                    "chaos: drop-connection-mid-response never fired"
+                )
+        finally:
+            code = server.shutdown()
+            if code != 0:
+                problems.append(
+                    f"chaos: server exited {code} (leaked workers or "
+                    "unclean shutdown)"
+                )
+            else:
+                print("chaos: server shut down cleanly (exit 0)")
+
+    return _report_chaos(problems)
+
+
+def _report_chaos(problems: list[str]) -> int:
+    if problems:
+        print("\nchaos loadtest FAILED:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print("chaos loadtest OK")
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
 
@@ -398,6 +708,12 @@ def main(argv: list[str] | None = None) -> int:
         help="small CI profile: few workers/requests, assertions on",
     )
     parser.add_argument(
+        "--chaos", action="store_true",
+        help="chaos mode: replay a deterministic request list against "
+        "a fault-injected server (fixed seed) and assert the "
+        "resilience contract vs a fault-free oracle run",
+    )
+    parser.add_argument(
         "--json", default=None, metavar="OUT",
         help="write the latency/throughput report as JSON",
     )
@@ -407,6 +723,13 @@ def main(argv: list[str] | None = None) -> int:
         args.requests = min(args.requests, 5)
         args.microbatches = min(args.microbatches, 8)
         args.samples = min(args.samples, 8)
+    if args.chaos:
+        if args.url is not None:
+            raise SystemExit(
+                "loadtest: --chaos spawns its own oracle and fault "
+                "servers; it cannot target --url"
+            )
+        return run_chaos(args)
 
     problems: list[str] = []
     server: ServerHandle | None = None
