@@ -21,7 +21,16 @@ Fault sites (each a no-op unless a spec arms it):
 * ``torn-cache-write`` — a cache write is truncated mid-payload, as if
   the process died between ``write`` and ``fsync`` (ditto);
 * ``drop-connection-mid-response`` — the HTTP layer writes half a
-  response and resets the connection (clients must retry).
+  response and resets the connection (clients must retry);
+* ``kill-shard`` — the fleet supervisor SIGKILLs one shard process at
+  a monitor tick (the router must fail over, the supervisor must
+  restart it);
+* ``hang-shard`` — the fleet supervisor SIGSTOPs one shard process
+  (health probes time out; hedged requests answer from the successor
+  until the supervisor declares it dead and restarts it);
+* ``slow-shard`` — the fleet router delays the primary forward of a
+  request by ``delay_ms`` as if the shard were slow (exercises the
+  hedging path deterministically).
 
 Arming is either programmatic (:func:`install`) or via the
 ``REPRO_FAULTS`` environment variable, a ``;``-separated list of
@@ -64,6 +73,9 @@ KNOWN_SITES = (
     "corrupt-cache-entry",
     "torn-cache-write",
     "drop-connection-mid-response",
+    "kill-shard",
+    "hang-shard",
+    "slow-shard",
 )
 
 #: Environment variable carrying the fault spec (inherited by pool
@@ -192,7 +204,10 @@ def parse_spec(spec: str) -> FaultInjector:
     Format: ``site:key=value,key=value;site2:...`` — clauses separated
     by ``;``, per-site options by ``,``.  A bare ``site`` with no
     options arms it at rate 1.  Raises :class:`ValueError` on unknown
-    sites, unknown keys or malformed values.
+    sites, unknown keys or malformed values — always a one-line
+    message naming the bad token and the valid sites, so a typo'd
+    ``REPRO_FAULTS`` / ``serve --faults`` spec fails loudly at startup
+    instead of silently arming nothing.
     """
     faults: list[Fault] = []
     for clause in spec.split(";"):
@@ -201,6 +216,15 @@ def parse_spec(spec: str) -> FaultInjector:
             continue
         site, _, options = clause.partition(":")
         site = site.strip()
+        if site not in KNOWN_SITES:
+            hint = (
+                "; did you swap '=' for the ':' separating site from "
+                "options?" if "=" in site else ""
+            )
+            raise ValueError(
+                f"unknown fault site {site!r} in clause {clause!r}{hint}; "
+                f"valid sites: {', '.join(KNOWN_SITES)}"
+            )
         kwargs: dict[str, float | int | None] = {}
         for option in options.split(","):
             option = option.strip()

@@ -21,7 +21,12 @@ Programmatic entry points:
   machinery (deadlines, load shedding, supervised pool recovery; see
   the "Resilience" section of ``docs/service.md``);
 * :data:`ROUTES` — the served route table (ground truth for docs
-  validation).
+  validation);
+* :class:`~repro.service.fleet.FleetSupervisor` /
+  :class:`~repro.service.router.FleetRouter` — the sharded topology
+  (``serve --fleet N``): N shard subprocesses behind a consistent-hash
+  router with failover, hedging and supervised restarts;
+  :data:`FLEET_ROUTES` is the router's own route table.
 """
 
 from repro.service.app import (
@@ -32,6 +37,7 @@ from repro.service.app import (
     ServiceThread,
     shutdown_and_check_workers,
 )
+from repro.service.fleet import FleetSupervisor
 from repro.service.lru import LRUPlanTier
 from repro.service.requests import (
     MAX_SWEEP_POINTS,
@@ -54,10 +60,20 @@ from repro.service.resilience import (
     Shed,
     TokenBucket,
 )
+from repro.service.router import (
+    FLEET_ROUTES,
+    FleetRouter,
+    HashRing,
+    ShardState,
+)
 
 __all__ = [
     "AdmissionController",
     "CircuitBreaker",
+    "FLEET_ROUTES",
+    "FleetRouter",
+    "FleetSupervisor",
+    "HashRing",
     "LRUPlanTier",
     "MAX_SWEEP_POINTS",
     "PlanRequest",
@@ -68,6 +84,7 @@ __all__ = [
     "ScenarioRequest",
     "ServiceStats",
     "ServiceThread",
+    "ShardState",
     "Shed",
     "SweepRequest",
     "TokenBucket",

@@ -97,6 +97,75 @@ _REASONS = {
 }
 
 
+def render_response(
+    status: int, body: bytes, *, close: bool,
+    extra: dict[str, str] | None = None,
+    content_type: str = "application/json",
+) -> bytes:
+    """Frame one HTTP/1.1 response around already-encoded body bytes.
+
+    Shared by the shard service and the fleet router (which passes
+    shard response bodies through *verbatim*, so hedged duplicates and
+    failovers stay bit-identical to a direct shard answer).
+    """
+    lines = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'close' if close else 'keep-alive'}",
+    ]
+    for name, value in (extra or {}).items():
+        lines.append(f"{name}: {value}")
+    return "\r\n".join(lines).encode("ascii") + b"\r\n\r\n" + body
+
+
+def render_json(
+    status: int, payload: dict, *, close: bool,
+    extra: dict[str, str] | None = None,
+) -> bytes:
+    """Frame a JSON payload as one HTTP/1.1 response."""
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return render_response(status, body, close=close, extra=extra)
+
+
+async def read_http_request(reader: asyncio.StreamReader):
+    """Parse one HTTP/1.1 request → (method, path, body, close, headers).
+
+    Returns ``None`` on a cleanly closed connection.  Raises
+    :class:`~repro.service.requests.RequestError` on malformed input.
+    Shared by the shard service and the fleet router; the *whole* read
+    is expected to run under the caller's keep-alive timeout.
+    """
+    request_line = await reader.readline()
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").split()
+    if len(parts) != 3:
+        raise RequestError(f"malformed request line {request_line!r}")
+    method, path, _version = parts
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+        if len(headers) > 100:
+            raise RequestError("too many headers")
+    raw_length = headers.get("content-length", "0") or "0"
+    try:
+        length = int(raw_length)
+    except ValueError:
+        raise RequestError(
+            f"invalid Content-Length {raw_length!r}"
+        ) from None
+    if length > MAX_BODY_BYTES:
+        raise RequestError(f"request body of {length} bytes is too large")
+    body = await reader.readexactly(length) if length > 0 else b""
+    close = headers.get("connection", "").lower() == "close"
+    return method.upper(), path, body, close, headers
+
+
 @dataclass(frozen=True)
 class Route:
     """One served endpoint (also the docs-validation ground truth)."""
@@ -205,6 +274,11 @@ class PlanningService:
         self.default_deadline_ms = default_deadline_ms
         if faults:
             faultinject.install(faults)
+        else:
+            # Resolve REPRO_FAULTS eagerly: a typo'd spec must refuse
+            # to start the service, not surface as a 500 on the first
+            # request that happens to hit an armed code path.
+            faultinject.get_injector()
         self.degraded: str | None = None
         self.started_at: float | None = None
         self._inflight: dict[str, asyncio.Task] = {}
@@ -553,16 +627,7 @@ class PlanningService:
         status: int, payload: dict, *, close: bool,
         extra: dict[str, str] | None = None,
     ) -> bytes:
-        body = json.dumps(payload, sort_keys=True).encode("utf-8")
-        lines = [
-            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-            "Content-Type: application/json",
-            f"Content-Length: {len(body)}",
-            f"Connection: {'close' if close else 'keep-alive'}",
-        ]
-        for name, value in (extra or {}).items():
-            lines.append(f"{name}: {value}")
-        return "\r\n".join(lines).encode("ascii") + b"\r\n\r\n" + body
+        return render_json(status, payload, close=close, extra=extra)
 
     async def _read_request(self, reader: asyncio.StreamReader):
         """Parse one HTTP/1.1 request → (method, path, body, close) or None.
@@ -573,34 +638,7 @@ class PlanningService:
         mid-request client (slowloris, short body) both get reclaimed
         instead of leaking a connection task forever.
         """
-        request_line = await reader.readline()
-        if not request_line:
-            return None
-        parts = request_line.decode("latin-1").split()
-        if len(parts) != 3:
-            raise RequestError(f"malformed request line {request_line!r}")
-        method, path, _version = parts
-        headers: dict[str, str] = {}
-        while True:
-            line = await reader.readline()
-            if line in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = line.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
-            if len(headers) > 100:
-                raise RequestError("too many headers")
-        raw_length = headers.get("content-length", "0") or "0"
-        try:
-            length = int(raw_length)
-        except ValueError:
-            raise RequestError(
-                f"invalid Content-Length {raw_length!r}"
-            ) from None
-        if length > MAX_BODY_BYTES:
-            raise RequestError(f"request body of {length} bytes is too large")
-        body = await reader.readexactly(length) if length > 0 else b""
-        close = headers.get("connection", "").lower() == "close"
-        return method.upper(), path, body, close, headers
+        return await read_http_request(reader)
 
     async def _handle_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter

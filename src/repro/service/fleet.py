@@ -1,0 +1,590 @@
+"""Fleet supervisor: N planning-service shards behind one router.
+
+``repro-experiments serve --fleet N`` starts this supervisor instead of
+a single :class:`~repro.service.app.PlanningService`.  It spawns N
+shard *subprocesses* (each the unmodified single-process service on an
+ephemeral port, all sharing one crash-safe disk
+:class:`~repro.planner.cache.PlanCache` directory) and one
+:class:`~repro.service.router.FleetRouter` in front, then supervises:
+
+* **Health probing** — every ``probe_interval_s`` the monitor polls
+  each up shard's ``/healthz``; two consecutive failures (or the
+  process exiting) mark the shard ``down``, at which point the router
+  is already failing its keys over to the ring successor.
+
+* **Restart with backoff** — a dead shard is respawned after an
+  exponentially growing delay (``restart_backoff_s`` doubling per
+  consecutive failure, capped) and re-admitted to routing only after a
+  warm-up ``/healthz`` probe answers — a shard that crash-loops on
+  startup never serves traffic.
+
+* **Rolling restart** — ``POST /admin/restart`` on the router (or
+  ``SIGHUP`` to the supervisor) restarts the fleet one shard at a
+  time: drain (router stops picking it), graceful stop (``POST
+  /shutdown`` so the shard flushes its in-flight work and caches),
+  respawn, warm-up, re-admit, next shard.  At least N-1 shards serve
+  at every instant.
+
+* **Chaos hooks** — the ``kill-shard`` and ``hang-shard`` fault sites
+  (:mod:`repro.faultinject`) fire at monitor ticks and SIGKILL /
+  SIGSTOP a victim shard, driving the exact failover + restart
+  machinery above under test instead of trusting it.
+
+The supervisor process is the signal target: SIGTERM/SIGINT shut the
+fleet down gracefully (router drains, shards flush), SIGHUP triggers a
+rolling restart.  Exit status is 0 for a clean shutdown and 1 if any
+shard had to be force-killed *at shutdown* (deliberate chaos kills
+during the run do not count).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import pathlib
+import signal
+import sys
+import time
+
+from repro import faultinject
+from repro.service.router import (
+    DOWN,
+    DRAINING,
+    STARTING,
+    UP,
+    FleetRouter,
+    ShardState,
+)
+
+#: Consecutive failed health probes before a shard is declared dead.
+PROBE_FAILURE_THRESHOLD = 2
+
+
+async def _http_get(
+    host: str, port: int, path: str, timeout_s: float = 2.0
+) -> int:
+    """Minimal GET for health/warm-up probes; returns the status code.
+
+    Deliberately independent of the router's proxy path so probes never
+    touch request counters, latency windows or breakers.
+    """
+
+    async def _fetch() -> int:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            writer.write(
+                f"GET {path} HTTP/1.1\r\nHost: {host}:{port}\r\n"
+                "Connection: close\r\n\r\n".encode("latin-1")
+            )
+            await writer.drain()
+            status_line = await reader.readline()
+            parts = status_line.decode("latin-1").split(None, 2)
+            if len(parts) < 2 or not parts[1].isdigit():
+                raise ConnectionError(
+                    f"malformed status line {status_line!r}"
+                )
+            return int(parts[1])
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    return await asyncio.wait_for(_fetch(), timeout_s)
+
+
+async def _http_post(
+    host: str, port: int, path: str, timeout_s: float = 5.0
+) -> int:
+    """Minimal empty-body POST (used for the graceful ``/shutdown``)."""
+
+    async def _send() -> int:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            writer.write(
+                f"POST {path} HTTP/1.1\r\nHost: {host}:{port}\r\n"
+                "Content-Length: 0\r\nConnection: close\r\n\r\n"
+                .encode("latin-1")
+            )
+            await writer.drain()
+            status_line = await reader.readline()
+            parts = status_line.decode("latin-1").split(None, 2)
+            if len(parts) < 2 or not parts[1].isdigit():
+                raise ConnectionError(
+                    f"malformed status line {status_line!r}"
+                )
+            return int(parts[1])
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    return await asyncio.wait_for(_send(), timeout_s)
+
+
+class ShardProcess:
+    """One shard subprocess: spawn, parse its port, track liveness."""
+
+    def __init__(self, shard: ShardState, argv_tail: list[str]):
+        self.shard = shard
+        #: serve-subcommand arguments after ``serve --host H --port 0``.
+        self.argv_tail = list(argv_tail)
+        self.process: asyncio.subprocess.Process | None = None
+        self._drain_task: asyncio.Task | None = None
+        #: Whether this process has been SIGSTOPped by ``hang-shard``.
+        self.stopped = False
+
+    @property
+    def pid(self) -> int | None:
+        return None if self.process is None else self.process.pid
+
+    def alive(self) -> bool:
+        return self.process is not None and self.process.returncode is None
+
+    async def spawn(self, startup_timeout_s: float = 30.0) -> None:
+        """Start the subprocess and wait for its ``serving on`` line."""
+        env = dict(os.environ)
+        # The shard must import the same repro tree as the supervisor
+        # regardless of how the supervisor itself was launched.
+        src = str(pathlib.Path(__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH", "")
+        if src not in existing.split(os.pathsep):
+            env["PYTHONPATH"] = (
+                src + (os.pathsep + existing if existing else "")
+            )
+        self.stopped = False
+        self.process = await asyncio.create_subprocess_exec(
+            sys.executable, "-m", "repro.harness.cli", "serve",
+            "--host", self.shard.host, "--port", "0", *self.argv_tail,
+            stdout=asyncio.subprocess.PIPE,
+            env=env,
+        )
+        assert self.process.stdout is not None
+        deadline = time.monotonic() + startup_timeout_s
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"{self.shard.shard_id} printed no 'serving on' line "
+                    f"within {startup_timeout_s}s"
+                )
+            try:
+                line_bytes = await asyncio.wait_for(
+                    self.process.stdout.readline(), remaining
+                )
+            except asyncio.TimeoutError:
+                continue
+            if not line_bytes:
+                raise RuntimeError(
+                    f"{self.shard.shard_id} exited during startup "
+                    f"(code {self.process.returncode})"
+                )
+            line = line_bytes.decode("utf-8", "replace").strip()
+            if line.startswith("serving on http://"):
+                self.shard.port = int(line.rsplit(":", 1)[1])
+                break
+        self.shard.pid = self.process.pid
+        # Keep draining stdout so the shard never blocks on a full pipe.
+        self._drain_task = asyncio.ensure_future(
+            self._drain(self.process.stdout)
+        )
+
+    @staticmethod
+    async def _drain(stream: asyncio.StreamReader) -> None:
+        try:
+            while await stream.readline():
+                pass
+        except (ConnectionError, OSError):
+            pass
+
+    def signal(self, signum: int) -> None:
+        if self.alive() and self.process is not None:
+            try:
+                self.process.send_signal(signum)
+            except ProcessLookupError:
+                pass
+
+    def resume_if_stopped(self) -> None:
+        if self.stopped:
+            self.signal(signal.SIGCONT)
+            self.stopped = False
+
+    async def wait(self, timeout_s: float) -> bool:
+        """Wait for exit; ``True`` if the process is gone."""
+        if self.process is None:
+            return True
+        try:
+            await asyncio.wait_for(self.process.wait(), timeout_s)
+            return True
+        except asyncio.TimeoutError:
+            return False
+
+    async def reap(self) -> None:
+        if self._drain_task is not None:
+            self._drain_task.cancel()
+            try:
+                await self._drain_task
+            except asyncio.CancelledError:
+                pass
+            self._drain_task = None
+        if self.process is not None:
+            try:
+                await self.process.wait()
+            except (ConnectionError, OSError):
+                pass
+
+
+class FleetSupervisor:
+    """Spawn, probe, restart and roll N shards behind one router."""
+
+    def __init__(
+        self,
+        fleet: int,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8180,
+        shard_args: list[str] | None = None,
+        probe_interval_s: float = 0.5,
+        restart_backoff_s: float = 0.25,
+        max_restart_backoff_s: float = 10.0,
+        warmup_timeout_s: float = 30.0,
+        hedge_min_ms: float = 50.0,
+        hedge_max_ms: float = 2000.0,
+    ):
+        if fleet < 1:
+            raise ValueError(f"fleet size must be >= 1, got {fleet}")
+        if probe_interval_s <= 0:
+            raise ValueError(
+                f"probe_interval_s must be > 0, got {probe_interval_s}"
+            )
+        if restart_backoff_s <= 0:
+            raise ValueError(
+                f"restart_backoff_s must be > 0, got {restart_backoff_s}"
+            )
+        self.host = host
+        self.probe_interval_s = probe_interval_s
+        self.restart_backoff_s = restart_backoff_s
+        self.max_restart_backoff_s = max(
+            restart_backoff_s, max_restart_backoff_s
+        )
+        self.warmup_timeout_s = warmup_timeout_s
+        self.shards = [
+            ShardState(shard_id=f"shard-{index}", host=host)
+            for index in range(fleet)
+        ]
+        self.processes = {
+            shard.shard_id: ShardProcess(shard, shard_args or [])
+            for shard in self.shards
+        }
+        self.router = FleetRouter(
+            self.shards,
+            host=host,
+            port=port,
+            hedge_min_ms=hedge_min_ms,
+            hedge_max_ms=hedge_max_ms,
+            on_restart=self.request_rolling_restart,
+            on_shutdown=self.request_shutdown,
+        )
+        #: SIGKILLs issued by the kill-shard / hang-shard chaos sites.
+        self.deliberate_kills = 0
+        self.deliberate_hangs = 0
+        #: Shards that needed a force-kill during *shutdown* (dirty exit).
+        self.forced_at_shutdown = 0
+        self._restart_tasks: dict[str, asyncio.Task] = {}
+        self._consecutive_failures: dict[str, int] = {}
+        self._rolling_task: asyncio.Task | None = None
+        self._shutdown_event: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._chaos_victim = 0
+
+    # -- chaos ------------------------------------------------------------
+
+    def _pick_victim(self) -> ShardProcess | None:
+        """Round-robin over currently-up shards (None if none are up)."""
+        up = [
+            self.processes[shard.shard_id]
+            for shard in self.shards
+            if shard.state == UP and self.processes[shard.shard_id].alive()
+        ]
+        if not up:
+            return None
+        victim = up[self._chaos_victim % len(up)]
+        self._chaos_victim += 1
+        return victim
+
+    def _fire_chaos(self) -> None:
+        if faultinject.should_fire("kill-shard"):
+            victim = self._pick_victim()
+            if victim is not None:
+                self.deliberate_kills += 1
+                victim.signal(signal.SIGKILL)
+        if faultinject.should_fire("hang-shard"):
+            victim = self._pick_victim()
+            if victim is not None and not victim.stopped:
+                self.deliberate_hangs += 1
+                victim.stopped = True
+                victim.signal(signal.SIGSTOP)
+
+    # -- monitoring -------------------------------------------------------
+
+    async def _monitor(self) -> None:
+        assert self._shutdown_event is not None
+        while not self._shutdown_event.is_set():
+            try:
+                await asyncio.wait_for(
+                    self._shutdown_event.wait(), self.probe_interval_s
+                )
+                return
+            except asyncio.TimeoutError:
+                pass
+            self._fire_chaos()
+            probes = []
+            probed = []
+            for shard in self.shards:
+                process = self.processes[shard.shard_id]
+                if shard.state in (DOWN, STARTING):
+                    continue
+                if not process.alive():
+                    self._declare_down(shard, "process exited")
+                    continue
+                if shard.state == UP:
+                    probed.append(shard)
+                    probes.append(
+                        _http_get(shard.host, shard.port, "/healthz",
+                                  timeout_s=self.probe_interval_s * 2)
+                    )
+            results = await asyncio.gather(*probes, return_exceptions=True)
+            for shard, result in zip(probed, results):
+                if shard.state != UP:
+                    continue  # state moved while the probe was in flight
+                if isinstance(result, Exception) or result != 200:
+                    failures = self._consecutive_failures.get(
+                        shard.shard_id, 0
+                    ) + 1
+                    self._consecutive_failures[shard.shard_id] = failures
+                    shard.probe_failures += 1
+                    if failures >= PROBE_FAILURE_THRESHOLD:
+                        self._declare_down(
+                            shard,
+                            f"{failures} consecutive failed probes",
+                        )
+                else:
+                    self._consecutive_failures[shard.shard_id] = 0
+
+    def _declare_down(self, shard: ShardState, reason: str) -> None:
+        """Mark a shard dead and schedule its restart (idempotent)."""
+        if shard.state == DOWN or shard.shard_id in self._restart_tasks:
+            return
+        shard.state = DOWN
+        shard.breaker.record_failure(reason)
+        self._consecutive_failures[shard.shard_id] = 0
+        process = self.processes[shard.shard_id]
+        # A hung (SIGSTOPped) shard must be resumed before SIGKILL is
+        # guaranteed to reap it promptly everywhere.
+        process.resume_if_stopped()
+        process.signal(signal.SIGKILL)
+        self._restart_tasks[shard.shard_id] = asyncio.ensure_future(
+            self._restart(shard)
+        )
+
+    async def _restart(self, shard: ShardState) -> None:
+        """Respawn one dead shard with backoff; re-admit after warm-up."""
+        process = self.processes[shard.shard_id]
+        backoff = self.restart_backoff_s
+        attempt = 0
+        try:
+            await process.reap()
+            while (
+                self._shutdown_event is not None
+                and not self._shutdown_event.is_set()
+            ):
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * 2.0, self.max_restart_backoff_s)
+                attempt += 1
+                shard.state = STARTING
+                try:
+                    await process.spawn()
+                    await self._warmup(shard)
+                except (OSError, RuntimeError, TimeoutError,
+                        asyncio.TimeoutError) as error:
+                    shard.state = DOWN
+                    shard.breaker.record_failure(
+                        f"restart attempt {attempt} failed: {error}"
+                    )
+                    process.signal(signal.SIGKILL)
+                    await process.reap()
+                    continue
+                shard.restarts += 1
+                shard.probe_failures = 0
+                self._consecutive_failures[shard.shard_id] = 0
+                shard.breaker.record_success()
+                shard.state = UP
+                return
+        finally:
+            self._restart_tasks.pop(shard.shard_id, None)
+
+    async def _warmup(self, shard: ShardState) -> None:
+        """Poll the fresh shard's ``/healthz`` until it answers 200."""
+        deadline = time.monotonic() + self.warmup_timeout_s
+        while True:
+            try:
+                if await _http_get(
+                    shard.host, shard.port, "/healthz", timeout_s=1.0
+                ) == 200:
+                    return
+            except (OSError, asyncio.TimeoutError, ConnectionError):
+                pass
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"{shard.shard_id} failed warm-up within "
+                    f"{self.warmup_timeout_s}s"
+                )
+            await asyncio.sleep(0.05)
+
+    # -- rolling restart --------------------------------------------------
+
+    def request_rolling_restart(self) -> tuple[bool, str]:
+        """Start a rolling restart (router callback + SIGHUP handler)."""
+        if self._rolling_task is not None and not self._rolling_task.done():
+            return False, "rolling restart already in progress"
+        if self._shutdown_event is None or self._shutdown_event.is_set():
+            return False, "fleet is shutting down"
+        self._rolling_task = asyncio.ensure_future(self._rolling_restart())
+        return True, "rolling restart started"
+
+    async def _rolling_restart(self) -> None:
+        for shard in self.shards:
+            if (
+                self._shutdown_event is not None
+                and self._shutdown_event.is_set()
+            ):
+                return
+            if shard.state != UP:
+                continue  # crash-restart path already owns this shard
+            process = self.processes[shard.shard_id]
+            shard.state = DRAINING
+            # New requests already route past this shard; give its
+            # in-flight leaders a moment before the graceful stop (the
+            # shard's own /shutdown drain handles the rest).
+            await asyncio.sleep(self.probe_interval_s)
+            await self._stop_gracefully(process)
+            shard.state = STARTING
+            try:
+                await process.spawn()
+                await self._warmup(shard)
+            except (OSError, RuntimeError, TimeoutError,
+                    asyncio.TimeoutError) as error:
+                # Hand the shard to the crash-restart path rather than
+                # stalling the roll forever.
+                shard.state = DOWN
+                shard.breaker.record_failure(
+                    f"rolling respawn failed: {error}"
+                )
+                process.signal(signal.SIGKILL)
+                if shard.shard_id not in self._restart_tasks:
+                    self._restart_tasks[shard.shard_id] = (
+                        asyncio.ensure_future(self._restart(shard))
+                    )
+                continue
+            shard.restarts += 1
+            self._consecutive_failures[shard.shard_id] = 0
+            shard.breaker.record_success()
+            shard.state = UP
+
+    async def _stop_gracefully(
+        self, process: ShardProcess, *, at_shutdown: bool = False
+    ) -> None:
+        """POST /shutdown → SIGTERM → SIGKILL escalation, in that order."""
+        process.resume_if_stopped()
+        if process.alive():
+            try:
+                await _http_post(
+                    process.shard.host, process.shard.port, "/shutdown"
+                )
+            except (OSError, asyncio.TimeoutError, ConnectionError):
+                pass
+            if not await process.wait(10.0):
+                process.signal(signal.SIGTERM)
+                if not await process.wait(5.0):
+                    process.signal(signal.SIGKILL)
+                    if at_shutdown:
+                        self.forced_at_shutdown += 1
+                    await process.wait(5.0)
+        await process.reap()
+
+    # -- lifecycle --------------------------------------------------------
+
+    def request_shutdown(self) -> None:
+        """Begin fleet shutdown (threadsafe; idempotent)."""
+        loop, event = self._loop, self._shutdown_event
+        if loop is None or event is None or loop.is_closed():
+            return
+        try:
+            loop.call_soon_threadsafe(event.set)
+        except RuntimeError:
+            pass
+
+    async def run_async(self, ready=None) -> int:
+        """Spawn the fleet, serve until shutdown, stop everything."""
+        self._loop = asyncio.get_running_loop()
+        self._shutdown_event = asyncio.Event()
+        # Resolve REPRO_FAULTS before any shard spawns: a typo'd spec
+        # must refuse to start the fleet, not fire mid-run.
+        faultinject.get_injector()
+        spawns = []
+        for shard in self.shards:
+            process = self.processes[shard.shard_id]
+            spawns.append(self._initial_spawn(shard, process))
+        await asyncio.gather(*spawns)
+        monitor = asyncio.ensure_future(self._monitor())
+        router_done = asyncio.ensure_future(
+            self.router.serve_async(ready=ready)
+        )
+        try:
+            await self._shutdown_event.wait()
+        finally:
+            self._shutdown_event.set()
+            self.router.request_shutdown()
+            background = [monitor, *self._restart_tasks.values()]
+            if self._rolling_task is not None:
+                background.append(self._rolling_task)
+            for task in background:
+                task.cancel()
+            await asyncio.gather(*background, return_exceptions=True)
+            await asyncio.gather(*(
+                self._stop_gracefully(process, at_shutdown=True)
+                for process in self.processes.values()
+            ), return_exceptions=True)
+            await asyncio.wait_for(router_done, 60.0)
+        return 1 if self.forced_at_shutdown else 0
+
+    async def _initial_spawn(
+        self, shard: ShardState, process: ShardProcess
+    ) -> None:
+        await process.spawn()
+        await self._warmup(shard)
+        shard.state = UP
+
+    def run(self, ready=None) -> int:
+        """Blocking entry point with signal handling (the CLI calls this)."""
+
+        async def _main() -> int:
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(signum, self.request_shutdown)
+                except (NotImplementedError, RuntimeError):
+                    pass
+            try:
+                loop.add_signal_handler(
+                    signal.SIGHUP,
+                    lambda: self.request_rolling_restart(),
+                )
+            except (NotImplementedError, RuntimeError, AttributeError):
+                pass
+            return await self.run_async(ready=ready)
+
+        return asyncio.run(_main())

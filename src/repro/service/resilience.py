@@ -115,10 +115,31 @@ class AdmissionController:
         self._clock = clock
         self._inflight: dict[str, int] = {}
         self._buckets: dict[str, TokenBucket] = {}
+        #: Admission timestamps per class (oldest first) so releases can
+        #: measure how long one unit of compute-tier work actually held
+        #: its slot — the basis of the in-flight ``Retry-After``.
+        self._admitted_at: dict[str, list[float]] = {}
+        #: EWMA of observed work durations across all classes (seconds);
+        #: ``None`` until the first release.
+        self.work_ewma_s: float | None = None
         self.admitted = 0
         self.shed_inflight = 0
         self.shed_tenant = 0
         self.shed_by_class: dict[str, int] = {}
+
+    def retry_after_s(self) -> float:
+        """Expected seconds until an in-flight slot frees.
+
+        With ``max_inflight`` leaders in flight whose durations average
+        ``work_ewma_s`` and whose phases are spread out, the next slot
+        frees in roughly ``work_ewma_s / max_inflight`` — the number
+        the HTTP layer renders as ``Retry-After`` (``max(1, ceil(.))``)
+        when the in-flight budget sheds.  Before any work has completed
+        there is nothing to derive from, so fall back to one second.
+        """
+        if self.work_ewma_s is None:
+            return 1.0
+        return max(0.05, self.work_ewma_s / self.max_inflight)
 
     def admit(self, klass: str, tenant: str = "") -> None:
         """Charge one unit of compute-tier work, or raise :class:`Shed`."""
@@ -129,7 +150,7 @@ class AdmissionController:
             raise Shed(
                 f"{klass} is at its in-flight budget "
                 f"({inflight}/{self.max_inflight}); shedding",
-                retry_after_s=1.0,
+                retry_after_s=self.retry_after_s(),
             )
         if self.tenant_rate is not None:
             bucket = self._buckets.get(tenant)
@@ -152,6 +173,7 @@ class AdmissionController:
                     retry_after_s=wait,
                 )
         self._inflight[klass] = inflight + 1
+        self._admitted_at.setdefault(klass, []).append(self._clock())
         self.admitted += 1
 
     def release(self, klass: str) -> None:
@@ -161,6 +183,19 @@ class AdmissionController:
             self._inflight[klass] = remaining
         else:
             self._inflight.pop(klass, None)
+        starts = self._admitted_at.get(klass)
+        if starts:
+            # Oldest-start pairing is an approximation when leaders of
+            # one class overlap, but the EWMA only feeds Retry-After
+            # guidance, where the scale matters, not the exact pairing.
+            duration = max(0.0, self._clock() - starts.pop(0))
+            if not starts:
+                self._admitted_at.pop(klass, None)
+            self.work_ewma_s = (
+                duration
+                if self.work_ewma_s is None
+                else 0.3 * duration + 0.7 * self.work_ewma_s
+            )
 
     def snapshot(self) -> dict:
         """Counter snapshot for the ``/stats`` endpoint."""
@@ -168,6 +203,8 @@ class AdmissionController:
             "max_inflight": self.max_inflight,
             "tenant_rate": self.tenant_rate,
             "tenant_burst": self.tenant_burst,
+            "work_ewma_s": self.work_ewma_s,
+            "retry_after_s": self.retry_after_s(),
             "inflight": dict(sorted(self._inflight.items())),
             "admitted": self.admitted,
             "shed_inflight": self.shed_inflight,

@@ -1,0 +1,737 @@
+"""Consistent-hash front-end router for a planning-service fleet.
+
+The fleet supervisor (:mod:`repro.service.fleet`) runs N shard
+subprocesses, each a full :class:`~repro.service.app.PlanningService`
+on its own port.  This module is the traffic side of that topology —
+one asyncio HTTP front end that keeps availability flat while
+individual shards die, hang or slow down:
+
+* **Consistent-hash routing** — every ``/v1/*`` body normalizes to the
+  same digest the shard itself would cache under (falling back to a
+  raw-body hash for requests a shard would reject), and the digest is
+  placed on a :class:`HashRing` with virtual nodes.  Equal queries
+  always land on the same shard, so each shard's LRU and coalescing
+  map stay as hot as a single process serving the whole keyspace.
+
+* **Failover** — per-shard request-level failure accounting feeds a
+  :class:`~repro.service.resilience.CircuitBreaker` per shard: a
+  transport error trips it and the request retries on the ring's
+  successor shard immediately; while the breaker is open the shard's
+  keys route to the successor, and the first request past the backoff
+  probes it (half-open).  Shards the supervisor marks ``down`` or
+  ``draining`` are skipped outright.
+
+* **Hedging** — a request stuck on a slow shard is duplicated to the
+  successor after a p95-derived delay; the first response wins and the
+  loser is cancelled.  Deduplication is free: responses are
+  digest-keyed and bit-identical, so serving the hedge's bytes is
+  indistinguishable from serving the primary's.
+
+* **Observability** — ``GET /stats`` exports per-shard state (breaker,
+  restarts, hedges fired/won, failovers) plus live aggregates of the
+  shards' own counters, so chaos tests assert on counters instead of
+  scraping logs.
+
+The router holds no planning state of its own: shard responses are
+passed through *byte-for-byte* (the chaos contract compares them
+against a fault-free oracle), and all caching stays in the shards and
+the shared disk tier.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import hashlib
+import json
+import logging
+import time
+from dataclasses import dataclass, field
+
+from repro import faultinject
+from repro.service.app import (
+    KEEPALIVE_TIMEOUT_S,
+    Route,
+    render_json,
+    render_response,
+    read_http_request,
+)
+from repro.service.requests import (
+    PlanRequest,
+    RequestError,
+    ScenarioRequest,
+    SweepRequest,
+    WhatifRequest,
+)
+from repro.service.resilience import CircuitBreaker
+
+logger = logging.getLogger(__name__)
+
+#: Routes served by the fleet router itself.  ``/v1/*`` traffic is
+#: proxied to shards (same paths as :data:`repro.service.ROUTES`);
+#: these are the router-only control endpoints, validated against
+#: ``docs/service.md`` by ``tools/check_docs_links.py`` exactly like
+#: the shard routes.
+FLEET_ROUTES: tuple[Route, ...] = (
+    Route("GET", "/healthz", "fleet liveness (ok while any shard is up)"),
+    Route("GET", "/stats", "router counters + per-shard state"),
+    Route(
+        "POST", "/admin/restart",
+        "rolling restart: drain, restart and re-admit one shard at a time",
+    ),
+    Route("POST", "/shutdown", "graceful fleet shutdown"),
+)
+
+#: Request types per proxied path — used only to compute the routing
+#: digest; validation errors still surface from the shard so the error
+#: contract is identical with and without the router in front.
+_REQUEST_TYPES = {
+    "/v1/plan": PlanRequest,
+    "/v1/sweep": SweepRequest,
+    "/v1/scenarios": ScenarioRequest,
+    "/v1/whatif": WhatifRequest,
+}
+
+#: Shard lifecycle states (owned by the supervisor, read by the router).
+UP = "up"
+STARTING = "starting"
+DRAINING = "draining"
+DOWN = "down"
+
+
+def routing_key(path: str, body: bytes) -> str:
+    """The consistent-hash key for one proxied request.
+
+    Prefer the shard's own cache digest (so textually different but
+    semantically equal bodies share a shard and its warm caches);
+    fall back to a hash of the raw body for anything the request layer
+    rejects — the shard will render the 400, the router only needs *a*
+    deterministic placement.  ``deadline_ms`` never affects placement,
+    mirroring :func:`~repro.service.requests.pop_deadline`.
+    """
+    request_type = _REQUEST_TYPES.get(path)
+    if request_type is not None:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+            if isinstance(payload, dict):
+                payload.pop("deadline_ms", None)
+                return request_type.from_payload(payload).digest()
+        except (RequestError, ValueError, UnicodeDecodeError):
+            pass
+    return hashlib.sha256(
+        path.encode("utf-8") + b"\x00" + body
+    ).hexdigest()
+
+
+class HashRing:
+    """A consistent-hash ring with virtual nodes.
+
+    ``order(key)`` returns every node in ring order starting from the
+    key's position — index 0 is the home shard, index 1 the failover /
+    hedge successor, and so on.  Adding or removing one node only moves
+    the keys that hashed to its virtual points, so a shard restart
+    never reshuffles the whole keyspace.
+    """
+
+    def __init__(self, nodes: list[str], replicas: int = 64):
+        if not nodes:
+            raise ValueError("HashRing needs at least one node")
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.nodes = list(nodes)
+        self.replicas = replicas
+        points: list[tuple[int, str]] = []
+        for node in nodes:
+            for replica in range(replicas):
+                points.append((self._hash(f"{node}#{replica}"), node))
+        points.sort()
+        self._points = [point for point, _node in points]
+        self._owners = [node for _point, node in points]
+
+    @staticmethod
+    def _hash(value: str) -> int:
+        return int.from_bytes(
+            hashlib.sha256(value.encode("utf-8")).digest()[:8], "big"
+        )
+
+    def order(self, key: str) -> list[str]:
+        """All nodes, ring order from ``key``'s position, no repeats."""
+        index = bisect.bisect(self._points, self._hash(key))
+        seen: list[str] = []
+        for offset in range(len(self._owners)):
+            owner = self._owners[(index + offset) % len(self._owners)]
+            if owner not in seen:
+                seen.append(owner)
+                if len(seen) == len(self.nodes):
+                    break
+        return seen
+
+
+class LatencyWindow:
+    """A bounded window of recent latencies with a nearest-rank p95."""
+
+    def __init__(self, size: int = 64):
+        self.size = size
+        self._values: list[float] = []
+        self._next = 0
+
+    def record(self, latency_s: float) -> None:
+        if len(self._values) < self.size:
+            self._values.append(latency_s)
+        else:
+            self._values[self._next] = latency_s
+            self._next = (self._next + 1) % self.size
+        if len(self._values) == self.size:
+            self._next %= self.size
+
+    def p95(self) -> float | None:
+        if not self._values:
+            return None
+        ordered = sorted(self._values)
+        rank = max(0, min(len(ordered) - 1,
+                          round(0.95 * len(ordered)) - 1))
+        return ordered[rank]
+
+
+@dataclass
+class ShardState:
+    """One shard as the router and supervisor see it.
+
+    The supervisor owns the lifecycle fields (``state``, ``port``,
+    ``pid``, ``restarts``); the router owns the traffic counters.  Both
+    live on one object so ``GET /stats`` is a single coherent snapshot.
+    """
+
+    shard_id: str
+    host: str = "127.0.0.1"
+    port: int = 0
+    pid: int | None = None
+    state: str = STARTING
+    #: Times the supervisor restarted this shard (crash or rolling).
+    restarts: int = 0
+    #: Consecutive health-probe failures (supervisor bookkeeping).
+    probe_failures: int = 0
+    #: Requests proxied to this shard (attempts, including hedges).
+    requests: int = 0
+    #: Transport-level failures talking to this shard.
+    failures: int = 0
+    #: Requests whose home was this shard but that were served by a
+    #: successor (shard down, breaker open, or attempt failed).
+    failovers: int = 0
+    #: Hedged duplicates fired because this shard was slow...
+    hedges_fired: int = 0
+    #: ...and how many of those hedges answered first.
+    hedge_wins: int = 0
+    breaker: CircuitBreaker = field(
+        default_factory=lambda: CircuitBreaker(backoff_s=0.5)
+    )
+    latency: LatencyWindow = field(default_factory=LatencyWindow)
+
+    def snapshot(self) -> dict:
+        return {
+            "state": self.state,
+            "port": self.port,
+            "pid": self.pid,
+            "restarts": self.restarts,
+            "requests": self.requests,
+            "failures": self.failures,
+            "failovers": self.failovers,
+            "hedges_fired": self.hedges_fired,
+            "hedge_wins": self.hedge_wins,
+            "breaker": self.breaker.snapshot(),
+            "p95_s": self.latency.p95(),
+        }
+
+
+class FleetRouter:
+    """The fleet's HTTP front end: route, fail over, hedge, observe.
+
+    ``shards`` is the shared supervisor/router shard table (the
+    supervisor mutates states and ports in place).  ``on_restart`` and
+    ``on_shutdown`` are supervisor callbacks behind ``POST
+    /admin/restart`` and ``POST /shutdown``; tests run the router
+    without a supervisor by leaving them ``None``.
+    """
+
+    def __init__(
+        self,
+        shards: list[ShardState],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8180,
+        hedge_min_ms: float = 50.0,
+        hedge_max_ms: float = 2000.0,
+        hedge_factor: float = 2.0,
+        attempt_timeout_s: float = 120.0,
+        on_restart=None,
+        on_shutdown=None,
+    ):
+        if not shards:
+            raise ValueError("FleetRouter needs at least one shard")
+        if hedge_min_ms <= 0 or hedge_max_ms < hedge_min_ms:
+            raise ValueError(
+                "hedge window must satisfy 0 < hedge_min_ms <= "
+                f"hedge_max_ms, got [{hedge_min_ms}, {hedge_max_ms}]"
+            )
+        self.host = host
+        self.port = port
+        self.shards = {shard.shard_id: shard for shard in shards}
+        self.ring = HashRing([shard.shard_id for shard in shards])
+        self.hedge_min_s = hedge_min_ms / 1000.0
+        self.hedge_max_s = hedge_max_ms / 1000.0
+        self.hedge_factor = hedge_factor
+        self.attempt_timeout_s = attempt_timeout_s
+        self.on_restart = on_restart
+        self.on_shutdown = on_shutdown
+        self.started_at: float | None = None
+        self.requests: dict[str, int] = {}
+        self.errors = 0
+        #: Requests answered 502/503 because no shard could serve them.
+        self.unrouted = 0
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._shutdown_event: asyncio.Event | None = None
+        self._clients: set[asyncio.Task] = set()
+
+    # -- shard selection -------------------------------------------------
+
+    def _candidates(self, key: str) -> list[ShardState]:
+        """Ring-ordered shards eligible for one request.
+
+        ``up`` shards whose breaker admits traffic come first (the
+        breaker's ``allow`` doubles as the half-open probe edge); if
+        every breaker refuses, fall back to the up shards anyway — the
+        router must degrade to *trying* rather than refusing while any
+        shard is alive.
+        """
+        ordered = [self.shards[sid] for sid in self.ring.order(key)]
+        up = [shard for shard in ordered if shard.state == UP]
+        allowed = [shard for shard in up if shard.breaker.allow()]
+        return allowed if allowed else up
+
+    def hedge_delay_s(self, shard: ShardState) -> float:
+        """Seconds to wait on ``shard`` before duplicating the request.
+
+        Derived from the shard's own recent p95 so hedges chase actual
+        slowness, clamped to ``[hedge_min, hedge_max]`` so a cold
+        window neither hedges instantly nor never.
+        """
+        p95 = shard.latency.p95()
+        derived = self.hedge_min_s if p95 is None else p95 * self.hedge_factor
+        return min(self.hedge_max_s, max(self.hedge_min_s, derived))
+
+    # -- proxying --------------------------------------------------------
+
+    async def _attempt(
+        self, shard: ShardState, method: str, path: str, body: bytes,
+        tenant: str, delay_s: float = 0.0,
+    ) -> tuple[int, bytes, dict[str, str]]:
+        """One proxied request to one shard (raises on transport error).
+
+        ``delay_s`` is the deterministic ``slow-shard`` fault payload —
+        injected *before* the forward, as if the network or the shard
+        were slow, so the hedging path runs for real in chaos tests.
+        """
+        if delay_s > 0.0:
+            await asyncio.sleep(delay_s)
+        shard.requests += 1
+        start = time.monotonic()
+        reader, writer = await asyncio.open_connection(shard.host, shard.port)
+        try:
+            head = (
+                f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {shard.host}:{shard.port}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n"
+            )
+            if tenant:
+                head += f"X-Tenant: {tenant}\r\n"
+            writer.write(head.encode("latin-1") + b"\r\n" + body)
+            await writer.drain()
+            status_line = await reader.readline()
+            parts = status_line.decode("latin-1").split(None, 2)
+            if len(parts) < 2 or not parts[1].isdigit():
+                raise ConnectionError(
+                    f"malformed shard status line {status_line!r}"
+                )
+            status = int(parts[1])
+            headers: dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = int(headers.get("content-length", "0") or "0")
+            payload = await reader.readexactly(length) if length else b""
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        shard.latency.record(time.monotonic() - start)
+        shard.breaker.record_success()
+        extra = {}
+        if "retry-after" in headers:
+            extra["Retry-After"] = headers["retry-after"]
+        return status, payload, extra
+
+    def _attempt_failed(self, shard: ShardState, error: Exception) -> None:
+        shard.failures += 1
+        shard.breaker.record_failure(
+            f"{type(error).__name__}: {error}"
+        )
+
+    async def _attempt_hedged(
+        self, primary: ShardState, successor: ShardState | None,
+        method: str, path: str, body: bytes, tenant: str,
+    ) -> tuple[int, bytes, dict[str, str]]:
+        """Primary attempt with a delayed duplicate to the successor.
+
+        The duplicate fires once the primary has been quiet past the
+        p95-derived delay; whichever attempt answers first wins and the
+        loser is cancelled.  Responses are digest-keyed and
+        bit-identical, so the winner's bytes are always correct.
+        """
+        slow = faultinject.get_injector().fault("slow-shard")
+        delay_s = (
+            slow.delay_ms / 1000.0
+            if slow is not None and faultinject.should_fire("slow-shard")
+            else 0.0
+        )
+        primary_task = asyncio.ensure_future(self._attempt(
+            primary, method, path, body, tenant, delay_s=delay_s,
+        ))
+        if successor is None:
+            return await asyncio.wait_for(
+                primary_task, self.attempt_timeout_s
+            )
+        done, _pending = await asyncio.wait(
+            {primary_task}, timeout=self.hedge_delay_s(primary)
+        )
+        if done:
+            error = primary_task.exception()
+            if error is not None and not isinstance(
+                error, asyncio.CancelledError
+            ):
+                self._attempt_failed(primary, error)
+            return primary_task.result()  # raises into the failover loop
+        primary.hedges_fired += 1
+        hedge_task = asyncio.ensure_future(self._attempt(
+            successor, method, path, body, tenant,
+        ))
+        tasks: set[asyncio.Task] = {primary_task, hedge_task}
+        deadline = time.monotonic() + self.attempt_timeout_s
+        try:
+            while tasks:
+                done, tasks = await asyncio.wait(
+                    tasks,
+                    timeout=max(0.0, deadline - time.monotonic()),
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                if not done:
+                    raise asyncio.TimeoutError(
+                        f"no shard answered within {self.attempt_timeout_s}s"
+                    )
+                for task in done:
+                    if task.exception() is None:
+                        if task is hedge_task:
+                            primary.hedge_wins += 1
+                        return task.result()
+                    failed_shard = (
+                        primary if task is primary_task else successor
+                    )
+                    self._attempt_failed(failed_shard, task.exception())
+            raise ConnectionError("both primary and hedge attempts failed")
+        finally:
+            for task in (primary_task, hedge_task):
+                if not task.done():
+                    task.cancel()
+
+    async def _forward(
+        self, method: str, path: str, body: bytes, tenant: str,
+    ) -> tuple[int, bytes, dict[str, str]]:
+        """Route one ``/v1/*`` request: pick, hedge, fail over."""
+        key = routing_key(path, body)
+        home = self.shards[self.ring.order(key)[0]]
+        candidates = self._candidates(key)
+        if not candidates:
+            self.unrouted += 1
+            return 503, json.dumps(
+                {"error": "no shard available (fleet is restarting)"},
+                sort_keys=True,
+            ).encode("utf-8"), {"Retry-After": "1"}
+        last_error: Exception | None = None
+        for index, shard in enumerate(candidates):
+            if shard is not home:
+                home.failovers += 1
+            successor = (
+                candidates[index + 1] if index + 1 < len(candidates) else None
+            )
+            try:
+                status, payload, extra = await self._attempt_hedged(
+                    shard, successor, method, path, body, tenant,
+                )
+            except asyncio.CancelledError:
+                raise
+            except (OSError, asyncio.TimeoutError, ConnectionError) as error:
+                # _attempt_hedged already recorded per-shard failures
+                # for attempts it managed; a bare primary (no
+                # successor) records here.
+                if successor is None:
+                    self._attempt_failed(shard, error)
+                last_error = error
+                continue
+            if status == 503:
+                # A draining shard refusing new work is deliberate;
+                # retry the successor without penalizing the breaker.
+                last_error = ConnectionError("shard draining (503)")
+                continue
+            return status, payload, extra
+        self.unrouted += 1
+        self.errors += 1
+        return 502, json.dumps(
+            {"error": f"every shard failed (last: {last_error})"},
+            sort_keys=True,
+        ).encode("utf-8"), {}
+
+    # -- control endpoints ----------------------------------------------
+
+    def healthz_payload(self) -> dict:
+        states = {
+            shard_id: shard.state for shard_id, shard in self.shards.items()
+        }
+        up = sum(1 for state in states.values() if state == UP)
+        status = (
+            "ok" if up == len(states) else "degraded" if up else "down"
+        )
+        return {
+            "status": status,
+            "role": "fleet-router",
+            "shards_up": up,
+            "shards": states,
+            "uptime_s": (
+                0.0 if self.started_at is None
+                else time.monotonic() - self.started_at
+            ),
+        }
+
+    async def stats_payload(self) -> dict:
+        """Router + per-shard state, with live shard-counter aggregates.
+
+        The aggregate block sums each up shard's own ``/stats``
+        (computed, coalesced, LRU and disk hits) so fleet-level tools
+        read one endpoint whether they target a shard or the router.
+        """
+        per_shard = {
+            shard_id: shard.snapshot()
+            for shard_id, shard in sorted(self.shards.items())
+        }
+        aggregate = {
+            "computed": 0, "coalesced": 0, "lru_hits": 0,
+            "disk_tier_hits": 0, "shed": 0,
+        }
+        for shard in self.shards.values():
+            if shard.state != UP:
+                continue
+            try:
+                stats = await asyncio.wait_for(
+                    self._fetch_json(shard, "GET", "/stats"), 5.0
+                )
+            except (OSError, asyncio.TimeoutError, ValueError):
+                continue
+            aggregate["computed"] += stats.get("computed", 0)
+            aggregate["coalesced"] += stats.get("coalesced", 0)
+            aggregate["lru_hits"] += stats.get("lru", {}).get("hits", 0)
+            aggregate["disk_tier_hits"] += stats.get("disk_tier_hits", 0)
+            aggregate["shed"] += stats.get("resilience", {}).get("shed", 0)
+        return {
+            "role": "fleet-router",
+            "uptime_s": (
+                0.0 if self.started_at is None
+                else time.monotonic() - self.started_at
+            ),
+            "requests": dict(sorted(self.requests.items())),
+            "errors": self.errors,
+            "unrouted": self.unrouted,
+            "computed": aggregate["computed"],
+            "coalesced": aggregate["coalesced"],
+            "lru": {"hits": aggregate["lru_hits"]},
+            "disk_tier_hits": aggregate["disk_tier_hits"],
+            "shed": aggregate["shed"],
+            "fleet": {
+                "shards": per_shard,
+                "hedge_min_ms": self.hedge_min_s * 1000.0,
+                "hedge_max_ms": self.hedge_max_s * 1000.0,
+                "hedge_factor": self.hedge_factor,
+            },
+        }
+
+    async def _fetch_json(
+        self, shard: ShardState, method: str, path: str,
+    ) -> dict:
+        status, payload, _extra = await self._attempt(
+            shard, method, path, b"",  "",
+        )
+        if status != 200:
+            raise ValueError(f"{path}: HTTP {status}")
+        return json.loads(payload.decode("utf-8"))
+
+    # -- HTTP plumbing ---------------------------------------------------
+
+    async def _dispatch(
+        self, method: str, path: str, body: bytes, tenant: str,
+    ) -> tuple[int, bytes, dict[str, str]]:
+        path = path.split("?", 1)[0]
+        self.requests[path] = self.requests.get(path, 0) + 1
+        if method == "GET" and path == "/healthz":
+            return 200, json.dumps(
+                self.healthz_payload(), sort_keys=True
+            ).encode("utf-8"), {}
+        if method == "GET" and path == "/stats":
+            return 200, json.dumps(
+                await self.stats_payload(), sort_keys=True
+            ).encode("utf-8"), {}
+        if method == "POST" and path == "/admin/restart":
+            if self.on_restart is None:
+                return 503, b'{"error": "no supervisor attached"}', {}
+            accepted, detail = self.on_restart()
+            status = 200 if accepted else 409
+            return status, json.dumps(
+                {"status": detail}, sort_keys=True
+            ).encode("utf-8"), {}
+        if method == "POST" and path == "/shutdown":
+            if self.on_shutdown is not None:
+                asyncio.get_running_loop().call_soon(self.on_shutdown)
+            else:
+                asyncio.get_running_loop().call_soon(self.request_shutdown)
+            return 200, b'{"status": "shutting-down"}', {}
+        if path in _REQUEST_TYPES:
+            if method != "POST":
+                return 405, json.dumps(
+                    {"error": f"{method} not allowed on {path}",
+                     "allowed": ["POST"]},
+                    sort_keys=True,
+                ).encode("utf-8"), {}
+            if (
+                self._shutdown_event is not None
+                and self._shutdown_event.is_set()
+            ):
+                return 503, b'{"error": "fleet is shutting down"}', {
+                    "Retry-After": "1"
+                }
+            try:
+                return await self._forward(method, path, body, tenant)
+            except asyncio.CancelledError:
+                raise
+            except Exception as error:  # noqa: BLE001 - router must not die
+                self.errors += 1
+                logger.exception("router error on %s %s", method, path)
+                return 502, json.dumps(
+                    {"error": f"{type(error).__name__}: {error}"},
+                    sort_keys=True,
+                ).encode("utf-8"), {}
+        known = {route.path for route in FLEET_ROUTES} | set(_REQUEST_TYPES)
+        if path in known:
+            return 405, json.dumps(
+                {"error": f"{method} not allowed on {path}"}, sort_keys=True
+            ).encode("utf-8"), {}
+        return 404, json.dumps(
+            {
+                "error": f"no route for {path}",
+                "routes": [
+                    {"method": route.method, "path": route.path}
+                    for route in FLEET_ROUTES
+                ] + [
+                    {"method": "POST", "path": proxied}
+                    for proxied in sorted(_REQUEST_TYPES)
+                ],
+            },
+            sort_keys=True,
+        ).encode("utf-8"), {}
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._clients.add(task)
+            task.add_done_callback(self._clients.discard)
+        try:
+            while True:
+                try:
+                    parsed = await asyncio.wait_for(
+                        read_http_request(reader), KEEPALIVE_TIMEOUT_S
+                    )
+                except RequestError as error:
+                    writer.write(
+                        render_json(400, {"error": str(error)}, close=True)
+                    )
+                    await writer.drain()
+                    break
+                except (
+                    asyncio.TimeoutError,
+                    asyncio.IncompleteReadError,
+                    ConnectionError,
+                ):
+                    break
+                if parsed is None:
+                    break
+                method, path, body, client_close, headers = parsed
+                status, payload, extra = await self._dispatch(
+                    method, path, body, headers.get("x-tenant", "")
+                )
+                shutting_down = (
+                    self._shutdown_event is not None
+                    and self._shutdown_event.is_set()
+                ) or path.split("?", 1)[0] == "/shutdown"
+                close = client_close or shutting_down
+                writer.write(
+                    render_response(status, payload, close=close, extra=extra)
+                )
+                await writer.drain()
+                if close:
+                    break
+        except ConnectionError:
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # -- lifecycle --------------------------------------------------------
+
+    def request_shutdown(self) -> None:
+        """Begin router shutdown (threadsafe; idempotent)."""
+        loop, event = self._loop, self._shutdown_event
+        if loop is None or event is None or loop.is_closed():
+            return
+        try:
+            loop.call_soon_threadsafe(event.set)
+        except RuntimeError:
+            pass
+
+    async def serve_async(self, ready=None) -> None:
+        """Serve until shutdown; drains in-flight client connections."""
+        self._loop = asyncio.get_running_loop()
+        self._shutdown_event = asyncio.Event()
+        server = await asyncio.start_server(
+            self._handle_client, self.host, self.port
+        )
+        self.port = server.sockets[0].getsockname()[1]
+        self.started_at = time.monotonic()
+        try:
+            async with server:
+                if ready is not None:
+                    ready(self)
+                await self._shutdown_event.wait()
+        finally:
+            pending = list(self._clients)
+            if pending:
+                done, not_done = await asyncio.wait(pending, timeout=30.0)
+                for task in not_done:
+                    task.cancel()
+                if not_done:
+                    await asyncio.wait(not_done, timeout=5.0)

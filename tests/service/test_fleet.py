@@ -1,0 +1,167 @@
+"""Fleet supervisor end-to-end: crash recovery and rolling restarts.
+
+One subprocess test walks the whole lifecycle — spawn two shards,
+serve through the router, SIGKILL a shard and watch the supervisor
+restart it, roll the fleet via ``POST /admin/restart``, shut down
+clean — because each subprocess spawn costs seconds.  The
+fault-injected variant (kill-shard/hang-shard/slow-shard under load,
+oracle comparison) is CI's fleet-chaos-smoke job via
+``tools/loadtest_service.py --chaos --fleet 2``.
+"""
+
+import http.client
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.service.fleet import FleetSupervisor
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+SMALL_PLAN = {
+    "devices": 4,
+    "vocab_size": "32k",
+    "microbatches": 8,
+    "simulate_top_k": 1,
+}
+
+
+def request_json(host, port, method, path, payload=None, timeout=60.0):
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        body = None if payload is None else json.dumps(payload)
+        conn.request(method, path, body=body)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def spawn_fleet(*extra_args):
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    env.pop("REPRO_FAULTS", None)
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.harness.cli", "serve",
+            "--fleet", "2", "--executor", "thread", "--port", "0",
+            "--probe-interval", "0.2", "--restart-backoff", "0.2",
+            *extra_args,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    deadline = time.monotonic() + 60
+    for line in process.stdout:
+        if line.startswith("serving on http://"):
+            host, port = line.strip().rsplit("/", 1)[1].split(":")
+            return process, host, int(port)
+        if time.monotonic() > deadline:
+            break
+    process.kill()
+    raise AssertionError("fleet never printed its serving line")
+
+
+def shard_snapshots(host, port):
+    status, stats = request_json(host, port, "GET", "/stats")
+    assert status == 200
+    return stats["fleet"]["shards"]
+
+
+class TestSupervisorValidation:
+    def test_fleet_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FleetSupervisor(0)
+
+    def test_probe_and_backoff_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FleetSupervisor(2, probe_interval_s=0.0)
+        with pytest.raises(ValueError):
+            FleetSupervisor(2, restart_backoff_s=0.0)
+
+
+class TestFleetLifecycle:
+    def test_crash_restart_rolling_restart_and_clean_shutdown(self):
+        process, host, port = spawn_fleet()
+        try:
+            status, health = request_json(host, port, "GET", "/healthz")
+            assert status == 200
+            assert health["status"] == "ok"
+            assert health["shards_up"] == 2
+
+            status, body = request_json(
+                host, port, "POST", "/v1/plan", SMALL_PLAN
+            )
+            assert status == 200
+            assert body["plan"]["best"] is not None
+
+            # Kill one shard out from under the supervisor.  The
+            # monitor must declare it dead and restart it; the router
+            # keeps answering from the survivor meanwhile.
+            shards = shard_snapshots(host, port)
+            victim, snap = sorted(shards.items())[0]
+            os.kill(snap["pid"], signal.SIGKILL)
+
+            status, body = request_json(
+                host, port, "POST", "/v1/plan",
+                dict(SMALL_PLAN, pass_overhead=1e-9),
+            )
+            assert status == 200
+
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                shards = shard_snapshots(host, port)
+                if (
+                    shards[victim]["restarts"] >= 1
+                    and shards[victim]["state"] == "up"
+                ):
+                    break
+                time.sleep(0.2)
+            assert shards[victim]["restarts"] >= 1, shards
+            assert shards[victim]["state"] == "up", shards
+            assert shards[victim]["pid"] != snap["pid"]
+
+            # Rolling restart: every shard cycles exactly once more,
+            # one at a time, and the fleet ends fully up.
+            before = {
+                shard_id: snap["restarts"]
+                for shard_id, snap in shards.items()
+            }
+            status, body = request_json(host, port, "POST", "/admin/restart")
+            assert status == 200
+
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                shards = shard_snapshots(host, port)
+                if all(
+                    snap["restarts"] == before[shard_id] + 1
+                    and snap["state"] == "up"
+                    for shard_id, snap in shards.items()
+                ):
+                    break
+                time.sleep(0.2)
+            for shard_id, snap in shards.items():
+                assert snap["restarts"] == before[shard_id] + 1, shards
+                assert snap["state"] == "up", shards
+
+            # The rolled fleet still serves.
+            status, body = request_json(
+                host, port, "POST", "/v1/plan",
+                dict(SMALL_PLAN, pass_overhead=2e-9),
+            )
+            assert status == 200
+
+            status, body = request_json(host, port, "POST", "/shutdown")
+            assert status == 200
+            assert process.wait(timeout=60) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)

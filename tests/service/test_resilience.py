@@ -8,6 +8,8 @@ breaker cycle is covered end-to-end by CI's chaos-smoke job via
 
 import http.client
 import json
+import math
+import threading
 import time
 
 import pytest
@@ -148,6 +150,74 @@ class TestAdmissionController:
     def test_validation(self):
         with pytest.raises(ValueError):
             AdmissionController(max_inflight=0)
+
+
+class TestDerivedRetryAfter:
+    """In-flight sheds advertise a wait derived from observed work.
+
+    ``Retry-After`` used to be hardcoded to one second on this path;
+    these tests pin the replacement: an EWMA of completed work
+    durations divided by the configured budget.
+    """
+
+    def test_before_any_work_falls_back_to_one_second(self):
+        admission = AdmissionController(max_inflight=1, clock=FakeClock())
+        assert admission.retry_after_s() == pytest.approx(1.0)
+        admission.admit("/v1/plan")
+        with pytest.raises(Shed) as caught:
+            admission.admit("/v1/plan")
+        assert caught.value.retry_after_s == pytest.approx(1.0)
+
+    def test_shed_wait_is_ewma_over_budget(self):
+        clock = FakeClock()
+        admission = AdmissionController(max_inflight=2, clock=clock)
+        admission.admit("/v1/plan")
+        clock.advance(4.0)
+        admission.release("/v1/plan")
+        assert admission.work_ewma_s == pytest.approx(4.0)
+        # 4 s of work, 2 slots: the next one frees in about 2 s.
+        assert admission.retry_after_s() == pytest.approx(2.0)
+        admission.admit("/v1/plan")
+        admission.admit("/v1/plan")
+        with pytest.raises(Shed) as caught:
+            admission.admit("/v1/plan")
+        assert caught.value.retry_after_s == pytest.approx(2.0)
+
+    def test_wait_tracks_the_configured_budget(self):
+        # The same observed durations advertise a shorter wait on a
+        # bigger budget — the header tracks configuration, not a
+        # constant.
+        waits = {}
+        for budget in (1, 2, 4):
+            clock = FakeClock()
+            admission = AdmissionController(max_inflight=budget, clock=clock)
+            admission.admit("/v1/plan")
+            clock.advance(4.0)
+            admission.release("/v1/plan")
+            waits[budget] = admission.retry_after_s()
+        assert waits == {
+            1: pytest.approx(4.0), 2: pytest.approx(2.0),
+            4: pytest.approx(1.0),
+        }
+
+    def test_ewma_smooths_durations(self):
+        clock = FakeClock()
+        admission = AdmissionController(max_inflight=1, clock=clock)
+        for duration in (2.0, 6.0):
+            admission.admit("/v1/plan")
+            clock.advance(duration)
+            admission.release("/v1/plan")
+        assert admission.work_ewma_s == pytest.approx(0.3 * 6.0 + 0.7 * 2.0)
+
+    def test_snapshot_exposes_the_derivation(self):
+        clock = FakeClock()
+        admission = AdmissionController(max_inflight=4, clock=clock)
+        admission.admit("/v1/plan")
+        clock.advance(2.0)
+        admission.release("/v1/plan")
+        snap = admission.snapshot()
+        assert snap["work_ewma_s"] == pytest.approx(2.0)
+        assert snap["retry_after_s"] == pytest.approx(0.5)
 
 
 class TestCircuitBreaker:
@@ -322,6 +392,53 @@ class TestAdmissionOverHttp:
             snap = service.stats_payload()["resilience"]
             assert snap["shed"] == 1
             assert snap["admission"]["shed_tenant"] == 1
+
+    def test_inflight_shed_retry_after_derives_from_observed_work(self):
+        # Make work measurably slow, complete one request to seed the
+        # EWMA, then fill the single-slot budget and observe the shed:
+        # the header must reflect the ~2 s of observed work, not the
+        # old hardcoded 1 s.
+        faultinject.install("slow-worker:rate=1,delay_ms=1800")
+        service = PlanningService(
+            port=0, executor="thread", lru_size=32, max_inflight=1
+        )
+        with ServiceThread(service) as live:
+            status, _, _ = request_raw(
+                live, "POST", "/v1/plan",
+                dict(SMALL_PLAN, pass_overhead=1e-9),
+            )
+            assert status == 200
+            ewma = service.admission.work_ewma_s
+            assert ewma is not None and ewma >= 1.8
+
+            leader = threading.Thread(
+                target=request_raw,
+                args=(live, "POST", "/v1/plan",
+                      dict(SMALL_PLAN, pass_overhead=2e-9)),
+            )
+            leader.start()
+            try:
+                deadline = time.monotonic() + 10
+                while time.monotonic() < deadline:
+                    status, body, headers = request_raw(
+                        live, "POST", "/v1/plan",
+                        dict(SMALL_PLAN, pass_overhead=3e-9),
+                    )
+                    if status == 429:
+                        break
+                    time.sleep(0.02)
+                assert status == 429
+                assert body["retry_after_s"] >= 1.8
+                # max(1, ceil(ewma / 1 slot)) with >= 1.8 s of work.
+                assert int(headers["retry-after"]) >= 2
+                assert int(headers["retry-after"]) == max(
+                    1, math.ceil(body["retry_after_s"])
+                )
+            finally:
+                leader.join(timeout=30)
+            snap = service.stats_payload()["resilience"]["admission"]
+            assert snap["work_ewma_s"] is not None
+            assert snap["retry_after_s"] >= 1.8
 
 
 class TestObservability:

@@ -1,0 +1,330 @@
+"""Fleet router: routing keys, the hash ring, failover, hedging.
+
+Unit tests cover the pure pieces (routing key normalization, ring
+placement, the latency window).  HTTP-level tests run a real
+:class:`FleetRouter` in a thread over two thread-executor
+:class:`ServiceThread` shards — no subprocesses, so failures here
+bisect to router logic.  The full supervisor (spawn, crash-restart,
+rolling restart) is covered by ``tests/service/test_fleet.py`` and
+CI's fleet-chaos-smoke job.
+"""
+
+import asyncio
+import contextlib
+import http.client
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import faultinject
+from repro.service import PlanningService, ServiceThread
+from repro.service.router import (
+    DOWN,
+    DRAINING,
+    UP,
+    FleetRouter,
+    HashRing,
+    LatencyWindow,
+    ShardState,
+    routing_key,
+)
+
+SMALL_PLAN = {
+    "devices": 4,
+    "vocab_size": "32k",
+    "microbatches": 8,
+    "simulate_top_k": 1,
+}
+
+
+@pytest.fixture(autouse=True)
+def disarm():
+    faultinject.reset()
+    yield
+    faultinject.reset()
+
+
+def request_raw(server, method, path, payload=None, timeout=120.0):
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=timeout)
+    try:
+        body = None if payload is None else json.dumps(payload)
+        conn.request(method, path, body=body)
+        response = conn.getresponse()
+        headers = {k.lower(): v for k, v in response.getheaders()}
+        return response.status, json.loads(response.read()), headers
+    finally:
+        conn.close()
+
+
+class TestRoutingKey:
+    def test_semantic_payloads_share_a_key(self):
+        # The routing key is the shard's own cache digest, so spelling
+        # variants and the deadline knob land on the same shard (and
+        # the same cache entry).
+        base = routing_key("/v1/plan", json.dumps(SMALL_PLAN).encode())
+        variant = dict(SMALL_PLAN, vocab_size=32768, deadline_ms=500)
+        assert routing_key("/v1/plan", json.dumps(variant).encode()) == base
+
+    def test_paths_do_not_collide(self):
+        body = json.dumps(SMALL_PLAN).encode()
+        assert routing_key("/v1/plan", body) != routing_key(
+            "/v1/whatif", body
+        )
+
+    def test_invalid_body_is_still_deterministic(self):
+        first = routing_key("/v1/plan", b"not json at all")
+        assert routing_key("/v1/plan", b"not json at all") == first
+        assert routing_key("/v1/plan", b"other garbage") != first
+
+
+class TestHashRing:
+    def test_order_is_deterministic_and_covers_all_nodes(self):
+        nodes = ["shard-0", "shard-1", "shard-2"]
+        ring = HashRing(nodes)
+        again = HashRing(list(nodes))
+        for i in range(50):
+            order = ring.order(f"key-{i}")
+            assert order == again.order(f"key-{i}")
+            assert sorted(order) == sorted(nodes)
+
+    def test_keys_spread_over_shards(self):
+        ring = HashRing(["shard-0", "shard-1", "shard-2"])
+        homes = {ring.order(f"key-{i}")[0] for i in range(200)}
+        assert homes == {"shard-0", "shard-1", "shard-2"}
+
+    def test_removing_a_node_only_moves_its_keys(self):
+        # Consistent hashing's point: keys not homed on the removed
+        # node keep their home (so caches stay warm through failover).
+        full = HashRing(["shard-0", "shard-1", "shard-2"])
+        reduced = HashRing(["shard-0", "shard-1"])
+        for i in range(200):
+            key = f"key-{i}"
+            home = full.order(key)[0]
+            if home != "shard-2":
+                assert reduced.order(key)[0] == home
+            else:
+                # Evicted keys land on their ring successor.
+                assert reduced.order(key)[0] == full.order(key)[1]
+
+    def test_empty_ring_is_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+
+
+class TestLatencyWindow:
+    def test_empty_window_has_no_p95(self):
+        assert LatencyWindow().p95() is None
+
+    def test_nearest_rank_p95(self):
+        window = LatencyWindow(size=100)
+        for ms in range(1, 101):
+            window.record(ms / 1000.0)
+        assert LatencyWindow(size=100).p95() is None
+        assert window.p95() == pytest.approx(0.095)
+
+    def test_window_is_bounded(self):
+        window = LatencyWindow(size=4)
+        for value in (10.0, 10.0, 10.0, 10.0, 0.001, 0.002, 0.003, 0.004):
+            window.record(value)
+        # The four old 10 s outliers have been overwritten.
+        assert window.p95() == pytest.approx(0.004)
+
+
+@contextlib.contextmanager
+def live_fleet(**router_kwargs):
+    """Two thread-executor shards behind a threaded FleetRouter.
+
+    The default hedge window is pushed out to 30 s so plan compute
+    (hundreds of ms) never trips an accidental hedge — hedging tests
+    opt in with an explicit tight window.
+    """
+    router_kwargs.setdefault("hedge_min_ms", 30000.0)
+    router_kwargs.setdefault("hedge_max_ms", 60000.0)
+    with contextlib.ExitStack() as stack:
+        running = [
+            stack.enter_context(
+                ServiceThread(
+                    PlanningService(port=0, executor="thread", lru_size=32)
+                )
+            )
+            for _ in range(2)
+        ]
+        shards = [
+            ShardState(
+                shard_id=f"shard-{i}", host=live.host, port=live.port,
+                state=UP,
+            )
+            for i, live in enumerate(running)
+        ]
+        router = FleetRouter(shards, port=0, **router_kwargs)
+        ready = threading.Event()
+        thread = threading.Thread(
+            target=lambda: asyncio.run(
+                router.serve_async(ready=lambda _: ready.set())
+            ),
+            daemon=True,
+        )
+        thread.start()
+        assert ready.wait(10), "router never came up"
+        try:
+            yield router, shards, running
+        finally:
+            router.request_shutdown()
+            thread.join(timeout=15)
+            assert not thread.is_alive(), "router thread leaked"
+
+
+def payload_homed_on(router, shard_id, path="/v1/plan"):
+    """A small plan payload whose ring home is ``shard_id``."""
+    for i in range(256):
+        payload = dict(SMALL_PLAN, pass_overhead=(i + 1) * 1e-9)
+        key = routing_key(path, json.dumps(payload).encode())
+        if router.ring.order(key)[0] == shard_id:
+            return payload
+    raise AssertionError(f"no payload homed on {shard_id}")
+
+
+class TestRouterOverLiveShards:
+    def test_routes_to_the_home_shard_and_reuses_its_cache(self):
+        with live_fleet() as (router, shards, _):
+            payload = payload_homed_on(router, "shard-0")
+            status, first, _ = request_raw(router, "POST", "/v1/plan", payload)
+            assert status == 200
+            status, second, _ = request_raw(
+                router, "POST", "/v1/plan", payload
+            )
+            assert status == 200
+            # Same home shard both times: the repeat is its LRU hit.
+            assert second["tier"] == "lru"
+            assert second["digest"] == first["digest"]
+            assert shards[0].requests == 2
+            assert shards[1].requests == 0
+
+    def test_healthz_and_stats_expose_per_shard_state(self):
+        with live_fleet() as (router, shards, _):
+            status, health, _ = request_raw(router, "GET", "/healthz")
+            assert status == 200
+            assert health["status"] == "ok"
+            assert health["shards_up"] == 2
+            assert health["shards"] == {"shard-0": UP, "shard-1": UP}
+
+            request_raw(
+                router, "POST", "/v1/plan",
+                payload_homed_on(router, "shard-1"),
+            )
+            status, stats, _ = request_raw(router, "GET", "/stats")
+            assert status == 200
+            fleet = stats["fleet"]
+            assert set(fleet["shards"]) == {"shard-0", "shard-1"}
+            snap = fleet["shards"]["shard-1"]
+            for field in (
+                "state", "restarts", "requests", "failures", "failovers",
+                "hedges_fired", "hedge_wins", "breaker", "p95_s",
+            ):
+                assert field in snap
+            assert snap["requests"] == 1
+            assert snap["breaker"]["state"] == "closed"
+            assert snap["p95_s"] > 0.0
+            # Shard counters are aggregated across the fleet.
+            assert stats["computed"] == 1
+
+    def test_down_home_fails_over_to_the_successor(self):
+        with live_fleet() as (router, shards, _):
+            payload = payload_homed_on(router, "shard-0")
+            shards[0].state = DOWN
+            status, body, _ = request_raw(router, "POST", "/v1/plan", payload)
+            assert status == 200
+            assert body["plan"]["best"] is not None
+            assert shards[0].failovers == 1
+            assert shards[1].requests == 1
+            assert router.errors == 0
+
+    def test_draining_home_is_skipped_without_breaker_penalty(self):
+        with live_fleet() as (router, shards, _):
+            payload = payload_homed_on(router, "shard-1")
+            shards[1].state = DRAINING
+            status, _, _ = request_raw(router, "POST", "/v1/plan", payload)
+            assert status == 200
+            assert shards[1].failovers == 1
+            assert shards[1].breaker.state == "closed"
+
+    def test_dead_port_trips_breaker_and_fails_over(self):
+        with live_fleet() as (router, shards, _):
+            # Point shard-0 at a port nothing listens on: still marked
+            # "up" (the supervisor has not noticed yet), so the router
+            # discovers the failure on the wire.
+            probe = socket.socket()
+            probe.bind(("127.0.0.1", 0))
+            dead_port = probe.getsockname()[1]
+            probe.close()
+            shards[0].port = dead_port
+            payload = payload_homed_on(router, "shard-0")
+            status, _, _ = request_raw(router, "POST", "/v1/plan", payload)
+            assert status == 200
+            assert shards[0].failures >= 1
+            assert shards[0].failovers >= 1
+            assert shards[0].breaker.state == "open"
+            assert router.errors == 0
+
+    def test_all_shards_down_is_503_with_retry_after(self):
+        with live_fleet() as (router, shards, _):
+            for shard in shards:
+                shard.state = DOWN
+            status, body, headers = request_raw(
+                router, "POST", "/v1/plan", SMALL_PLAN
+            )
+            assert status == 503
+            assert "no shard available" in body["error"]
+            assert int(headers["retry-after"]) >= 1
+            assert router.unrouted == 1
+
+    def test_slow_shard_fault_fires_a_winning_hedge(self):
+        faultinject.install("slow-shard:rate=1,delay_ms=600")
+        with live_fleet(hedge_min_ms=40.0, hedge_max_ms=80.0) as (
+            router, shards, _,
+        ):
+            payload = payload_homed_on(router, "shard-0")
+            started = time.monotonic()
+            status, body, _ = request_raw(router, "POST", "/v1/plan", payload)
+            elapsed = time.monotonic() - started
+            assert status == 200
+            assert body["plan"]["best"] is not None
+            assert shards[0].hedges_fired == 1
+            assert shards[0].hedge_wins == 1
+            assert shards[1].requests == 1  # the hedge ran there
+            # The hedge answered well before the injected 600 ms delay
+            # plus the compute would have.
+            assert elapsed < 60.0
+
+    def test_admin_restart_maps_accepted_to_200_and_busy_to_409(self):
+        calls = []
+
+        def on_restart():
+            calls.append(True)
+            if len(calls) == 1:
+                return True, "rolling restart started"
+            return False, "rolling restart already in progress"
+
+        with live_fleet() as (router, _, __):
+            router.on_restart = on_restart
+            status, body, _ = request_raw(router, "POST", "/admin/restart")
+            assert status == 200
+            assert body["status"] == "rolling restart started"
+            status, body, _ = request_raw(router, "POST", "/admin/restart")
+            assert status == 409
+            assert "in progress" in body["status"]
+
+    def test_method_and_route_errors(self):
+        with live_fleet() as (router, _, __):
+            status, body, _ = request_raw(router, "GET", "/v1/plan")
+            assert status == 405
+            assert body["allowed"] == ["POST"]
+            status, body, _ = request_raw(router, "GET", "/nope")
+            assert status == 404
+            assert {"method": "POST", "path": "/v1/plan"} in body["routes"]
+            assert {"method": "POST", "path": "/admin/restart"} in (
+                body["routes"]
+            )

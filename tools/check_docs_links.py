@@ -87,10 +87,15 @@ def cli_surface() -> dict[str, set[str]]:
 
 
 def service_routes() -> set[tuple[str, str]]:
-    """(method, path) pairs the planning service actually serves."""
-    from repro.service import ROUTES
+    """(method, path) pairs the planning service actually serves.
 
-    return {(route.method, route.path) for route in ROUTES}
+    The union of the single-process route table and the fleet router's
+    own control routes (``serve --fleet N``) — both documented in
+    ``docs/service.md``.
+    """
+    from repro.service import FLEET_ROUTES, ROUTES
+
+    return {(route.method, route.path) for route in ROUTES + FLEET_ROUTES}
 
 
 def check_route_coverage(routes: set[tuple[str, str]], text: str) -> list[str]:
