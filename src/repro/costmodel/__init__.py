@@ -6,8 +6,36 @@ and vocabulary layers, the activation-memory model of Korthikanti et
 al., a hardware description of the paper's A100 testbed, a kernel
 efficiency curve that converts FLOPs into seconds, and the MFU metric
 used throughout the evaluation.
+
+:mod:`repro.costmodel.calibrate` layers *measurement-calibrated*
+pluggable cost models on top: per-SKU :class:`HardwareProfile`\\ s with
+per-phase parameters fitted against simulator ground truth, a
+:class:`CalibrationReport` recording predicted-vs-simulated error per
+schedule family, and a :class:`CostModel` registry the planner resolves
+by name (``PlannerConstraints(cost_model="a100-sim")``).
 """
 
+from repro.costmodel.calibrate import (
+    BUILTIN_PROFILE,
+    COSTMODEL_VERSION,
+    FEATURE_NAMES,
+    AnalyticCostModel,
+    CalibratedCostModel,
+    CalibrationReport,
+    CostModel,
+    FamilyFit,
+    HardwareProfile,
+    PhaseFeatures,
+    builtin_profiles_dir,
+    calibration_grid,
+    check_profile,
+    evaluate_profile,
+    fit_profile,
+    get_cost_model,
+    list_cost_models,
+    register_cost_model,
+    resolve_cost_model,
+)
 from repro.costmodel.flops import (
     LayerFlops,
     input_layer_flops,
@@ -29,6 +57,25 @@ from repro.costmodel.efficiency import KernelEfficiencyModel
 from repro.costmodel.mfu import mfu, iteration_flops
 
 __all__ = [
+    "AnalyticCostModel",
+    "BUILTIN_PROFILE",
+    "COSTMODEL_VERSION",
+    "CalibratedCostModel",
+    "CalibrationReport",
+    "CostModel",
+    "FEATURE_NAMES",
+    "FamilyFit",
+    "HardwareProfile",
+    "PhaseFeatures",
+    "builtin_profiles_dir",
+    "calibration_grid",
+    "check_profile",
+    "evaluate_profile",
+    "fit_profile",
+    "get_cost_model",
+    "list_cost_models",
+    "register_cost_model",
+    "resolve_cost_model",
     "LayerFlops",
     "transformer_layer_flops",
     "input_layer_flops",

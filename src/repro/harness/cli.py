@@ -15,6 +15,11 @@ Subcommands:
 * ``scenarios`` — cluster scenarios (:mod:`repro.scenarios`): list and
   describe the registry, and price schedule robustness on non-ideal
   clusters with seeded Monte Carlo jitter;
+* ``calibrate`` — calibrated cost models
+  (:mod:`repro.costmodel.calibrate`): fit per-SKU hardware profiles
+  against simulator ground truth, re-measure predicted-vs-simulated
+  accuracy (``report``, with ``--check`` as a CI drift gate), and
+  inspect committed profiles (``show``);
 * ``whatif`` — price one single-device slowdown incrementally
   (:func:`repro.planner.whatif`): cone-limited delta replay over a
   resident compiled graph instead of a full re-plan;
@@ -39,6 +44,10 @@ Examples::
     repro-experiments scenarios describe --scenario slow-node
     repro-experiments scenarios run --scenario high-jitter --method vocab-1
     repro-experiments scenarios compare --scenario slow-node
+    repro-experiments plan --devices 8 --cost-model a100-sim --top-k all
+    repro-experiments calibrate fit --name a100-sim
+    repro-experiments calibrate report --quick --check
+    repro-experiments calibrate show --profile a100-sim
     repro-experiments whatif --devices 8 --method vocab-1 --device -1 --factor 1.3
     repro-experiments serve --port 8181 --cache-dir /tmp/plans
     repro-experiments all
@@ -60,6 +69,7 @@ SUBCOMMANDS = {
     "schedules": "ASCII schedule timelines (Figures 1/10)",
     "plan": "rank schedule families for a config (planner)",
     "scenarios": "cluster scenarios: robustness on non-ideal clusters",
+    "calibrate": "fit/inspect calibrated cost-model profiles",
     "whatif": "incremental single-device what-if (delta replay)",
     "serve": "HTTP planning service: coalescing + tiered caches",
     "all": "everything (several minutes)",
@@ -185,10 +195,17 @@ def _cmd_plan(args: argparse.Namespace) -> None:
     )
 
     try:
+        if args.cost_model is not None:
+            # Resolve up front: a typo fails here with the name list
+            # instead of inside a sweep worker.
+            from repro.costmodel.calibrate import get_cost_model
+
+            get_cost_model(args.cost_model)
         constraints = PlannerConstraints(
             memory_budget_gib=args.memory_budget,
             methods=tuple(args.methods) if args.methods else None,
             simulate_top_k=args.top_k,
+            cost_model=args.cost_model,
         )
         points = grid(
             devices=args.devices,
@@ -398,6 +415,109 @@ def _cmd_scenarios(args: argparse.Namespace) -> None:
     )
     for method, reason in skipped:
         print(f"  skipped {method:15s} {reason}")
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int | None:
+    import json
+    from pathlib import Path
+
+    from repro.costmodel.calibrate import (
+        HardwareProfile,
+        builtin_profiles_dir,
+        check_profile,
+        evaluate_profile,
+        fit_profile,
+        get_cost_model,
+    )
+
+    def load_profile() -> HardwareProfile:
+        """``--profile``: a JSON path, or a resolvable model name."""
+        spec = args.profile
+        if Path(spec).suffix == ".json" or "/" in spec:
+            try:
+                return HardwareProfile.load(spec)
+            except ValueError as error:
+                raise SystemExit(
+                    f"repro-experiments calibrate: error: {error}"
+                ) from None
+        try:
+            model = get_cost_model(spec)
+        except KeyError as error:
+            raise SystemExit(
+                f"repro-experiments calibrate: error: {error.args[0]}"
+            ) from None
+        try:
+            return model.profile
+        except NotImplementedError:
+            raise SystemExit(
+                f"repro-experiments calibrate: error: cost model {spec!r} "
+                "carries no hardware profile to inspect"
+            ) from None
+
+    if args.action == "fit":
+        try:
+            profile = fit_profile(
+                args.name,
+                quick=args.quick,
+                seed=0 if args.seed is None else args.seed,
+                engine=args.engine,
+            )
+        except ValueError as error:
+            raise SystemExit(
+                f"repro-experiments calibrate fit: error: {error}"
+            ) from None
+        out = Path(
+            args.out
+            if args.out is not None
+            else builtin_profiles_dir() / f"{args.name}.json"
+        )
+        profile.save(out)
+        if args.json:
+            print(profile.to_json(), end="")
+        else:
+            print(profile.report.render())
+            print(f"saved profile {profile.name!r} (digest {profile.digest()[:12]}) to {out}")
+        return None
+
+    profile = load_profile()
+    if args.action == "show":
+        if args.json:
+            print(profile.to_json(), end="")
+            return None
+        print(
+            f"profile {profile.name!r} — SKU {profile.sku}, "
+            f"seed {profile.seed}, digest {profile.digest()[:12]}, "
+            f"{'calibrated' if profile.calibrated else 'NOT calibrated (stale or unfitted)'}"
+        )
+        for fit in profile.fits:
+            params = ", ".join(
+                f"{feat}={value:+.4g}"
+                for feat, value in zip(profile.feature_names, fit.params)
+            )
+            print(f"  {fit.method:15s} {params}")
+        if profile.report is not None:
+            print()
+            print(profile.report.render())
+        return None
+
+    # report: re-measure against the current simulator (the drift gate).
+    fresh = evaluate_profile(profile, quick=args.quick, seed=args.seed)
+    if args.json:
+        print(json.dumps(fresh.as_dict(), indent=2))
+    else:
+        print(fresh.render())
+    if not args.check:
+        return None
+    problems = check_profile(profile, fresh, tolerance=args.tolerance)
+    if problems:
+        for problem in problems:
+            print(f"CHECK FAILED: {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"check ok: re-measured accuracy within {args.tolerance:g}x of the "
+        f"stored bounds for profile {profile.name!r}"
+    )
+    return None
 
 
 def _cmd_whatif(args: argparse.Namespace) -> None:
@@ -664,6 +784,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="price the plan under a registered cluster scenario "
         "(see 'repro-experiments scenarios list')",
     )
+    pl.add_argument(
+        "--cost-model", default=None, metavar="NAME",
+        help="price estimates with a calibrated cost-model profile "
+        "(see 'repro-experiments calibrate'); a calibrated profile "
+        "also trust-gates the top-k simulation (default: analytic)",
+    )
     _add_common(pl)
 
     sn = sub.add_parser("scenarios", help=SUBCOMMANDS["scenarios"])
@@ -707,6 +833,57 @@ def build_parser() -> argparse.ArgumentParser:
     sn.add_argument(
         "--json", action="store_true",
         help="emit machine-readable JSON instead of the ASCII table",
+    )
+
+    cb = sub.add_parser("calibrate", help=SUBCOMMANDS["calibrate"])
+    cb.add_argument(
+        "action", choices=["fit", "report", "show"],
+        help="fit a profile against simulator ground truth, re-measure a "
+        "profile's accuracy ('report', --check gates CI on drift), or "
+        "inspect a committed profile ('show')",
+    )
+    cb.add_argument(
+        "--name", default="a100-sim", metavar="NAME",
+        help="profile name to fit (default a100-sim)",
+    )
+    cb.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="where 'fit' writes the profile JSON (default: the built-in "
+        "profiles directory inside the package)",
+    )
+    cb.add_argument(
+        "--profile", default="a100-sim", metavar="NAME_OR_PATH",
+        help="profile for 'report'/'show': a resolvable cost-model name "
+        "or a profile JSON path (default a100-sim)",
+    )
+    cb.add_argument(
+        "--quick", action="store_true",
+        help="seeded subsample of the calibration grid instead of the "
+        "full Table 5/6 sweep (what CI runs)",
+    )
+    cb.add_argument(
+        "--seed", type=int, default=None,
+        help="grid seed (default: 0 for 'fit', the profile's own seed "
+        "for 'report')",
+    )
+    cb.add_argument(
+        "--engine", choices=["auto", "python", "numpy"], default="auto",
+        help="least-squares engine; both produce bit-identical fits "
+        "(default auto: numpy when installed)",
+    )
+    cb.add_argument(
+        "--check", action="store_true",
+        help="'report': exit non-zero when the profile is stale or the "
+        "re-measured error exceeds the stored bounds by > --tolerance x",
+    )
+    cb.add_argument(
+        "--tolerance", type=float, default=1.25, metavar="X",
+        help="--check slack on the stored per-family error bounds "
+        "(default 1.25)",
+    )
+    cb.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of the ASCII report",
     )
 
     wi = sub.add_parser("whatif", help=SUBCOMMANDS["whatif"])
@@ -850,6 +1027,7 @@ def main(argv: list[str] | None = None) -> int:
         "schedules": _cmd_schedules,
         "plan": _cmd_plan,
         "scenarios": _cmd_scenarios,
+        "calibrate": _cmd_calibrate,
         "whatif": _cmd_whatif,
         "serve": _cmd_serve,
         "all": _cmd_all,

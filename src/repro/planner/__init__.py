@@ -30,11 +30,14 @@ from repro.planner.estimate import (
     clear_probe_cache,
     estimate_method,
     infeasibility_reason,
+    phase_features,
+    probe_cache_stats,
 )
 from repro.planner.planner import (
     PlanCandidate,
     PlannerConstraints,
     RankedPlans,
+    TRUST_SAFETY,
     clear_plan_cache,
     default_plan_cache,
     plan,
@@ -69,6 +72,7 @@ __all__ = [
     "RankedPlans",
     "SweepOutcome",
     "SweepPoint",
+    "TRUST_SAFETY",
     "WhatifResult",
     "best_method_table",
     "clear_plan_cache",
@@ -83,10 +87,12 @@ __all__ = [
     "grid",
     "infeasibility_reason",
     "model_for_devices",
+    "phase_features",
     "plan",
     "plan_cache_key",
     "plan_point",
     "plan_points",
+    "probe_cache_stats",
     "shutdown_pools",
     "sweep",
     "whatif",

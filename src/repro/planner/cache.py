@@ -1,8 +1,13 @@
 """Plan-result caching keyed on a configuration digest.
 
 A plan is a pure function of its inputs (model shape, parallel config,
-constraints, hardware, memory model and the planner version), so the
-cache key is a SHA-256 over a canonical JSON rendering of all of them.
+constraints, hardware, memory model, the *content digest* of the active
+cost-model profile and the planner version), so the cache key is a
+SHA-256 over a canonical JSON rendering of all of them.  Carrying the
+profile's content digest — not just its name — means a re-fitted
+profile under the same name invalidates every dependent plan, estimate
+and probe entry instead of aliasing stale prices
+(see :meth:`repro.costmodel.calibrate.HardwareProfile.digest`).
 Dataclasses are serialized field by field; anything non-JSON falls back
 to ``repr``, which is stable for the frozen dataclasses used here.
 

@@ -25,6 +25,7 @@ import dataclasses
 from dataclasses import dataclass
 
 from repro.config import ModelConfig, ParallelConfig
+from repro.costmodel.calibrate import CostModel, resolve_cost_model
 from repro.costmodel.hardware import A100_SXM_80G, HardwareModel
 from repro.costmodel.memory import GiB, MemoryModel
 from repro.costmodel.mfu import mfu
@@ -55,7 +56,16 @@ from repro.sim import SimulationSetup
 #: 4: incremental what-if queries (the ``whatif`` aux namespace) and
 #: the ``jitter_devices`` scenario field, which changes the shape of
 #: every scenario signature.
-PLANNER_VERSION = 4
+#: 5: pluggable cost models — the active profile's content digest is
+#: part of every whole-plan and estimate digest, and trust-gated
+#: verification can shrink the simulated set.
+PLANNER_VERSION = 5
+
+#: Safety factor applied to a profile's reported family-level error
+#: bound before it may prove a candidate out of the simulated set: a
+#: candidate is skipped only when its error-inflated estimate *lower*
+#: bound still exceeds the leader's error-inflated *upper* bound.
+TRUST_SAFETY = 2.0
 
 #: Module-level default cache used when ``plan(..., cache=None)``.
 _DEFAULT_CACHE = PlanCache()
@@ -99,6 +109,16 @@ class PlannerConstraints:
     refine:
         Whether simulated candidates get the work-conserving order
         refinement pass (the paper's §6.1 profiling step).
+    cost_model:
+        Name of the cost model pricing the analytic estimates —
+        ``None``/``"analytic"`` for the fixed analytic model
+        (bit-identical to the historical planner), or a registered /
+        built-in :class:`~repro.costmodel.calibrate.HardwareProfile`
+        name (e.g. ``"a100-sim"``).  A *calibrated* profile
+        additionally enables trust-gated verification: candidates whose
+        error-inflated estimates provably lose to the leader are not
+        simulated (see :data:`TRUST_SAFETY`); uncalibrated or stale
+        profiles fall back to full top-k verification.
     """
 
     memory_budget_gib: float | None = None
@@ -106,8 +126,18 @@ class PlannerConstraints:
     simulate_top_k: int | None = 3
     estimate_margin: float = 1.15
     refine: bool = True
+    cost_model: str | None = None
 
     def __post_init__(self) -> None:
+        if self.cost_model is not None and not isinstance(self.cost_model, str):
+            raise ValueError(
+                "cost_model must be a registered cost-model name or None, "
+                f"got {self.cost_model!r}"
+            )
+        if self.cost_model == "analytic":
+            # Normalize the two spellings of the default model so they
+            # share one cache-key universe.
+            object.__setattr__(self, "cost_model", None)
         if self.memory_budget_gib is not None and self.memory_budget_gib <= 0:
             raise ValueError(
                 f"memory_budget_gib must be positive, got {self.memory_budget_gib}"
@@ -188,6 +218,12 @@ class RankedPlans:
     #: requested, the robustness objective.
     scenario: ClusterScenario | None = None
     robustness: RobustnessObjective | None = None
+    #: Cost model that priced the estimates (``"analytic"`` unless the
+    #: constraints named a profile), whether trust gating was active,
+    #: and which candidates it proved out of the simulated set.
+    cost_model: str = "analytic"
+    trust_gated: bool = False
+    trust_skipped: tuple[str, ...] = ()
 
     @property
     def best(self) -> PlanCandidate:
@@ -258,10 +294,18 @@ class RankedPlans:
         )
         if self.scenario is not None:
             title += f", scenario {self.scenario.name}"
+        if self.cost_model != "analytic":
+            title += f", cost model {self.cost_model}"
         headers = ["rank", "method", "source", "time(s)", "MFU%", "peakGB"]
         if robust:
             headers.append(f"{self.robustness.rank_by}(s)")
         text = format_table(headers, rows, title=title)
+        if self.trust_skipped:
+            text += (
+                "\ntrust-gated: skipped simulating "
+                + ", ".join(self.trust_skipped)
+                + " (estimate margin exceeds calibrated model error)"
+            )
         if self.rejected:
             lines = [text, "rejected:"]
             for c in self.rejected:
@@ -305,6 +349,7 @@ def _estimate_digest(
     hardware: HardwareModel,
     memory_model: MemoryModel,
     pass_overhead: float | None,
+    cost_model_digest: str,
 ) -> str:
     """Budget-independent key of one method's analytic estimate.
 
@@ -315,11 +360,13 @@ def _estimate_digest(
     *effective* hardware — a scenario's interconnect tiers land here,
     while its device speeds and jitter never enter the analytic
     estimate, so scenarios that only differ in those deliberately share
-    estimate entries.
+    estimate entries.  The cost-model *content* digest is part of the
+    key: two profiles (even two fits of the same SKU) never share
+    priced estimates.
     """
     return config_digest(
         "estimate", method, model, parallel, hardware, memory_model,
-        pass_overhead, PLANNER_VERSION,
+        pass_overhead, cost_model_digest, PLANNER_VERSION,
     )
 
 
@@ -370,6 +417,50 @@ def _robust_digest(
     )
 
 
+def _trust_gated_indexes(
+    priced: list,
+    top_k: int,
+    cost_model: CostModel,
+    *,
+    scenario_name: str | None,
+    robustness: RobustnessObjective | None,
+    budget_gib: float,
+) -> frozenset[int]:
+    """Indexes within the top-k whose simulation a calibrated model skips.
+
+    A candidate may be skipped only when the proof is airtight under
+    the profile's own accuracy report: its estimate deflated by
+    :data:`TRUST_SAFETY` × its family's max relative error still
+    exceeds the leader's estimate inflated the same way, so the
+    simulator could not rank it first.  Everything else falls back to
+    today's behaviour — uncalibrated/stale profiles (no error bounds),
+    scenarios the report does not cover, Monte Carlo ranking (the
+    quantile is not bounded by nominal error), memory-borderline
+    candidates (their fate is the simulated peak, not the time), and
+    the leader itself (something must always be verified).
+    """
+    if top_k <= 1 or robustness is not None or not cost_model.calibrated:
+        return frozenset()
+    scenario_key = scenario_name  # report rows: "nominal" or the scenario name
+    leader = priced[0][0]
+    leader_error = cost_model.error_bound(leader.method, scenario_key)
+    if leader_error is None or leader.estimated_peak_gb > budget_gib:
+        return frozenset()
+    leader_upper = leader.estimated_time * (1.0 + TRUST_SAFETY * leader_error)
+    gated = set()
+    for index in range(1, top_k):
+        candidate = priced[index][0]
+        if candidate.estimated_peak_gb > budget_gib:
+            continue
+        error = cost_model.error_bound(candidate.method, scenario_key)
+        if error is None:
+            continue
+        lower = candidate.estimated_time * (1.0 - TRUST_SAFETY * error)
+        if lower > leader_upper:
+            gated.add(index)
+    return frozenset(gated)
+
+
 def plan_cache_key(
     model: ModelConfig,
     parallel: ParallelConfig,
@@ -397,11 +488,15 @@ def plan_cache_key(
     if isinstance(robustness, str):
         robustness = RobustnessObjective(rank_by=robustness)
     scenario_sig = None if scenario is None else scenario.signature()
+    # The *content* digest of the named profile, not just its name: a
+    # re-fitted profile under the same name invalidates instead of
+    # aliasing stale plans.
+    cost_model_digest = resolve_cost_model(constraints.cost_model).digest()
     return config_digest(
         model, parallel, constraints, hardware, memory_model,
         pass_overhead, scenario_sig,
         None if robustness is None else robustness.as_dict(),
-        PLANNER_VERSION,
+        cost_model_digest, PLANNER_VERSION,
     )
 
 
@@ -475,6 +570,8 @@ def plan(
     budget_gib = _budget_gib(constraints, hardware)
     budget_bytes = budget_gib * GiB
     methods = constraints.methods or KNOWN_METHODS
+    cost_model = resolve_cost_model(constraints.cost_model)
+    cost_model_digest = cost_model.digest()
     setup_kwargs = {} if pass_overhead is None else {"pass_overhead": pass_overhead}
     setup = SimulationSetup(model, parallel, hardware=hardware, **setup_kwargs)
     # The scenario's interconnect lowered into the setup; device speeds
@@ -494,11 +591,11 @@ def plan(
             continue
         est_key = _estimate_digest(
             method, model, parallel, priced_setup.hardware, memory_model,
-            pass_overhead,
+            pass_overhead, cost_model_digest,
         )
         est = cache.get_aux("estimate", est_key)
         if est is None:
-            est = estimate_method(method, priced_setup, memory_model)
+            est = estimate_method(method, priced_setup, memory_model, cost_model)
             cache.put_aux("estimate", est_key, est)
         candidate = PlanCandidate(
             method=method,
@@ -526,12 +623,20 @@ def plan(
         if constraints.simulate_top_k is None
         else min(constraints.simulate_top_k, len(priced))
     )
+    gated = _trust_gated_indexes(
+        priced, top_k, cost_model,
+        scenario_name=None if scenario is None else scenario.name,
+        robustness=robustness,
+        budget_gib=budget_gib,
+    )
 
     def needs_simulation(index: int, candidate: PlanCandidate) -> bool:
         if top_k == 0:
             return False
         if index < top_k:
-            return True
+            # Trust-gated shrink: a calibrated profile's error bound
+            # already proved this candidate loses to the leader.
+            return index not in gated
         # Borderline memory (over budget but within the margin) can only
         # be settled by the simulator — the estimate is ~1 GiB accurate.
         return candidate.estimated_peak_gb > budget_gib
@@ -653,6 +758,9 @@ def plan(
         pass_overhead=pass_overhead,
         scenario=scenario,
         robustness=robustness,
+        cost_model=cost_model.name,
+        trust_gated=bool(gated),
+        trust_skipped=tuple(priced[i][0].method for i in sorted(gated)),
     )
     cache.put(key, plans)
     return plans

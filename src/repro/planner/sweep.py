@@ -61,6 +61,7 @@ from repro.harness.experiments import (
 from repro.harness.settings import TABLE1_SHAPES, TABLE2_SHAPES
 from repro.planner.cache import PlanCache
 from repro.planner.estimate import estimate_method, infeasibility_reason
+from repro.costmodel.calibrate import resolve_cost_model
 from repro.planner.planner import (
     PlannerConstraints,
     RankedPlans,
@@ -299,17 +300,21 @@ def _warm_binding_groups(
             m for m in methods
             if infeasibility_reason(m, model, parallel) is None
         ]
+        cost_model = resolve_cost_model(base.cost_model)
+        cost_model_digest = cost_model.digest()
         warm: set[str] = set()
         for setup, overhead in zip(setups, overheads):
             ranked = []
             for method in feasible:
                 est_key = _estimate_digest(
                     method, model, parallel, setup.hardware,
-                    _DEFAULT_MEMORY_MODEL, overhead,
+                    _DEFAULT_MEMORY_MODEL, overhead, cost_model_digest,
                 )
                 est = cache.get_aux("estimate", est_key)
                 if est is None:
-                    est = estimate_method(method, setup, _DEFAULT_MEMORY_MODEL)
+                    est = estimate_method(
+                        method, setup, _DEFAULT_MEMORY_MODEL, cost_model
+                    )
                     cache.put_aux("estimate", est_key, est)
                 ranked.append((est.iteration_time, method))
             ranked.sort()

@@ -204,6 +204,24 @@ def _scenario_name(payload: dict, field: str = "scenario") -> str | None:
     return name
 
 
+def _cost_model_name(payload: dict) -> str | None:
+    """``cost_model``: a resolvable cost-model name, or ``None``.
+
+    Resolved eagerly so an unknown profile is a 400 at validation time,
+    not a traceback inside a pool worker; only built-in names resolve
+    there (runtime registrations are process-local).
+    """
+    name = _field(payload, "cost_model", str, None)
+    if name is not None:
+        from repro.costmodel.calibrate import get_cost_model
+
+        try:
+            get_cost_model(name)
+        except KeyError as error:
+            raise RequestError(str(error.args[0])) from None
+    return name
+
+
 def _robustness(payload: dict) -> RobustnessObjective | None:
     """``robustness``: a quantile name or ``{rank_by, samples, seed}``."""
     value = payload.get("robustness")
@@ -238,7 +256,7 @@ def _robustness(payload: dict) -> RobustnessObjective | None:
 _PLAN_FIELDS = (
     "devices", "vocab_size", "seq_length", "microbatches",
     "memory_budget_gib", "pass_overhead", "scenario", "methods",
-    "simulate_top_k", "refine", "robustness",
+    "simulate_top_k", "refine", "robustness", "cost_model",
 )
 
 
@@ -264,6 +282,7 @@ class PlanRequest:
     simulate_top_k: int | None = 3
     refine: bool = True
     robustness: RobustnessObjective | None = None
+    cost_model: str | None = None
 
     @classmethod
     def from_payload(cls, payload: Any) -> PlanRequest:
@@ -294,6 +313,7 @@ class PlanRequest:
             simulate_top_k=_top_k(payload),
             refine=_field(payload, "refine", bool, True),
             robustness=_robustness(payload),
+            cost_model=_cost_model_name(payload),
         )
         if request.robustness is not None and request.scenario is None:
             raise RequestError(
@@ -329,6 +349,7 @@ class PlanRequest:
             methods=self.methods,
             simulate_top_k=self.simulate_top_k,
             refine=self.refine,
+            cost_model=self.cost_model,
         )
         scenario = None if self.scenario is None else get_scenario(self.scenario)
         return model, parallel, constraints, scenario, self.robustness
@@ -382,7 +403,7 @@ def execute_plan_request(
 _SWEEP_FIELDS = (
     "devices", "vocab_sizes", "seq_lengths", "microbatches",
     "memory_budgets_gib", "pass_overheads", "scenarios", "methods",
-    "simulate_top_k", "refine",
+    "simulate_top_k", "refine", "cost_model",
 )
 
 
@@ -437,6 +458,7 @@ class SweepRequest:
     methods: tuple[str, ...] | None = None
     simulate_top_k: int | None = 3
     refine: bool = True
+    cost_model: str | None = None
 
     @classmethod
     def from_payload(cls, payload: Any) -> SweepRequest:
@@ -475,6 +497,7 @@ class SweepRequest:
             methods=_methods_tuple(payload),
             simulate_top_k=_top_k(payload),
             refine=_field(payload, "refine", bool, True),
+            cost_model=_cost_model_name(payload),
         )
         if len(request.points()) > MAX_SWEEP_POINTS:
             raise RequestError(
@@ -499,6 +522,7 @@ class SweepRequest:
             methods=self.methods,
             simulate_top_k=self.simulate_top_k,
             refine=self.refine,
+            cost_model=self.cost_model,
         )
 
     def digest(self) -> str:
@@ -857,6 +881,9 @@ def plans_to_json(plans: RankedPlans) -> dict:
             None if plans.robustness is None else plans.robustness.as_dict()
         ),
         "cache_key": plans.cache_key,
+        "cost_model": plans.cost_model,
+        "trust_gated": plans.trust_gated,
+        "trust_skipped": list(plans.trust_skipped),
         "best": plans.ranked[0].method if plans.ranked else None,
         "ranked": [candidate_to_json(c) for c in plans.ranked],
         "rejected": [candidate_to_json(c) for c in plans.rejected],

@@ -1,0 +1,120 @@
+"""Accuracy regression for the committed reference profile.
+
+``src/repro/costmodel/profiles/a100-sim.json`` is the fitted reference
+the planner's trust-gated verification relies on.  These tests are the
+drift detector: if the estimator or simulator changes enough that the
+profile's stored per-family error bounds no longer hold, they fail and
+the fix is to re-fit (``repro-experiments calibrate fit``) — not to
+loosen the bounds.
+
+Everything prices the deterministic seed-0 quick grid so the suite
+stays in tier-1 time; CI's ``calibration-accuracy`` job runs the same
+check through the CLI (``calibrate report --quick --check``).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.costmodel import (
+    BUILTIN_PROFILE,
+    HardwareProfile,
+    builtin_profiles_dir,
+    check_profile,
+    evaluate_profile,
+    get_cost_model,
+)
+
+# The improvement the tentpole promises: fitted MARE at most half the
+# analytic model's on the same grid.
+IMPROVEMENT_RATIO = 0.5
+
+# Committed per-family max |relative error| ceilings (fraction, not %).
+# Intentionally a little above the fitted bounds so estimator noise
+# does not flap CI, but tight enough that real drift trips them.
+FAMILY_MAX_ERROR = {
+    "baseline": 0.04,
+    "redis": 0.04,
+    "interlaced": 0.08,
+    "vocab-1": 0.08,
+    "vocab-2": 0.08,
+    "vhalf-baseline": 0.04,
+    "vhalf-vocab-1": 0.04,
+    "vhalf-vocab-2": 0.04,
+}
+
+
+@pytest.fixture(scope="module")
+def profile() -> HardwareProfile:
+    return HardwareProfile.load(builtin_profiles_dir() / f"{BUILTIN_PROFILE}.json")
+
+
+@pytest.fixture(scope="module")
+def fresh_report(profile):
+    """Re-measured accuracy of the committed profile on the quick grid."""
+    return evaluate_profile(profile, quick=True, seed=0)
+
+
+class TestCommittedProfile:
+    def test_registered_and_calibrated(self, profile):
+        assert profile.name == BUILTIN_PROFILE
+        assert profile.calibrated
+        registered = get_cost_model(BUILTIN_PROFILE)
+        assert registered.profile.digest() == profile.digest()
+
+    def test_stored_report_meets_improvement_criterion(self, profile):
+        report = profile.report
+        assert report is not None
+        assert report.grid == "full"
+        assert report.mean_abs_rel_error <= (
+            IMPROVEMENT_RATIO * report.baseline_mean_abs_rel_error
+        )
+
+    def test_stored_bounds_under_committed_ceilings(self, profile):
+        for fit in profile.fits:
+            ceiling = FAMILY_MAX_ERROR[fit.method]
+            assert fit.max_abs_rel_error <= ceiling, (
+                f"{fit.method}: stored bound "
+                f"{100 * fit.max_abs_rel_error:.2f}% exceeds the committed "
+                f"ceiling {100 * ceiling:.2f}% — re-fit the profile"
+            )
+
+    def test_every_family_has_an_error_bound(self, profile):
+        from repro.harness.experiments import KNOWN_METHODS
+
+        for method in KNOWN_METHODS:
+            bound = profile.error_bound(method)
+            assert bound is not None and 0.0 < bound < 0.10, method
+
+
+class TestFreshEvaluation:
+    def test_check_profile_passes(self, profile, fresh_report):
+        problems = check_profile(profile, fresh_report, tolerance=1.25)
+        assert problems == [], "\n".join(problems)
+
+    def test_fresh_mare_still_halves_analytic(self, profile, fresh_report):
+        assert fresh_report.baseline_mean_abs_rel_error > 0.0
+        assert fresh_report.mean_abs_rel_error <= (
+            IMPROVEMENT_RATIO * fresh_report.baseline_mean_abs_rel_error
+        )
+
+    def test_fresh_errors_are_finite_and_sane(self, fresh_report):
+        for row in fresh_report.families:
+            assert math.isfinite(row.mean_abs_rel_error)
+            assert math.isfinite(row.max_abs_rel_error)
+            assert 0.0 <= row.mean_abs_rel_error <= row.max_abs_rel_error
+
+
+class TestProfileRoundTrip:
+    def test_json_round_trip_preserves_digest(self, profile, tmp_path):
+        path = profile.save(tmp_path / "copy.json")
+        again = HardwareProfile.load(path)
+        assert again == profile
+        assert again.digest() == profile.digest()
+
+    def test_uncalibrated_profile_has_no_bounds(self):
+        blank = HardwareProfile(name="blank")
+        assert not blank.calibrated
+        assert blank.error_bound("baseline") is None

@@ -192,6 +192,73 @@ class TestSweepValidation:
         assert len({a.digest(), b.digest(), c.digest()}) == 3
 
 
+class TestCostModelField:
+    def test_accepted_and_threaded_into_constraints(self):
+        request = PlanRequest.from_payload(
+            small_plan_payload(cost_model="a100-sim")
+        )
+        assert request.cost_model == "a100-sim"
+        constraints = request.resolve()[2]
+        assert constraints.cost_model == "a100-sim"
+
+    def test_default_is_analytic(self):
+        request = PlanRequest.from_payload(small_plan_payload())
+        assert request.cost_model is None
+        assert request.resolve()[2].cost_model is None
+        # "analytic" is normalized to the default spelling.
+        explicit = PlanRequest.from_payload(
+            small_plan_payload(cost_model="analytic")
+        )
+        assert explicit.resolve()[2].cost_model is None
+
+    def test_unknown_name_is_a_request_error(self):
+        with pytest.raises(RequestError, match="unknown cost model"):
+            PlanRequest.from_payload(small_plan_payload(cost_model="h100-???"))
+        with pytest.raises(RequestError, match="unknown cost model"):
+            SweepRequest.from_payload(
+                {
+                    "devices": [4],
+                    "vocab_sizes": ["32k"],
+                    "cost_model": "h100-???",
+                }
+            )
+
+    def test_digest_keyed_on_cost_model(self):
+        analytic = PlanRequest.from_payload(small_plan_payload())
+        explicit = PlanRequest.from_payload(
+            small_plan_payload(cost_model="analytic")
+        )
+        calibrated = PlanRequest.from_payload(
+            small_plan_payload(cost_model="a100-sim")
+        )
+        # "analytic" and the default are the SAME model — same digest;
+        # the calibrated profile's content digest separates it.
+        assert analytic.digest() == explicit.digest()
+        assert calibrated.digest() != analytic.digest()
+
+    def test_sweep_accepts_cost_model(self):
+        request = SweepRequest.from_payload(
+            {
+                "devices": [4],
+                "vocab_sizes": ["32k"],
+                "cost_model": "a100-sim",
+            }
+        )
+        assert request.constraints().cost_model == "a100-sim"
+
+    def test_plans_to_json_carries_trust_fields(self):
+        from repro.service.requests import plans_to_json
+
+        request = PlanRequest.from_payload(
+            small_plan_payload(cost_model="a100-sim", simulate_top_k="all")
+        )
+        data = plans_to_json(execute_plan_request(request))
+        assert data["cost_model"] == "a100-sim"
+        assert isinstance(data["trust_gated"], bool)
+        assert isinstance(data["trust_skipped"], list)
+        assert data["cache_key"] == request.digest()
+
+
 class TestScenarioValidation:
     def test_scenario_required(self):
         with pytest.raises(RequestError, match="scenario"):

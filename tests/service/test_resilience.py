@@ -411,18 +411,35 @@ class TestAdmissionOverHttp:
             ewma = service.admission.work_ewma_s
             assert ewma is not None and ewma >= 1.8
 
-            leader = threading.Thread(
-                target=request_raw,
-                args=(live, "POST", "/v1/plan",
-                      dict(SMALL_PLAN, pass_overhead=2e-9)),
-            )
+            # The leader re-takes the single slot until the probe has
+            # observed a shed: its first attempt can itself be shed if
+            # a probe wins the slot race.  Every payload is fresh so no
+            # request is answered from the LRU (cache hits bypass
+            # admission and would mask the 429 forever).
+            stop = threading.Event()
+
+            def occupy_slot():
+                attempt = 0
+                while not stop.is_set():
+                    attempt += 1
+                    status, _, _ = request_raw(
+                        live, "POST", "/v1/plan",
+                        dict(SMALL_PLAN, pass_overhead=2e-9 * attempt),
+                    )
+                    if status != 200:
+                        time.sleep(0.01)
+
+            leader = threading.Thread(target=occupy_slot)
             leader.start()
             try:
                 deadline = time.monotonic() + 10
+                probe = 0
+                status = None
                 while time.monotonic() < deadline:
+                    probe += 1
                     status, body, headers = request_raw(
                         live, "POST", "/v1/plan",
-                        dict(SMALL_PLAN, pass_overhead=3e-9),
+                        dict(SMALL_PLAN, pass_overhead=3e-9 + probe * 1e-12),
                     )
                     if status == 429:
                         break
@@ -435,6 +452,7 @@ class TestAdmissionOverHttp:
                     1, math.ceil(body["retry_after_s"])
                 )
             finally:
+                stop.set()
                 leader.join(timeout=30)
             snap = service.stats_payload()["resilience"]["admission"]
             assert snap["work_ewma_s"] is not None

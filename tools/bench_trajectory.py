@@ -12,6 +12,11 @@ the **compiled** engine (:mod:`repro.sim.compiled`):
 * ``dataflow_*`` — one work-conserving execution;
 * ``plan_*`` — one end-to-end :func:`repro.planner.planner.plan` call
   (enumerate → price → simulate top-k → rank) with a cold cache;
+* ``calibrated_plan_*`` — full verification (simulate *every* feasible
+  candidate) vs the same search trust-gated by the committed
+  ``a100-sim`` calibrated profile, which skips candidates its error
+  bounds prove out; top-1 identity with full verification is asserted
+  every run;
 * ``execute_many_*`` — pricing one compiled structure under 16 runtime
   bindings: the "reference" side loops ``rebind().replay()`` per
   binding, the "compiled" side is one batched
@@ -299,6 +304,50 @@ def measure_class(
         with engine("compiled"):
             plan_compiled = best_of(run_plan, rounds)
         add(f"plan_{tag}", plan_reference, plan_compiled)
+
+        # Trust-gated verification: full verification (simulate every
+        # feasible candidate) under the analytic model vs the same
+        # search under the committed calibrated profile, whose stored
+        # error bounds prove most candidates out of the simulated set.
+        # Unlike the panel-restricted plan_* class this searches the
+        # full 8-family space (a default plan() call): gating earns its
+        # keep on families whose estimates are provably apart, while
+        # near-ties stay simulated.  Both sides run the compiled engine
+        # on a cold per-call cache; the "reference" is the full-verify
+        # wall time the shrink saves, and top-1 identity is asserted,
+        # not assumed.
+        full_constraints = PlannerConstraints(simulate_top_k=None)
+        gated_constraints = PlannerConstraints(
+            simulate_top_k=None, cost_model="a100-sim"
+        )
+
+        def full_verify():
+            return plan(model, parallel, full_constraints, cache=PlanCache())
+
+        def gated_verify():
+            return plan(model, parallel, gated_constraints, cache=PlanCache())
+
+        with engine("compiled"):
+            full_plans = full_verify()
+            gated_plans = gated_verify()
+            assert full_plans.best.method == gated_plans.best.method, (
+                f"trust-gated top-1 {gated_plans.best.method} != "
+                f"full-verify top-1 {full_plans.best.method}"
+            )
+            full_verify_s = (
+                best_of(full_verify, rounds) if with_reference else None
+            )
+            gated_s = best_of(gated_verify, rounds)
+        add(
+            f"calibrated_plan_{tag}",
+            full_verify_s,
+            gated_s,
+            cost_model="a100-sim",
+            top1_match=1.0,
+            simulated_full=sum(c.simulated for c in full_plans.ranked),
+            simulated_gated=sum(c.simulated for c in gated_plans.ranked),
+            trust_skipped=len(gated_plans.trust_skipped),
+        )
 
         # Batched replay: one structure, BINDINGS runtime bindings.  The
         # reference side loops the pre-batch planner behaviour (a fresh
