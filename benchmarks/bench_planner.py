@@ -16,7 +16,7 @@ from repro.harness.settings import (
     VHALF_METHODS,
     parallel_for,
 )
-from repro.planner import PlanCache, PlannerConstraints, plan
+from repro.api import PlanCache, PlannerConstraints, plan
 
 from conftest import bench_microbatches
 

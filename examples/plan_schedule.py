@@ -17,7 +17,8 @@ Run:  python examples/plan_schedule.py
 """
 
 from repro import ModelConfig, ParallelConfig
-from repro.planner import PlannerConstraints, best_method_table, grid, plan, sweep
+from repro.api import PlannerConstraints, grid, plan, sweep
+from repro.planner.sweep import best_method_table
 
 
 def step1_rank_families() -> None:

@@ -33,7 +33,9 @@ from repro.config import ModelConfig, ParallelConfig, layers_per_stage
 from repro.vocab import VocabPartition
 
 #: NumPy-backed vocabulary layers are exported lazily (PEP 562) so the
-#: scheduling/simulation/planner stack imports without NumPy.
+#: scheduling/simulation/planner stack imports without NumPy; the
+#: :mod:`repro.api` facade names are lazy so ``import repro`` stays
+#: cheap for consumers that only want the config types.
 __getattr__, __dir__ = lazy_exports(
     "repro",
     {
@@ -41,6 +43,23 @@ __getattr__, __dir__ = lazy_exports(
         "OutputLayerAlg1": "repro.vocab",
         "OutputLayerAlg2": "repro.vocab",
         "VocabParallelEmbedding": "repro.vocab",
+        # The unified facade (PR 10): the supported import surface for
+        # downstream consumers — ``from repro import plan, whatif``.
+        # ``optimize`` is deliberately absent here: the name would
+        # collide with the ``repro.optimize`` subpackage; import it
+        # from :mod:`repro.api`.
+        "API_VERSION": "repro.api",
+        "OptimizedPlan": "repro.api",
+        "PlannerConstraints": "repro.api",
+        "RankedPlans": "repro.api",
+        "WhatifResult": "repro.api",
+        "calibrate": "repro.api",
+        "get_scenario": "repro.api",
+        "grid": "repro.api",
+        "list_scenarios": "repro.api",
+        "plan": "repro.api",
+        "sweep": "repro.api",
+        "whatif": "repro.api",
     },
     globals(),
 )
@@ -48,13 +67,25 @@ __getattr__, __dir__ = lazy_exports(
 __version__ = "1.0.0"
 
 __all__ = [
+    "API_VERSION",
     "ModelConfig",
+    "OptimizedPlan",
     "ParallelConfig",
-    "layers_per_stage",
+    "PlannerConstraints",
+    "RankedPlans",
     "VocabPartition",
+    "WhatifResult",
+    "layers_per_stage",
     "NaiveOutputLayer",
     "OutputLayerAlg1",
     "OutputLayerAlg2",
     "VocabParallelEmbedding",
+    "calibrate",
+    "get_scenario",
+    "grid",
+    "list_scenarios",
+    "plan",
+    "sweep",
+    "whatif",
     "__version__",
 ]

@@ -12,6 +12,11 @@ Subcommands:
 * ``plan`` — rank all schedule families for a configuration
   (:mod:`repro.planner`); accepts multiple ``--devices``/``--vocab``
   values and sweeps the grid in parallel;
+* ``optimize`` — rewrite-based schedule search
+  (:mod:`repro.optimize`): start from the best named family and search
+  semantics-preserving local rewrites (pass swaps, collective hoists,
+  activation handoffs, token splits) for a schedule the simulator
+  verifies as faster;
 * ``scenarios`` — cluster scenarios (:mod:`repro.scenarios`): list and
   describe the registry, and price schedule robustness on non-ideal
   clusters with seeded Monte Carlo jitter;
@@ -40,6 +45,8 @@ Examples::
     repro-experiments plan --devices 8 --vocab 128k
     repro-experiments plan --devices 8 16 --vocab 64k 256k --memory-budget 40
     repro-experiments plan --devices 8 --scenario slow-node
+    repro-experiments optimize --scenario slow-node --seed 0
+    repro-experiments optimize --devices 8 --strategy anneal --budget 128
     repro-experiments scenarios list
     repro-experiments scenarios describe --scenario slow-node
     repro-experiments scenarios run --scenario high-jitter --method vocab-1
@@ -68,6 +75,7 @@ SUBCOMMANDS = {
     "appendix-b": "Appendix B: interlaced ablation",
     "schedules": "ASCII schedule timelines (Figures 1/10)",
     "plan": "rank schedule families for a config (planner)",
+    "optimize": "rewrite-based search for a schedule beating the families",
     "scenarios": "cluster scenarios: robustness on non-ideal clusters",
     "calibrate": "fit/inspect calibrated cost-model profiles",
     "whatif": "incremental single-device what-if (delta replay)",
@@ -111,6 +119,35 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default=128,
         help="microbatches per iteration (paper: 128)",
     )
+
+
+def _add_format(parser: argparse.ArgumentParser) -> None:
+    """The uniform ``--format {table,json}`` pair (+ legacy ``--json``)."""
+    parser.add_argument(
+        "--format", choices=["table", "json"], default="table",
+        help="output format (default table)",
+    )
+    parser.add_argument(
+        "--json", action="store_const", dest="format", const="json",
+        help="deprecated alias for --format json",
+    )
+
+
+def _add_scenario(parser: argparse.ArgumentParser, help_: str) -> None:
+    parser.add_argument("--scenario", default=None, metavar="NAME", help=help_)
+
+
+def _add_cost_model(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cost-model", default=None, metavar="NAME",
+        help="price estimates with a calibrated cost-model profile "
+        "(see 'repro-experiments calibrate'); a calibrated profile "
+        "also trust-gates the top-k simulation (default: analytic)",
+    )
+
+
+def _add_seed(parser: argparse.ArgumentParser, help_: str) -> None:
+    parser.add_argument("--seed", type=int, default=0, help=help_)
 
 
 def _cmd_fig2(_args: argparse.Namespace) -> None:
@@ -186,13 +223,11 @@ def _cmd_schedules(args: argparse.Namespace) -> None:
 
 
 def _cmd_plan(args: argparse.Namespace) -> None:
-    from repro.planner import (
-        PlannerConstraints,
-        best_method_table,
-        grid,
-        plan_point,
-        sweep,
-    )
+    import json
+
+    from repro.planner.planner import PlannerConstraints
+    from repro.planner.sweep import best_method_table, grid, plan_point, sweep
+    from repro.service.requests import plans_to_json, sweep_to_json
 
     try:
         if args.cost_model is not None:
@@ -217,11 +252,13 @@ def _cmd_plan(args: argparse.Namespace) -> None:
             scenarios=[args.scenario],
         )
         if len(points) == 1:
-            print(
-                plan_point(
-                    points[0], constraints, cache_dir=args.cache_dir
-                ).plans.render()
-            )
+            plans = plan_point(
+                points[0], constraints, cache_dir=args.cache_dir
+            ).plans
+            if args.format == "json":
+                print(json.dumps(plans_to_json(plans), indent=2))
+            else:
+                print(plans.render())
             return
         outcomes = sweep(
             points,
@@ -242,16 +279,73 @@ def _cmd_plan(args: argparse.Namespace) -> None:
             else error
         )
         raise SystemExit(f"repro-experiments plan: error: {message}") from None
+    if args.format == "json":
+        print(json.dumps(sweep_to_json(outcomes), indent=2))
+        return
     for outcome in outcomes:
         print(outcome.plans.render())
         print()
     print(best_method_table(outcomes))
 
 
+def _cmd_optimize(args: argparse.Namespace) -> None:
+    import json
+
+    from repro.config import ParallelConfig
+    from repro.optimize import optimize
+    from repro.planner.cache import PlanCache
+    from repro.planner.planner import PlannerConstraints
+    from repro.planner.sweep import model_for_devices
+
+    try:
+        if args.cost_model is not None:
+            from repro.costmodel.calibrate import get_cost_model
+
+            get_cost_model(args.cost_model)
+        model = model_for_devices(args.devices, args.seq, args.vocab)
+        parallel = ParallelConfig(
+            pipeline_size=args.devices,
+            num_microbatches=args.microbatches,
+            microbatch_size=1,
+        )
+        constraints = PlannerConstraints(
+            memory_budget_gib=args.memory_budget,
+            methods=tuple(args.methods) if args.methods else None,
+            cost_model=args.cost_model,
+        )
+        cache = (
+            PlanCache(args.cache_dir) if args.cache_dir is not None else None
+        )
+        result = optimize(
+            model,
+            parallel,
+            constraints,
+            cache=cache,
+            pass_overhead=args.pass_overhead,
+            scenario=args.scenario,
+            strategy=args.strategy,
+            seed=args.seed,
+            budget=args.budget,
+        )
+    except (ValueError, KeyError) as error:
+        message = (
+            error.args[0]
+            if isinstance(error, KeyError) and error.args
+            else error
+        )
+        raise SystemExit(
+            f"repro-experiments optimize: error: {message}"
+        ) from None
+    if args.format == "json":
+        print(json.dumps(result.as_dict(), indent=2))
+        return
+    print(result.render())
+
+
 def _scenario_model(args: argparse.Namespace):
     """Model/parallel configuration of one ``scenarios`` invocation."""
     from repro.config import ParallelConfig
-    from repro.planner import model_for_devices
+    from repro.planner.sweep import model_for_devices
 
     model = model_for_devices(args.devices, args.seq, args.vocab)
     parallel = ParallelConfig(
@@ -299,7 +393,7 @@ def _cmd_scenarios(args: argparse.Namespace) -> None:
 
     if args.action == "list":
         scenarios = list_scenarios()
-        if args.json:
+        if args.format == "json":
             print(
                 json.dumps(
                     [
@@ -338,7 +432,7 @@ def _cmd_scenarios(args: argparse.Namespace) -> None:
     scenario = require_scenario()
     model, parallel = _scenario_model(args)
     from repro.harness.experiments import KNOWN_METHODS
-    from repro.planner import infeasibility_reason
+    from repro.planner.estimate import infeasibility_reason
 
     if args.action == "run":
         methods = [args.method]
@@ -369,7 +463,7 @@ def _cmd_scenarios(args: argparse.Namespace) -> None:
     # Robust ranking: the objective quantile, method name as tie-break.
     results.sort(key=lambda item: (item[1].p95_time, item[0]))
 
-    if args.json:
+    if args.format == "json":
         print(
             json.dumps(
                 {
@@ -472,7 +566,7 @@ def _cmd_calibrate(args: argparse.Namespace) -> int | None:
             else builtin_profiles_dir() / f"{args.name}.json"
         )
         profile.save(out)
-        if args.json:
+        if args.format == "json":
             print(profile.to_json(), end="")
         else:
             print(profile.report.render())
@@ -481,7 +575,7 @@ def _cmd_calibrate(args: argparse.Namespace) -> int | None:
 
     profile = load_profile()
     if args.action == "show":
-        if args.json:
+        if args.format == "json":
             print(profile.to_json(), end="")
             return None
         print(
@@ -502,7 +596,7 @@ def _cmd_calibrate(args: argparse.Namespace) -> int | None:
 
     # report: re-measure against the current simulator (the drift gate).
     fresh = evaluate_profile(profile, quick=args.quick, seed=args.seed)
-    if args.json:
+    if args.format == "json":
         print(json.dumps(fresh.as_dict(), indent=2))
     else:
         print(fresh.render())
@@ -524,7 +618,8 @@ def _cmd_whatif(args: argparse.Namespace) -> None:
     import json
 
     from repro.harness.tables import format_table
-    from repro.planner import PlanCache, whatif
+    from repro.planner.cache import PlanCache
+    from repro.planner.whatif import whatif
 
     try:
         model, parallel = _scenario_model(args)
@@ -550,7 +645,7 @@ def _cmd_whatif(args: argparse.Namespace) -> None:
         raise SystemExit(
             f"repro-experiments whatif: error: {message}"
         ) from None
-    if args.json:
+    if args.format == "json":
         print(json.dumps(result.as_dict(), indent=2))
         return
     title = (
@@ -779,18 +874,60 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None, metavar="DIR",
         help="disk-backed plan cache shared across invocations and workers",
     )
-    pl.add_argument(
-        "--scenario", default=None, metavar="NAME",
-        help="price the plan under a registered cluster scenario "
+    _add_scenario(
+        pl,
+        "price the plan under a registered cluster scenario "
         "(see 'repro-experiments scenarios list')",
     )
-    pl.add_argument(
-        "--cost-model", default=None, metavar="NAME",
-        help="price estimates with a calibrated cost-model profile "
-        "(see 'repro-experiments calibrate'); a calibrated profile "
-        "also trust-gates the top-k simulation (default: analytic)",
-    )
+    _add_cost_model(pl)
+    _add_format(pl)
     _add_common(pl)
+
+    op = sub.add_parser("optimize", help=SUBCOMMANDS["optimize"])
+    op.add_argument(
+        "--devices", type=int, default=8, help="pipeline device count"
+    )
+    op.add_argument(
+        "--vocab", type=_parse_vocab, default=128 * 1024, metavar="SIZE",
+        help="vocabulary size, e.g. 128k or 131072",
+    )
+    op.add_argument("--seq", type=int, default=2048, help="sequence length")
+    op.add_argument(
+        "--microbatches", type=int, default=16,
+        help="microbatches per iteration (default 16 — small enough to "
+        "keep the search interactive, with token-split headroom)",
+    )
+    op.add_argument(
+        "--memory-budget", type=float, default=None, metavar="GIB",
+        help="per-device peak-memory budget in GiB (default: the A100's 80)",
+    )
+    op.add_argument(
+        "--methods", nargs="+", default=None, metavar="METHOD",
+        help="restrict the starting named families",
+    )
+    op.add_argument(
+        "--strategy", choices=["greedy", "anneal"], default="greedy",
+        help="search strategy (default greedy; anneal accepts uphill "
+        "moves on a cooling temperature)",
+    )
+    op.add_argument(
+        "--budget", type=int, default=96, metavar="N",
+        help="oracle evaluations the search may spend (default 96)",
+    )
+    op.add_argument(
+        "--pass-overhead", type=float, default=None, metavar="S",
+        help="per-pass host overhead binding in seconds",
+    )
+    op.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="disk-backed plan cache shared with plan/serve runs",
+    )
+    _add_seed(op, "seed for the search's random decisions (default 0)")
+    _add_scenario(
+        op, "optimize under a registered cluster scenario's runtime"
+    )
+    _add_cost_model(op)
+    _add_format(op)
 
     sn = sub.add_parser("scenarios", help=SUBCOMMANDS["scenarios"])
     sn.add_argument(
@@ -798,9 +935,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="list/describe the registry, or price one method ('run') / "
         "all schedule families ('compare') under a scenario",
     )
-    sn.add_argument(
-        "--scenario", default=None, metavar="NAME",
-        help="registered scenario name (required for describe/run/compare)",
+    _add_scenario(
+        sn, "registered scenario name (required for describe/run/compare)"
     )
     sn.add_argument(
         "--method", default="vocab-1", metavar="METHOD",
@@ -826,14 +962,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--samples", type=int, default=256, metavar="K",
         help="Monte Carlo jitter samples per method (default 256)",
     )
-    sn.add_argument(
-        "--seed", type=int, default=0,
-        help="sample seed combined with the scenario's base seed",
-    )
-    sn.add_argument(
-        "--json", action="store_true",
-        help="emit machine-readable JSON instead of the ASCII table",
-    )
+    _add_seed(sn, "sample seed combined with the scenario's base seed")
+    _add_format(sn)
 
     cb = sub.add_parser("calibrate", help=SUBCOMMANDS["calibrate"])
     cb.add_argument(
@@ -881,10 +1011,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="--check slack on the stored per-family error bounds "
         "(default 1.25)",
     )
-    cb.add_argument(
-        "--json", action="store_true",
-        help="emit machine-readable JSON instead of the ASCII report",
-    )
+    _add_format(cb)
 
     wi = sub.add_parser("whatif", help=SUBCOMMANDS["whatif"])
     wi.add_argument(
@@ -912,18 +1039,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--pass-overhead", type=float, default=None, metavar="S",
         help="per-pass host overhead binding in seconds",
     )
-    wi.add_argument(
-        "--scenario", default=None, metavar="NAME",
-        help="price the baseline under a registered cluster scenario",
+    _add_scenario(
+        wi, "price the baseline under a registered cluster scenario"
     )
     wi.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="disk-backed plan cache shared with plan/serve runs",
     )
-    wi.add_argument(
-        "--json", action="store_true",
-        help="emit machine-readable JSON instead of the ASCII table",
-    )
+    _add_format(wi)
     _add_common(wi)
 
     sv = sub.add_parser("serve", help=SUBCOMMANDS["serve"])
@@ -1026,6 +1149,7 @@ def main(argv: list[str] | None = None) -> int:
         "appendix-b": _cmd_appendix_b,
         "schedules": _cmd_schedules,
         "plan": _cmd_plan,
+        "optimize": _cmd_optimize,
         "scenarios": _cmd_scenarios,
         "calibrate": _cmd_calibrate,
         "whatif": _cmd_whatif,

@@ -151,7 +151,8 @@ def run_plan(
     :class:`~repro.planner.planner.RankedPlans` (render()-able like
     every other runner result).
     """
-    from repro.planner import PlannerConstraints, SweepPoint, plan_point
+    from repro.planner.planner import PlannerConstraints
+    from repro.planner.sweep import SweepPoint, plan_point
 
     constraints = PlannerConstraints(
         memory_budget_gib=memory_budget_gib,

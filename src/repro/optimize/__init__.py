@@ -1,0 +1,64 @@
+"""Rewrite-based schedule search beyond the named families.
+
+Public surface: :func:`optimize` / :class:`OptimizedPlan` (the entry
+point and its result), the IR (:class:`ScheduleIR`,
+:class:`DependenceIndex`), the rewrite catalog
+(:func:`default_rewrites` and the concrete :class:`Rewrite` classes)
+and the search strategies (:func:`get_strategy`,
+:data:`STRATEGY_NAMES`).
+"""
+
+from repro.optimize.ir import DependenceIndex, ScheduleIR
+from repro.optimize.optimizer import (
+    DEFAULT_BUDGET,
+    OPTIMIZER_VERSION,
+    OptimizedPlan,
+    optimize,
+    optimize_cache_key,
+)
+from repro.optimize.rewrites import (
+    ActivationHandoff,
+    HoistCollective,
+    Rewrite,
+    RewriteContext,
+    RewriteStep,
+    SwapAdjacent,
+    TokenSplit,
+    default_rewrites,
+)
+from repro.optimize.search import (
+    STRATEGY_NAMES,
+    AnnealingStrategy,
+    GreedyStrategy,
+    ScoreContext,
+    ScoredCandidate,
+    SearchStrategy,
+    TokenSplitRuntime,
+    get_strategy,
+)
+
+__all__ = [
+    "DEFAULT_BUDGET",
+    "OPTIMIZER_VERSION",
+    "ActivationHandoff",
+    "AnnealingStrategy",
+    "DependenceIndex",
+    "GreedyStrategy",
+    "HoistCollective",
+    "OptimizedPlan",
+    "Rewrite",
+    "RewriteContext",
+    "RewriteStep",
+    "STRATEGY_NAMES",
+    "ScheduleIR",
+    "ScoreContext",
+    "ScoredCandidate",
+    "SearchStrategy",
+    "SwapAdjacent",
+    "TokenSplit",
+    "TokenSplitRuntime",
+    "default_rewrites",
+    "get_strategy",
+    "optimize",
+    "optimize_cache_key",
+]

@@ -50,7 +50,8 @@ from concurrent.futures import BrokenExecutor
 from dataclasses import dataclass, field
 
 from repro import faultinject
-from repro.planner import PlanCache
+from repro.api import API_VERSION
+from repro.planner.cache import PlanCache
 from repro.planner.sweep import (
     discard_pool,
     get_pool,
@@ -59,11 +60,13 @@ from repro.planner.sweep import (
 )
 from repro.service.lru import LRUPlanTier
 from repro.service.requests import (
+    OptimizeRequest,
     PlanRequest,
     RequestError,
     ScenarioRequest,
     SweepRequest,
     WhatifRequest,
+    execute_optimize_request,
     execute_plan_request,
     execute_scenario_request,
     execute_sweep_request,
@@ -190,8 +193,50 @@ ROUTES: tuple[Route, ...] = (
         "POST", "/v1/whatif",
         "price a single-device slowdown by incremental delta replay",
     ),
+    Route(
+        "POST", "/v1/optimize",
+        "rewrite-based search for a schedule beating the named families",
+    ),
     Route("POST", "/shutdown", "graceful shutdown (drains in-flight work)"),
 )
+
+
+def envelope(result, *, digest: str, cache: str, started: float) -> dict:
+    """The uniform ``/v1/*`` success body.
+
+    Every planning endpoint answers ``{"api_version", "result",
+    "meta"}``: the result object under ``result``, provenance under
+    ``meta`` (``digest`` — the request's normalized cache key,
+    ``cache`` — which tier answered, ``timings`` — wall-clock serving
+    time).  ``meta.timings`` varies per request; response-identity
+    checks must compare ``meta.digest`` + ``result``, never raw bytes.
+    """
+    return {
+        "api_version": API_VERSION,
+        "result": result,
+        "meta": {
+            "digest": digest,
+            "cache": cache,
+            "timings": {
+                "total_ms": round((time.monotonic() - started) * 1e3, 3)
+            },
+        },
+    }
+
+
+def error_body(code: str, message: str, hint: str | None = None,
+               **extra) -> dict:
+    """The uniform error body: ``{"api_version", "error": {...}}``.
+
+    ``code`` is a stable machine-readable slug, ``message`` the human
+    diagnosis, ``hint`` what the client should do about it.  Extra
+    fields (``retry_after_s``, ``allowed``, ``routes``) ride inside the
+    error object.
+    """
+    return {
+        "api_version": API_VERSION,
+        "error": {"code": code, "message": message, "hint": hint, **extra},
+    }
 
 
 @dataclass
@@ -417,6 +462,7 @@ class PlanningService:
     # -- endpoint handlers ----------------------------------------------
 
     async def _post_plan(self, payload, tenant: str = "") -> dict:
+        started = time.monotonic()
         request = PlanRequest.from_payload(payload)
         key = request.digest()
         tier, plans = await self._resolve(
@@ -429,9 +475,12 @@ class PlanningService:
             klass="/v1/plan",
             tenant=tenant,
         )
-        return {"tier": tier, "digest": key, "plan": plans_to_json(plans)}
+        return envelope(
+            plans_to_json(plans), digest=key, cache=tier, started=started
+        )
 
     async def _post_sweep(self, payload, tenant: str = "") -> dict:
+        started = time.monotonic()
         request = SweepRequest.from_payload(payload)
         key = request.digest()
         # No whole-request disk tier: the per-point plans inside the
@@ -446,9 +495,12 @@ class PlanningService:
             klass="/v1/sweep",
             tenant=tenant,
         )
-        return {"tier": tier, "digest": key, "sweep": sweep_to_json(outcomes)}
+        return envelope(
+            sweep_to_json(outcomes), digest=key, cache=tier, started=started
+        )
 
     async def _post_scenarios(self, payload, tenant: str = "") -> dict:
+        started = time.monotonic()
         request = ScenarioRequest.from_payload(payload)
         key = request.digest()
         tier, result = await self._resolve(
@@ -458,9 +510,10 @@ class PlanningService:
             klass="/v1/scenarios",
             tenant=tenant,
         )
-        return {"tier": tier, "digest": key, "scenarios": result}
+        return envelope(result, digest=key, cache=tier, started=started)
 
     async def _post_whatif(self, payload, tenant: str = "") -> dict:
+        started = time.monotonic()
         request = WhatifRequest.from_payload(payload)
         key = request.digest()
         # Same tiering as /v1/plan: the worker stores the rendered
@@ -475,7 +528,25 @@ class PlanningService:
             klass="/v1/whatif",
             tenant=tenant,
         )
-        return {"tier": tier, "digest": key, "whatif": result}
+        return envelope(result, digest=key, cache=tier, started=started)
+
+    async def _post_optimize(self, payload, tenant: str = "") -> dict:
+        started = time.monotonic()
+        request = OptimizeRequest.from_payload(payload)
+        key = request.digest()
+        # Same tiering as /v1/whatif: the worker stores the rendered
+        # payload under the same digest, so the disk probe can hit.
+        tier, result = await self._resolve(
+            key,
+            functools.partial(
+                execute_optimize_request, request, self.cache_dir,
+                self.max_cache_entries,
+            ),
+            disk=True,
+            klass="/v1/optimize",
+            tenant=tenant,
+        )
+        return envelope(result, digest=key, cache=tier, started=started)
 
     def _healthz_payload(self) -> dict:
         return {
@@ -551,16 +622,21 @@ class PlanningService:
         route = {(r.method, r.path): r for r in ROUTES}.get((method, path))
         if route is None:
             if path in known_paths:
-                return 405, {
-                    "error": f"{method} not allowed on {path}",
-                    "allowed": [r.method for r in ROUTES if r.path == path],
-                }, {}
-            return 404, {
-                "error": f"no route for {path}",
-                "routes": [
+                allowed = [r.method for r in ROUTES if r.path == path]
+                return 405, error_body(
+                    "method_not_allowed",
+                    f"{method} not allowed on {path}",
+                    hint=f"use {' or '.join(allowed)}",
+                    allowed=allowed,
+                ), {}
+            return 404, error_body(
+                "not_found",
+                f"no route for {path}",
+                hint="see the error's 'routes' list for served endpoints",
+                routes=[
                     {"method": r.method, "path": r.path} for r in ROUTES
                 ],
-            }, {}
+            ), {}
         self.stats.count(path)
         if path == "/healthz":
             return 200, self._healthz_payload(), {}
@@ -573,21 +649,26 @@ class PlanningService:
             return 200, {"status": "shutting-down"}, {}
         if self._shutdown_event is not None and self._shutdown_event.is_set():
             # Draining: in-flight work completes, new work is refused.
-            return 503, {"error": "service is shutting down"}, {
-                "Retry-After": "1"
-            }
+            return 503, error_body(
+                "shutting_down",
+                "service is shutting down",
+                hint="retry against another shard or after a restart",
+            ), {"Retry-After": "1"}
         try:
             payload = json.loads(body.decode("utf-8")) if body else {}
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
             self.stats.errors += 1
-            return 400, {
-                "error": f"request body is not valid JSON: {error}"
-            }, {}
+            return 400, error_body(
+                "bad_request",
+                f"request body is not valid JSON: {error}",
+                hint="send a JSON object with the endpoint's fields",
+            ), {}
         handler = {
             "/v1/plan": self._post_plan,
             "/v1/sweep": self._post_sweep,
             "/v1/scenarios": self._post_scenarios,
             "/v1/whatif": self._post_whatif,
+            "/v1/optimize": self._post_optimize,
         }[path]
         try:
             deadline_s = pop_deadline(payload, self.default_deadline_ms)
@@ -600,27 +681,35 @@ class PlanningService:
         except Shed as shed:
             self.stats.shed += 1
             retry_after = max(1, math.ceil(shed.retry_after_s))
-            return 429, {
-                "error": shed.reason,
-                "retry_after_s": shed.retry_after_s,
-            }, {"Retry-After": str(retry_after)}
+            return 429, error_body(
+                "rate_limited",
+                shed.reason,
+                hint="retry after retry_after_s seconds",
+                retry_after_s=shed.retry_after_s,
+            ), {"Retry-After": str(retry_after)}
         except asyncio.TimeoutError:
             self.stats.deadline_timeouts += 1
-            return 504, {
-                "error": (
-                    f"deadline of {deadline_s * 1000:g} ms exceeded; the "
-                    "computation continues and will be served from cache"
-                ),
-            }, {}
+            return 504, error_body(
+                "deadline_exceeded",
+                f"deadline of {deadline_s * 1000:g} ms exceeded",
+                hint="the computation continues and will be served from "
+                "cache; retry with a laxer deadline_ms",
+            ), {}
         except RequestError as error:
             self.stats.errors += 1
-            return 400, {"error": str(error)}, {}
+            return 400, error_body(
+                "bad_request", str(error),
+                hint="fix the request body and resend",
+            ), {}
         except asyncio.CancelledError:
             raise
         except Exception as error:  # noqa: BLE001 - the service must not die
             self.stats.errors += 1
             logger.exception("unhandled error serving %s %s", method, path)
-            return 500, {"error": f"{type(error).__name__}: {error}"}, {}
+            return 500, error_body(
+                "internal", f"{type(error).__name__}: {error}",
+                hint="inspect the service log for the traceback",
+            ), {}
 
     @staticmethod
     def _render(
@@ -655,7 +744,15 @@ class PlanningService:
                     )
                 except RequestError as error:
                     writer.write(
-                        self._render(400, {"error": str(error)}, close=True)
+                        self._render(
+                            400,
+                            error_body(
+                                "bad_request",
+                                str(error),
+                                hint="send a well-formed HTTP/1.1 request",
+                            ),
+                            close=True,
+                        )
                     )
                     await writer.drain()
                     break

@@ -29,23 +29,29 @@ from typing import Any
 
 from repro.config import ModelConfig, ParallelConfig
 from repro.harness.experiments import KNOWN_METHODS
-from repro.planner import (
-    PlanCache,
+from repro.optimize import (
+    DEFAULT_BUDGET,
+    STRATEGY_NAMES,
+    optimize,
+    optimize_cache_key,
+)
+from repro.planner.cache import PlanCache, config_digest
+from repro.planner.estimate import infeasibility_reason
+from repro.planner.planner import (
+    PLANNER_VERSION,
     PlannerConstraints,
     RankedPlans,
-    SweepOutcome,
-    SweepPoint,
-    config_digest,
-    grid,
-    infeasibility_reason,
-    model_for_devices,
     plan,
     plan_cache_key,
-    plan_points,
-    whatif,
-    whatif_cache_key,
 )
-from repro.planner.planner import PLANNER_VERSION
+from repro.planner.sweep import (
+    SweepOutcome,
+    SweepPoint,
+    grid,
+    model_for_devices,
+    plan_points,
+)
+from repro.planner.whatif import whatif, whatif_cache_key
 from repro.scenarios import (
     ClusterScenario,
     RobustnessObjective,
@@ -842,6 +848,167 @@ def execute_scenario_request(request: ScenarioRequest) -> dict:
 # ---------------------------------------------------------------------------
 # JSON rendering of planner results
 # ---------------------------------------------------------------------------
+
+
+# ---------------------------------------------------------------------------
+# /v1/optimize
+# ---------------------------------------------------------------------------
+
+_OPTIMIZE_FIELDS = (
+    "devices", "vocab_size", "seq_length", "microbatches",
+    "memory_budget_gib", "methods", "scenario", "cost_model",
+    "strategy", "seed", "budget", "pass_overhead",
+)
+
+
+@dataclass(frozen=True)
+class OptimizeRequest:
+    """One normalized ``POST /v1/optimize`` body — a rewrite search.
+
+    Runs :func:`repro.optimize.optimize`: start from the best named
+    family for the configuration and search semantics-preserving local
+    rewrites for a schedule the simulator verifies as faster.  The
+    model shape derives from ``devices``/``vocab_size``/``seq_length``
+    exactly like :class:`PlanRequest`; the digest is the optimizer's
+    own cache key, so the service tiers and the planner cache's
+    ``"optimize"`` auxiliary namespace address the same search.
+    """
+
+    devices: int
+    vocab_size: int
+    seq_length: int = 2048
+    microbatches: int = 16
+    memory_budget_gib: float | None = None
+    methods: tuple[str, ...] | None = None
+    scenario: str | None = None
+    cost_model: str | None = None
+    strategy: str = "greedy"
+    seed: int = 0
+    budget: int = DEFAULT_BUDGET
+    pass_overhead: float | None = None
+
+    @classmethod
+    def from_payload(cls, payload: Any) -> OptimizeRequest:
+        if not isinstance(payload, dict):
+            raise RequestError("request body must be a JSON object")
+        _reject_unknown(payload, _OPTIMIZE_FIELDS, "optimize")
+        strategy = _field(payload, "strategy", str, "greedy")
+        if strategy not in STRATEGY_NAMES:
+            raise RequestError(
+                f"unknown strategy {strategy!r}; expected one of "
+                f"{STRATEGY_NAMES}"
+            )
+        request = cls(
+            devices=_field(payload, "devices", int, convert=_positive),
+            vocab_size=_field(
+                payload, "vocab_size", (int, str), convert=_coerce_vocab
+            ),
+            seq_length=_field(
+                payload, "seq_length", int, 2048, convert=_positive
+            ),
+            microbatches=_field(
+                payload, "microbatches", int, 16, convert=_positive
+            ),
+            memory_budget_gib=_field(
+                payload, "memory_budget_gib", (int, float), None,
+                convert=_positive,
+            ),
+            methods=_methods_tuple(payload),
+            scenario=_scenario_name(payload),
+            cost_model=_cost_model_name(payload),
+            strategy=strategy,
+            seed=_field(payload, "seed", int, 0),
+            budget=_field(
+                payload, "budget", int, DEFAULT_BUDGET, convert=_positive
+            ),
+            pass_overhead=_field(
+                payload, "pass_overhead", (int, float), None,
+                convert=_non_negative,
+            ),
+        )
+        try:
+            request.digest()  # config validity, strategy/budget bounds
+        except (ValueError, KeyError) as error:
+            if isinstance(error, RequestError):
+                raise
+            message = error.args[0] if error.args else error
+            raise RequestError(str(message)) from None
+        return request
+
+    def resolve(
+        self,
+    ) -> tuple[ModelConfig, ParallelConfig, PlannerConstraints,
+               ClusterScenario | None]:
+        """The optimizer-level objects this request denotes."""
+        model = model_for_devices(self.devices, self.seq_length, self.vocab_size)
+        parallel = ParallelConfig(
+            pipeline_size=self.devices,
+            num_microbatches=self.microbatches,
+            microbatch_size=1,
+        )
+        constraints = PlannerConstraints(
+            memory_budget_gib=self.memory_budget_gib,
+            methods=self.methods,
+            cost_model=self.cost_model,
+        )
+        scenario = None if self.scenario is None else get_scenario(self.scenario)
+        return model, parallel, constraints, scenario
+
+    def digest(self) -> str:
+        """The optimizer's cache key for this request.
+
+        Identical to the ``cache_key`` :func:`repro.optimize.optimize`
+        stamps on its result, so the service's LRU/disk tiers and the
+        optimizer's auxiliary cache never double-compute one search.
+        """
+        model, parallel, constraints, scenario = self.resolve()
+        return optimize_cache_key(
+            model,
+            parallel,
+            constraints,
+            pass_overhead=self.pass_overhead,
+            scenario=scenario,
+            strategy=self.strategy,
+            seed=self.seed,
+            budget=self.budget,
+        )
+
+
+def execute_optimize_request(
+    request: OptimizeRequest,
+    cache_dir: str | None = None,
+    max_cache_entries: int | None = None,
+) -> dict:
+    """Worker body for one optimize request (top-level: pool-picklable).
+
+    Returns the JSON-ready result dict.  Besides the optimizer's
+    ``"optimize"`` auxiliary entry (written by
+    :func:`repro.optimize.optimize` itself), the rendered payload is
+    stored under the main digest so the service's *disk* tier can
+    answer repeats without a worker round-trip — the same two-level
+    arrangement ``/v1/whatif`` uses.
+    """
+    model, parallel, constraints, scenario = request.resolve()
+    cache = (
+        PlanCache(cache_dir, max_entries=max_cache_entries)
+        if cache_dir is not None
+        else None
+    )
+    result = optimize(
+        model,
+        parallel,
+        constraints,
+        cache=cache,
+        pass_overhead=request.pass_overhead,
+        scenario=scenario,
+        strategy=request.strategy,
+        seed=request.seed,
+        budget=request.budget,
+    )
+    payload = result.as_dict()
+    if cache is not None:
+        cache.put(result.cache_key, payload)
+    return payload
 
 
 def candidate_to_json(candidate) -> dict:

@@ -52,11 +52,13 @@ from repro import faultinject
 from repro.service.app import (
     KEEPALIVE_TIMEOUT_S,
     Route,
+    error_body,
     render_json,
     render_response,
     read_http_request,
 )
 from repro.service.requests import (
+    OptimizeRequest,
     PlanRequest,
     RequestError,
     ScenarioRequest,
@@ -90,6 +92,7 @@ _REQUEST_TYPES = {
     "/v1/sweep": SweepRequest,
     "/v1/scenarios": ScenarioRequest,
     "/v1/whatif": WhatifRequest,
+    "/v1/optimize": OptimizeRequest,
 }
 
 #: Shard lifecycle states (owned by the supervisor, read by the router).
@@ -458,7 +461,12 @@ class FleetRouter:
         if not candidates:
             self.unrouted += 1
             return 503, json.dumps(
-                {"error": "no shard available (fleet is restarting)"},
+                error_body(
+                    "no_shard_available",
+                    "no shard available (fleet is restarting)",
+                    hint="retry after the fleet re-admits a shard",
+                    retry_after_s=1,
+                ),
                 sort_keys=True,
             ).encode("utf-8"), {"Retry-After": "1"}
         last_error: Exception | None = None
@@ -491,7 +499,11 @@ class FleetRouter:
         self.unrouted += 1
         self.errors += 1
         return 502, json.dumps(
-            {"error": f"every shard failed (last: {last_error})"},
+            error_body(
+                "all_shards_failed",
+                f"every shard failed (last: {last_error})",
+                hint="check shard health via GET /stats",
+            ),
             sort_keys=True,
         ).encode("utf-8"), {}
 
@@ -594,7 +606,14 @@ class FleetRouter:
             ).encode("utf-8"), {}
         if method == "POST" and path == "/admin/restart":
             if self.on_restart is None:
-                return 503, b'{"error": "no supervisor attached"}', {}
+                return 503, json.dumps(
+                    error_body(
+                        "no_supervisor",
+                        "no supervisor attached",
+                        hint="rolling restarts need a FleetSupervisor",
+                    ),
+                    sort_keys=True,
+                ).encode("utf-8"), {}
             accepted, detail = self.on_restart()
             status = 200 if accepted else 409
             return status, json.dumps(
@@ -609,17 +628,27 @@ class FleetRouter:
         if path in _REQUEST_TYPES:
             if method != "POST":
                 return 405, json.dumps(
-                    {"error": f"{method} not allowed on {path}",
-                     "allowed": ["POST"]},
+                    error_body(
+                        "method_not_allowed",
+                        f"{method} not allowed on {path}",
+                        hint="use POST",
+                        allowed=["POST"],
+                    ),
                     sort_keys=True,
                 ).encode("utf-8"), {}
             if (
                 self._shutdown_event is not None
                 and self._shutdown_event.is_set()
             ):
-                return 503, b'{"error": "fleet is shutting down"}', {
-                    "Retry-After": "1"
-                }
+                return 503, json.dumps(
+                    error_body(
+                        "shutting_down",
+                        "fleet is shutting down",
+                        hint="the fleet is draining; do not retry here",
+                        retry_after_s=1,
+                    ),
+                    sort_keys=True,
+                ).encode("utf-8"), {"Retry-After": "1"}
             try:
                 return await self._forward(method, path, body, tenant)
             except asyncio.CancelledError:
@@ -628,25 +657,45 @@ class FleetRouter:
                 self.errors += 1
                 logger.exception("router error on %s %s", method, path)
                 return 502, json.dumps(
-                    {"error": f"{type(error).__name__}: {error}"},
+                    error_body(
+                        "router_error",
+                        f"{type(error).__name__}: {error}",
+                        hint="router-side failure; see the router log",
+                    ),
                     sort_keys=True,
                 ).encode("utf-8"), {}
         known = {route.path for route in FLEET_ROUTES} | set(_REQUEST_TYPES)
         if path in known:
+            allowed = sorted(
+                {
+                    route.method
+                    for route in FLEET_ROUTES
+                    if route.path == path
+                }
+                or {"POST"}
+            )
             return 405, json.dumps(
-                {"error": f"{method} not allowed on {path}"}, sort_keys=True
+                error_body(
+                    "method_not_allowed",
+                    f"{method} not allowed on {path}",
+                    hint=f"use {' or '.join(allowed)}",
+                    allowed=allowed,
+                ),
+                sort_keys=True,
             ).encode("utf-8"), {}
         return 404, json.dumps(
-            {
-                "error": f"no route for {path}",
-                "routes": [
+            error_body(
+                "not_found",
+                f"no route for {path}",
+                hint="see the routes list for the supported endpoints",
+                routes=[
                     {"method": route.method, "path": route.path}
                     for route in FLEET_ROUTES
                 ] + [
                     {"method": "POST", "path": proxied}
                     for proxied in sorted(_REQUEST_TYPES)
                 ],
-            },
+            ),
             sort_keys=True,
         ).encode("utf-8"), {}
 
@@ -665,7 +714,15 @@ class FleetRouter:
                     )
                 except RequestError as error:
                     writer.write(
-                        render_json(400, {"error": str(error)}, close=True)
+                        render_json(
+                            400,
+                            error_body(
+                                "bad_request",
+                                str(error),
+                                hint="send a well-formed HTTP/1.1 request",
+                            ),
+                            close=True,
+                        )
                     )
                     await writer.drain()
                     break

@@ -1,0 +1,145 @@
+"""The versioned response envelope shared by every ``/v1/*`` endpoint.
+
+Success bodies are ``{"api_version", "result", "meta"}`` with
+``meta = {digest, cache, timings}``; error bodies are
+``{"api_version", "error": {code, message, hint, ...}}``.  The legacy
+control endpoints (``/healthz``, ``/stats``, ``/shutdown``) stay
+unversioned for monitoring compatibility.
+"""
+
+import http.client
+import json
+
+import pytest
+
+from repro.api import API_VERSION
+from repro.service import PlanningService, ServiceThread
+
+BASE = {"devices": 4, "vocab_size": "32k", "microbatches": 8}
+
+#: (path, minimal valid payload) for every planning endpoint.
+ENDPOINTS = [
+    ("/v1/plan", dict(BASE, simulate_top_k=1)),
+    (
+        "/v1/sweep",
+        {
+            "devices": [4],
+            "vocab_sizes": ["32k"],
+            "microbatches": [8],
+            "simulate_top_k": 1,
+        },
+    ),
+    (
+        "/v1/scenarios",
+        dict(BASE, scenario="slow-node", method="vocab-1", samples=4),
+    ),
+    (
+        "/v1/whatif",
+        dict(BASE, method="vocab-1", device=0, factor=1.5),
+    ),
+    ("/v1/optimize", dict(BASE, budget=16, seed=0)),
+]
+
+
+def request_json(service, method, path, payload=None, timeout=240.0):
+    conn = http.client.HTTPConnection(
+        service.host, service.port, timeout=timeout
+    )
+    try:
+        body = None if payload is None else json.dumps(payload)
+        conn.request(method, path, body=body)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+@pytest.fixture(scope="module")
+def live():
+    service = PlanningService(port=0, executor="thread", lru_size=32)
+    with ServiceThread(service) as running:
+        yield running
+
+
+class TestSuccessEnvelope:
+    @pytest.mark.parametrize(
+        "path,payload", ENDPOINTS, ids=[p for p, _ in ENDPOINTS]
+    )
+    def test_shape(self, live, path, payload):
+        status, body = request_json(live, "POST", path, payload)
+        assert status == 200
+        assert set(body) == {"api_version", "result", "meta"}
+        assert body["api_version"] == API_VERSION
+        meta = body["meta"]
+        assert set(meta) == {"digest", "cache", "timings"}
+        assert isinstance(meta["digest"], str) and meta["digest"]
+        assert meta["cache"] in ("computed", "lru", "disk", "coalesced")
+        assert meta["timings"]["total_ms"] >= 0
+        assert body["result"] is not None
+
+    @pytest.mark.parametrize(
+        "path,payload", ENDPOINTS, ids=[p for p, _ in ENDPOINTS]
+    )
+    def test_identity_is_digest_plus_result(self, live, path, payload):
+        # meta.timings varies per request: identity checks compare
+        # meta.digest + result, never raw bytes.
+        _, first = request_json(live, "POST", path, payload)
+        _, second = request_json(live, "POST", path, payload)
+        assert first["meta"]["digest"] == second["meta"]["digest"]
+        assert first["result"] == second["result"]
+
+
+class TestErrorEnvelope:
+    def assert_error(self, body, code):
+        assert set(body) == {"api_version", "error"}
+        assert body["api_version"] == API_VERSION
+        error = body["error"]
+        assert error["code"] == code
+        assert isinstance(error["message"], str) and error["message"]
+        assert "hint" in error
+
+    @pytest.mark.parametrize("path", [p for p, _ in ENDPOINTS])
+    def test_bad_request(self, live, path):
+        status, body = request_json(live, "POST", path, {"bogus": 1})
+        assert status == 400
+        self.assert_error(body, "bad_request")
+
+    def test_method_not_allowed(self, live):
+        status, body = request_json(live, "GET", "/v1/plan")
+        assert status == 405
+        self.assert_error(body, "method_not_allowed")
+        assert body["error"]["allowed"] == ["POST"]
+
+    def test_not_found_lists_routes(self, live):
+        status, body = request_json(live, "GET", "/nope")
+        assert status == 404
+        self.assert_error(body, "not_found")
+        assert {"method": "POST", "path": "/v1/optimize"} in (
+            body["error"]["routes"]
+        )
+
+    def test_malformed_json(self, live):
+        conn = http.client.HTTPConnection(live.host, live.port, timeout=30)
+        try:
+            conn.request("POST", "/v1/plan", body="{not json")
+            response = conn.getresponse()
+            body = json.loads(response.read())
+            assert response.status == 400
+            self.assert_error(body, "bad_request")
+        finally:
+            conn.close()
+
+
+class TestLegacyEndpointsUnversioned:
+    def test_healthz_and_stats_keep_their_shape(self, live):
+        for path in ("/healthz", "/stats"):
+            status, body = request_json(live, "GET", path)
+            assert status == 200
+            assert "api_version" not in body
+
+    def test_shutdown_is_byte_compatible(self):
+        service = PlanningService(port=0, executor="thread")
+        with ServiceThread(service) as running:
+            status, body = request_json(running, "POST", "/shutdown")
+            assert status == 200
+            assert body == {"status": "shutting-down"}

@@ -100,7 +100,7 @@ class TestFleetLifecycle:
                 host, port, "POST", "/v1/plan", SMALL_PLAN
             )
             assert status == 200
-            assert body["plan"]["best"] is not None
+            assert body["result"]["best"] is not None
 
             # Kill one shard out from under the supervisor.  The
             # monitor must declare it dead and restart it; the router

@@ -317,17 +317,17 @@ class TestDeadlinesOverHttp:
                 live, "POST", "/v1/plan", dict(SMALL_PLAN, deadline_ms=100)
             )
             assert status == 504
-            assert "deadline" in body["error"]
+            assert "deadline" in body["error"]["message"]
             deadline = time.monotonic() + 30
             while time.monotonic() < deadline:
                 status, body, _ = request_raw(
                     live, "POST", "/v1/plan", dict(SMALL_PLAN)
                 )
                 assert status == 200
-                if body["tier"] == "lru":
+                if body["meta"]["cache"] == "lru":
                     break
                 time.sleep(0.05)
-            assert body["tier"] == "lru"
+            assert body["meta"]["cache"] == "lru"
             stats = service.stats_payload()
             assert stats["resilience"]["deadline_timeouts"] == 1
             # One computation total: the 504'd leader's, reused.
@@ -340,8 +340,8 @@ class TestDeadlinesOverHttp:
                 live, "POST", "/v1/plan", dict(SMALL_PLAN, deadline_ms=60000)
             )
             _, unbounded, _ = request_raw(live, "POST", "/v1/plan", SMALL_PLAN)
-            assert patient["digest"] == unbounded["digest"]
-            assert unbounded["tier"] == "lru"
+            assert patient["meta"]["digest"] == unbounded["meta"]["digest"]
+            assert unbounded["meta"]["cache"] == "lru"
 
     def test_bad_deadline_is_400(self):
         service = PlanningService(port=0, executor="thread", lru_size=32)
@@ -350,7 +350,7 @@ class TestDeadlinesOverHttp:
                 live, "POST", "/v1/plan", dict(SMALL_PLAN, deadline_ms=-1)
             )
             assert status == 400
-            assert "deadline_ms" in body["error"]
+            assert "deadline_ms" in body["error"]["message"]
 
 
 class TestAdmissionOverHttp:
@@ -372,7 +372,7 @@ class TestAdmissionOverHttp:
                 headers={"X-Tenant": "alice"},
             )
             assert status == 429
-            assert "alice" in body["error"]
+            assert "alice" in body["error"]["message"]
             assert int(headers["retry-after"]) >= 1
             # Another tenant is unaffected.
             status, _, _ = request_raw(
@@ -388,7 +388,7 @@ class TestAdmissionOverHttp:
                 headers={"X-Tenant": "alice"},
             )
             assert status == 200
-            assert body["tier"] == "lru"
+            assert body["meta"]["cache"] == "lru"
             snap = service.stats_payload()["resilience"]
             assert snap["shed"] == 1
             assert snap["admission"]["shed_tenant"] == 1
@@ -445,11 +445,11 @@ class TestAdmissionOverHttp:
                         break
                     time.sleep(0.02)
                 assert status == 429
-                assert body["retry_after_s"] >= 1.8
+                assert body["error"]["retry_after_s"] >= 1.8
                 # max(1, ceil(ewma / 1 slot)) with >= 1.8 s of work.
                 assert int(headers["retry-after"]) >= 2
                 assert int(headers["retry-after"]) == max(
-                    1, math.ceil(body["retry_after_s"])
+                    1, math.ceil(body["error"]["retry_after_s"])
                 )
             finally:
                 stop.set()

@@ -198,8 +198,8 @@ class TestRouterOverLiveShards:
             )
             assert status == 200
             # Same home shard both times: the repeat is its LRU hit.
-            assert second["tier"] == "lru"
-            assert second["digest"] == first["digest"]
+            assert second["meta"]["cache"] == "lru"
+            assert second["meta"]["digest"] == first["meta"]["digest"]
             assert shards[0].requests == 2
             assert shards[1].requests == 0
 
@@ -237,7 +237,7 @@ class TestRouterOverLiveShards:
             shards[0].state = DOWN
             status, body, _ = request_raw(router, "POST", "/v1/plan", payload)
             assert status == 200
-            assert body["plan"]["best"] is not None
+            assert body["result"]["best"] is not None
             assert shards[0].failovers == 1
             assert shards[1].requests == 1
             assert router.errors == 0
@@ -277,7 +277,8 @@ class TestRouterOverLiveShards:
                 router, "POST", "/v1/plan", SMALL_PLAN
             )
             assert status == 503
-            assert "no shard available" in body["error"]
+            assert body["error"]["code"] == "no_shard_available"
+            assert "no shard available" in body["error"]["message"]
             assert int(headers["retry-after"]) >= 1
             assert router.unrouted == 1
 
@@ -291,7 +292,7 @@ class TestRouterOverLiveShards:
             status, body, _ = request_raw(router, "POST", "/v1/plan", payload)
             elapsed = time.monotonic() - started
             assert status == 200
-            assert body["plan"]["best"] is not None
+            assert body["result"]["best"] is not None
             assert shards[0].hedges_fired == 1
             assert shards[0].hedge_wins == 1
             assert shards[1].requests == 1  # the hedge ran there
@@ -321,10 +322,10 @@ class TestRouterOverLiveShards:
         with live_fleet() as (router, _, __):
             status, body, _ = request_raw(router, "GET", "/v1/plan")
             assert status == 405
-            assert body["allowed"] == ["POST"]
+            assert body["error"]["allowed"] == ["POST"]
             status, body, _ = request_raw(router, "GET", "/nope")
             assert status == 404
-            assert {"method": "POST", "path": "/v1/plan"} in body["routes"]
+            assert {"method": "POST", "path": "/v1/plan"} in body["error"]["routes"]
             assert {"method": "POST", "path": "/admin/restart"} in (
-                body["routes"]
+                body["error"]["routes"]
             )

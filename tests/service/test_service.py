@@ -51,20 +51,24 @@ class TestHttpSurface:
     def test_plan_computed_then_lru(self, live):
         status, first = request_json(live, "POST", "/v1/plan", SMALL_PLAN)
         assert status == 200
-        assert first["tier"] in ("computed", "lru")  # module-shared server
-        assert first["plan"]["best"] is not None
-        assert first["plan"]["cache_key"] == first["digest"]
+        # module-shared server: either tier is legal for the opener
+        assert first["api_version"] == 1
+        assert first["meta"]["cache"] in ("computed", "lru")
+        assert first["meta"]["timings"]["total_ms"] >= 0
+        assert first["result"]["best"] is not None
+        assert first["result"]["cache_key"] == first["meta"]["digest"]
         status, second = request_json(live, "POST", "/v1/plan", SMALL_PLAN)
         assert status == 200
-        assert second["tier"] == "lru"
-        assert second["plan"] == first["plan"]
+        assert second["meta"]["cache"] == "lru"
+        assert second["result"] == first["result"]
 
     def test_plan_rejects_bad_payload(self, live):
         status, body = request_json(
             live, "POST", "/v1/plan", dict(SMALL_PLAN, bogus=1)
         )
         assert status == 400
-        assert "bogus" in body["error"]
+        assert body["error"]["code"] == "bad_request"
+        assert "bogus" in body["error"]["message"]
 
     def test_plan_rejects_malformed_json(self, live):
         conn = http.client.HTTPConnection(live.host, live.port, timeout=30)
@@ -72,19 +76,21 @@ class TestHttpSurface:
             conn.request("POST", "/v1/plan", body="{not json")
             response = conn.getresponse()
             assert response.status == 400
-            assert "JSON" in json.loads(response.read())["error"]
+            assert "JSON" in json.loads(response.read())["error"]["message"]
         finally:
             conn.close()
 
     def test_unknown_route_404_lists_routes(self, live):
         status, body = request_json(live, "GET", "/nope")
         assert status == 404
-        assert {"method": "POST", "path": "/v1/plan"} in body["routes"]
+        assert body["error"]["code"] == "not_found"
+        assert {"method": "POST", "path": "/v1/plan"} in body["error"]["routes"]
 
     def test_wrong_method_405(self, live):
         status, body = request_json(live, "GET", "/v1/plan")
         assert status == 405
-        assert body["allowed"] == ["POST"]
+        assert body["error"]["code"] == "method_not_allowed"
+        assert body["error"]["allowed"] == ["POST"]
 
     def test_sweep_endpoint(self, live):
         status, body = request_json(
@@ -100,7 +106,7 @@ class TestHttpSurface:
             },
         )
         assert status == 200
-        points = body["sweep"]["points"]
+        points = body["result"]["points"]
         assert len(points) == 2
         assert [p["memory_budget_gib"] for p in points] == [40.0, 80.0]
         assert all(p["best"] is not None for p in points)
@@ -120,7 +126,7 @@ class TestHttpSurface:
             },
         )
         assert status == 200
-        ranked = body["scenarios"]["ranked"]
+        ranked = body["result"]["ranked"]
         assert [r["method"] for r in ranked] == ["vocab-1"]
         assert ranked[0]["p95_time"] >= ranked[0]["p50_time"]
 
@@ -166,9 +172,9 @@ class TestCoalescing:
         results = self.run_concurrent(service, payload, copies=5)
         assert service.stats.computed == 1
         assert service.stats.coalesced == 4
-        tiers = sorted(r["tier"] for r in results)
+        tiers = sorted(r["meta"]["cache"] for r in results)
         assert tiers == ["coalesced"] * 4 + ["computed"]
-        bodies = {json.dumps(r["plan"], sort_keys=True) for r in results}
+        bodies = {json.dumps(r["result"], sort_keys=True) for r in results}
         assert len(bodies) == 1
 
     def test_coalesced_over_http_burst(self):
@@ -194,7 +200,7 @@ class TestCoalescing:
             # However the burst interleaved, the plan ran exactly once.
             assert service.stats.computed == 1
             bodies = {
-                json.dumps(body["plan"], sort_keys=True)
+                json.dumps(body["result"], sort_keys=True)
                 for _, body in results
             }
             assert len(bodies) == 1
@@ -212,7 +218,7 @@ class TestCoalescing:
         results = asyncio.run(gather())
         assert service.stats.computed == 2
         assert service.stats.coalesced == 0
-        assert results[0]["digest"] != results[1]["digest"]
+        assert results[0]["meta"]["digest"] != results[1]["meta"]["digest"]
 
 
 class TestDiskTier:
@@ -222,19 +228,19 @@ class TestDiskTier:
             port=0, executor="thread", cache_dir=cache_dir
         )
         result = asyncio.run(first._post_plan(SMALL_PLAN))
-        assert result["tier"] == "computed"
+        assert result["meta"]["cache"] == "computed"
 
         # A fresh service instance (cold LRU) finds the entry on disk.
         second = PlanningService(
             port=0, executor="thread", cache_dir=cache_dir
         )
         again = asyncio.run(second._post_plan(SMALL_PLAN))
-        assert again["tier"] == "disk"
-        assert again["plan"] == result["plan"]
+        assert again["meta"]["cache"] == "disk"
+        assert again["result"] == result["result"]
         assert second.stats.computed == 0
         # And the LRU now fronts the disk entry.
         third = asyncio.run(second._post_plan(SMALL_PLAN))
-        assert third["tier"] == "lru"
+        assert third["meta"]["cache"] == "lru"
 
 
 class TestShutdown:

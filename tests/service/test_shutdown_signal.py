@@ -92,7 +92,7 @@ def test_sigterm_drains_in_flight_flushes_cache_and_exits_zero(tmp_path):
         client.join(timeout=60)
         assert not client.is_alive(), "in-flight request never completed"
         assert result.get("status") == 200, result
-        assert result["body"]["plan"]["best"] is not None
+        assert result["body"]["result"]["best"] is not None
 
         # Exit 0: drained, workers joined, nothing leaked.
         assert process.wait(timeout=60) == 0

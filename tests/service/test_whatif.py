@@ -145,23 +145,24 @@ class TestWhatifEndpoint:
         payload = small_whatif_payload()
         status, first = request_json(live, "POST", "/v1/whatif", payload)
         assert status == 200
-        assert first["tier"] in ("computed", "lru")
-        body = first["whatif"]
-        assert body["cache_key"] == first["digest"]
+        assert first["api_version"] == 1
+        assert first["meta"]["cache"] in ("computed", "lru")
+        body = first["result"]
+        assert body["cache_key"] == first["meta"]["digest"]
         assert body["whatif_time"] > body["baseline_time"]
         assert body["slowdown"] > 1.0
         assert body["support"] > 0
         status, second = request_json(live, "POST", "/v1/whatif", payload)
         assert status == 200
-        assert second["tier"] == "lru"
-        assert second["whatif"] == body
+        assert second["meta"]["cache"] == "lru"
+        assert second["result"] == body
 
     def test_unknown_field_is_400(self, live):
         status, body = request_json(
             live, "POST", "/v1/whatif", small_whatif_payload(bogus=1)
         )
         assert status == 400
-        assert "bogus" in body["error"]
+        assert "bogus" in body["error"]["message"]
 
     def test_speedup_factor_below_one(self, live):
         status, body = request_json(
@@ -169,7 +170,7 @@ class TestWhatifEndpoint:
             small_whatif_payload(device=0, factor=0.5),
         )
         assert status == 200
-        assert body["whatif"]["slowdown"] <= 1.0
+        assert body["result"]["slowdown"] <= 1.0
 
     def test_stats_counters(self, live):
         request_json(live, "POST", "/v1/whatif", small_whatif_payload())
@@ -195,9 +196,9 @@ class TestWhatifCoalescing:
         results = asyncio.run(gather())
         assert service.stats.computed == 1
         assert service.stats.coalesced == 4
-        tiers = sorted(r["tier"] for r in results)
+        tiers = sorted(r["meta"]["cache"] for r in results)
         assert tiers == ["coalesced"] * 4 + ["computed"]
-        bodies = {json.dumps(r["whatif"], sort_keys=True) for r in results}
+        bodies = {json.dumps(r["result"], sort_keys=True) for r in results}
         assert len(bodies) == 1
 
     def test_coalesced_over_http_burst(self):
@@ -222,7 +223,7 @@ class TestWhatifCoalescing:
             assert all(status == 200 for status, _ in results)
             assert service.stats.computed == 1
             bodies = {
-                json.dumps(body["whatif"], sort_keys=True)
+                json.dumps(body["result"], sort_keys=True)
                 for _, body in results
             }
             assert len(bodies) == 1
@@ -240,7 +241,7 @@ class TestWhatifCoalescing:
         results = asyncio.run(gather())
         assert service.stats.computed == 2
         assert service.stats.coalesced == 0
-        assert results[0]["digest"] != results[1]["digest"]
+        assert results[0]["meta"]["digest"] != results[1]["meta"]["digest"]
 
 
 class TestWhatifDiskTier:
@@ -249,15 +250,15 @@ class TestWhatifDiskTier:
         payload = small_whatif_payload()
         first = PlanningService(port=0, executor="thread", cache_dir=cache_dir)
         result = asyncio.run(first._post_whatif(payload))
-        assert result["tier"] == "computed"
+        assert result["meta"]["cache"] == "computed"
 
         # A fresh service instance (cold LRU) finds the entry on disk.
         second = PlanningService(
             port=0, executor="thread", cache_dir=cache_dir
         )
         again = asyncio.run(second._post_whatif(payload))
-        assert again["tier"] == "disk"
-        assert again["whatif"] == result["whatif"]
+        assert again["meta"]["cache"] == "disk"
+        assert again["result"] == result["result"]
         assert second.stats.computed == 0
         third = asyncio.run(second._post_whatif(payload))
-        assert third["tier"] == "lru"
+        assert third["meta"]["cache"] == "lru"

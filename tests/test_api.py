@@ -1,0 +1,103 @@
+"""The unified public surface (:mod:`repro.api`) and its shims.
+
+Three contracts: every ``repro.api.__all__`` name resolves; the
+``repro`` top level lazily re-exports the facade subset; and the
+historical ``repro.planner`` import paths keep working behind a
+one-time :class:`DeprecationWarning` per name — including the two
+names shadowed by same-named submodules (``sweep``, ``whatif``).
+"""
+
+import importlib
+import warnings
+
+import pytest
+
+import repro
+import repro.api
+
+
+class TestFacade:
+    def test_api_version(self):
+        assert repro.api.API_VERSION == 1
+
+    def test_every_declared_name_resolves(self):
+        for name in repro.api.__all__:
+            assert getattr(repro.api, name) is not None, name
+
+    def test_all_is_sorted_and_deduplicated(self):
+        assert list(repro.api.__all__) == sorted(set(repro.api.__all__))
+
+    def test_core_entry_points_are_present(self):
+        from repro.api import (  # noqa: F401
+            OptimizedPlan,
+            PlannerConstraints,
+            RankedPlans,
+            WhatifResult,
+            calibrate,
+            optimize,
+            plan,
+            sweep,
+            whatif,
+        )
+
+        assert callable(plan) and callable(optimize)
+
+    def test_facade_names_match_defining_modules(self):
+        from repro.api import PlanCache, optimize, plan, sweep, whatif
+
+        assert plan is importlib.import_module("repro.planner.planner").plan
+        assert sweep is importlib.import_module("repro.planner.sweep").sweep
+        assert whatif is importlib.import_module("repro.planner.whatif").whatif
+        assert PlanCache is importlib.import_module("repro.planner.cache").PlanCache
+        assert optimize is importlib.import_module("repro.optimize").optimize
+
+
+class TestTopLevelReExports:
+    def test_lazy_facade_subset(self):
+        for name in ("plan", "sweep", "whatif", "calibrate", "API_VERSION"):
+            assert getattr(repro, name) is getattr(repro.api, name)
+
+    def test_optimize_is_the_subpackage_at_top_level(self):
+        # ``repro.optimize`` is a subpackage; the callable is only on
+        # the facade, so the name can never silently flip meaning.
+        import repro.optimize as subpackage
+
+        assert repro.optimize is subpackage
+        assert "optimize" not in repro.__all__
+
+
+class TestPlannerDeprecationShim:
+    def test_attribute_access_warns_once_and_resolves(self):
+        planner_pkg = importlib.import_module("repro.planner")
+        planner_pkg.__dict__.pop("PlannerConstraints", None)
+        with pytest.warns(DeprecationWarning, match="repro.api"):
+            value = planner_pkg.PlannerConstraints
+        assert value is repro.api.PlannerConstraints
+        # The resolved value is cached: no second warning.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert planner_pkg.PlannerConstraints is value
+
+    def test_shadowed_names_stay_callable(self):
+        # Importing the submodule rebinds the parent attribute to the
+        # module; the shim must still hand old callers the function.
+        importlib.import_module("repro.planner.sweep")
+        importlib.import_module("repro.planner.whatif")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            from repro.planner import sweep, whatif
+        assert callable(sweep)
+        assert callable(whatif)
+        assert sweep is repro.api.sweep
+        assert whatif is repro.api.whatif
+
+    def test_unknown_name_still_raises(self):
+        planner_pkg = importlib.import_module("repro.planner")
+        with pytest.raises(AttributeError):
+            planner_pkg.definitely_not_a_name
+
+    def test_dir_lists_historical_names(self):
+        planner_pkg = importlib.import_module("repro.planner")
+        listed = dir(planner_pkg)
+        for name in ("plan", "sweep", "whatif", "PlanCache", "grid"):
+            assert name in listed

@@ -38,7 +38,13 @@ the **compiled** engine (:mod:`repro.sim.compiled`):
   path (:meth:`~repro.sim.compiled.CompiledGraph.execute_delta_summary`);
   ``resweep_s``/``tail_s`` record the compiled full-resweep
   alternative and a transient (last-two-microbatch) variant whose
-  narrow cone stays on the incremental walk.
+  narrow cone stays on the incremental walk;
+* ``optimize_*`` — one fixed-seed, budget-bounded rewrite search
+  (:func:`repro.optimize.optimize`: full-verify named-family baseline
+  + 16 oracle evaluations, a ``/v1/optimize`` cache miss) on a cold
+  cache; the "reference" side is the identical search on the
+  reference engine (the discovered speedup is asserted bit-equal
+  across engines every run).
 
 With ``--service`` the *serving* trajectory is measured instead (and
 written to ``BENCH_service.json``), driving a live in-process
@@ -127,6 +133,12 @@ SWEEP_BUDGETS = (24.0, 32.0, 40.0, 48.0, 56.0, 64.0, 72.0, 80.0)
 #: Best-of rounds: the quick class gates CI on millisecond timings, so
 #: it takes more rounds to suppress shared-runner noise.
 ROUNDS = {"full": 3, "quick": 5}
+#: Oracle-evaluation budget of the optimize_* classes — small enough
+#: to bench, large enough that the seeded greedy search still finds
+#: its token-split improvement on both panels.
+OPTIMIZE_BUDGET = 16
+#: Seed of the optimize_* classes (the search is bit-reproducible).
+OPTIMIZE_SEED = 0
 #: Synchronized duplicate requests of the service coalesced-burst class.
 SERVICE_DUPLICATES = 8
 #: Sequential hot requests averaged per service hot-cache round.
@@ -198,7 +210,8 @@ class _ScaledRuntime:
 def clear_all_planner_caches() -> None:
     """Reset every process-wide cache the planner stack keeps."""
     from repro.harness.experiments import clear_structural_caches
-    from repro.planner import clear_plan_cache, clear_probe_cache
+    from repro.planner.estimate import clear_probe_cache
+    from repro.planner.planner import clear_plan_cache
 
     clear_plan_cache()
     clear_probe_cache()
@@ -232,7 +245,8 @@ def measure_class(
     numbers, and the reference runs dominate wall-clock.
     """
     from repro.harness.experiments import generate_method_schedule
-    from repro.planner import PlanCache, PlannerConstraints, plan
+    from repro.planner.cache import PlanCache
+    from repro.planner.planner import PlannerConstraints, plan
     from repro.sim import RuntimeModel, SimulationSetup, compile_schedule
     from repro.sim.reference_executor import (
         reference_execute_schedule,
@@ -467,8 +481,8 @@ def measure_class(
         )
 
         # Sweep throughput: an 8-budget grid over one schedule structure.
-        from repro.planner import grid as make_grid
-        from repro.planner import plan_point, sweep as run_sweep
+        from repro.planner.sweep import grid as make_grid
+        from repro.planner.sweep import plan_point, sweep as run_sweep
 
         points = make_grid(
             devices=(gpus,),
@@ -499,6 +513,45 @@ def measure_class(
             best_of(structured_sweep, rounds),
             points=len(points),
         )
+
+        # Rewrite-based optimizer search: one fixed-seed, budget-bounded
+        # optimize() call on a cold cache — the full-verify named-family
+        # baseline plus OPTIMIZE_BUDGET oracle evaluations (what the CLI
+        # `optimize` subcommand and /v1/optimize pay on a cache miss).
+        # The engines are bit-identical by construction, so "reference"
+        # is the same search on the reference engine; the discovered
+        # speedup is asserted identical across both every run.
+        from repro.optimize import optimize as optimize_search
+
+        def run_optimize():
+            return optimize_search(
+                model, parallel, cache=PlanCache(),
+                seed=OPTIMIZE_SEED, budget=OPTIMIZE_BUDGET,
+            )
+
+        optimize_reference = None
+        if with_reference:
+            with engine("reference"):
+                reference_plan = run_optimize()
+                optimize_reference = best_of(run_optimize, rounds)
+        with engine("compiled"):
+            optimized = run_optimize()
+            optimize_compiled = best_of(run_optimize, rounds)
+        if with_reference:
+            assert reference_plan.speedup == optimized.speedup, (
+                f"optimize engine divergence: reference speedup "
+                f"{reference_plan.speedup} != compiled {optimized.speedup}"
+            )
+        add(
+            f"optimize_{tag}",
+            optimize_reference,
+            optimize_compiled,
+            budget=OPTIMIZE_BUDGET,
+            seed=OPTIMIZE_SEED,
+            evaluations=optimized.evaluations,
+            improved=float(optimized.improved),
+            search_speedup=optimized.speedup,
+        )
         clear_all_planner_caches()
 
     return entries
@@ -517,7 +570,8 @@ def measure_service_class(
     sys.path.insert(0, str(REPO / "tools"))
     import loadtest_service as lt
 
-    from repro.planner import PlannerConstraints, SweepPoint, plan_point
+    from repro.planner.planner import PlannerConstraints
+    from repro.planner.sweep import SweepPoint, plan_point
     from repro.service import PlanningService, ServiceThread
 
     m = MICROBATCHES[klass]

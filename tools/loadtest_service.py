@@ -350,7 +350,7 @@ def run_duplicate_burst(
                 errors.append(f"burst: HTTP {status}: {body.get('error', body)}")
             else:
                 latencies.append(elapsed)
-                bodies.add(json.dumps(body["plan"], sort_keys=True))
+                bodies.add(json.dumps(body["result"], sort_keys=True))
 
     threads = [threading.Thread(target=run_one) for _ in range(duplicates)]
     for thread in threads:
@@ -394,12 +394,9 @@ FLEET_CHAOS_SPEC = (
     "slow-shard:rate=0.4,seed=0,delay_ms=900"
 )
 
-_BODY_KEYS = {
-    "/v1/plan": "plan",
-    "/v1/whatif": "whatif",
-    "/v1/scenarios": "scenarios",
-    "/v1/sweep": "sweep",
-}
+#: Response-identity contract: every ``/v1/*`` success is the uniform
+#: envelope; identity is ``meta.digest`` plus the ``result`` object.
+#: ``meta.timings`` varies per request, so raw bytes are never compared.
 
 
 def chaos_requests(args: argparse.Namespace) -> list[tuple[str, dict]]:
@@ -479,7 +476,8 @@ def fetch_with_retries(
             return body
         if status == 429:
             last = "shed (429)"
-            time.sleep(min(float(body.get("retry_after_s", 1.0)), 1.0))
+            retry_after = body.get("error", {}).get("retry_after_s", 1.0)
+            time.sleep(min(float(retry_after), 1.0))
             continue
         if status in (503, 504):
             last = f"HTTP {status}"
@@ -536,8 +534,8 @@ def run_chaos(args: argparse.Namespace) -> int:
                     return _report_chaos(problems)
                 key = json.dumps([path, payload], sort_keys=True)
                 expected[key] = (
-                    body["digest"],
-                    json.dumps(body[_BODY_KEYS[path]], sort_keys=True),
+                    body["meta"]["digest"],
+                    json.dumps(body["result"], sort_keys=True),
                 )
         finally:
             code = oracle.shutdown()
@@ -570,17 +568,17 @@ def run_chaos(args: argparse.Namespace) -> int:
                         continue
                     key = json.dumps([path, payload], sort_keys=True)
                     digest, rendered = expected[key]
-                    if body["digest"] != digest:
+                    if body["meta"]["digest"] != digest:
                         problems.append(
                             f"chaos: {path}: digest diverged from oracle"
                         )
                     elif (
-                        json.dumps(body[_BODY_KEYS[path]], sort_keys=True)
+                        json.dumps(body["result"], sort_keys=True)
                         != rendered
                     ):
                         problems.append(
                             f"chaos: {path}: response bytes diverged from "
-                            f"the fault-free oracle (tier {body['tier']})"
+                            f"the fault-free oracle (tier {body['meta']['cache']})"
                         )
                     else:
                         matched += 1
@@ -595,8 +593,8 @@ def run_chaos(args: argparse.Namespace) -> int:
                     json.dumps([probe[0], probe[1]], sort_keys=True)
                 ]
                 if (
-                    body["digest"] != digest
-                    or json.dumps(body["plan"], sort_keys=True) != rendered
+                    body["meta"]["digest"] != digest
+                    or json.dumps(body["result"], sort_keys=True) != rendered
                 ):
                     problems.append("chaos: probe response diverged")
                 else:
@@ -693,8 +691,8 @@ def run_chaos_fleet(args: argparse.Namespace) -> int:
                     return _report_chaos(problems)
                 key = json.dumps([path, payload], sort_keys=True)
                 expected[key] = (
-                    body["digest"],
-                    json.dumps(body[_BODY_KEYS[path]], sort_keys=True),
+                    body["meta"]["digest"],
+                    json.dumps(body["result"], sort_keys=True),
                 )
         finally:
             code = oracle.shutdown()
@@ -758,12 +756,12 @@ def run_chaos_fleet(args: argparse.Namespace) -> int:
                         continue
                     key = json.dumps([path, payload], sort_keys=True)
                     digest, rendered = expected[key]
-                    if body["digest"] != digest:
+                    if body["meta"]["digest"] != digest:
                         problems.append(
                             f"chaos: {path}: digest diverged from oracle"
                         )
                     elif (
-                        json.dumps(body[_BODY_KEYS[path]], sort_keys=True)
+                        json.dumps(body["result"], sort_keys=True)
                         != rendered
                     ):
                         problems.append(
